@@ -1,0 +1,16 @@
+"""Shared benchmark helpers (importable as ``bench_util``)."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """Transaction-count scale factor from REPRO_BENCH_SCALE (default 0.5)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` scales per-thread transaction counts (default 0.5
+for a suite that regenerates every figure in a few minutes; use 1.0+ for
+tighter numbers).  Each benchmark runs its experiment exactly once — the
+interesting output is the paper-versus-measured table it prints, plus
+shape assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

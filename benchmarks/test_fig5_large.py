@@ -1,0 +1,22 @@
+"""Figure 5(b): transaction throughput, large (4 KB) datasets.
+
+Paper: ATOM +24%, ATOM-OPT +33%, NON-ATOMIC +41% over BASE (gmean);
+source logging matters more than with small entries, so ATOM-OPT's edge
+over ATOM grows relative to Figure 5(a).
+"""
+
+from bench_util import run_once
+
+from repro.harness.experiments import fig5
+
+
+def test_fig5_large(benchmark, scale):
+    result = run_once(benchmark, fig5, "large", scale)
+    print()
+    print(result.render())
+
+    measured = result.measured
+    assert measured["atom"] > 1.05
+    assert measured["atom-opt"] >= measured["atom"] * 0.97
+    assert measured["non-atomic"] > measured["atom-opt"]
+    assert 1.2 < measured["non-atomic"] < 4.0

@@ -1,0 +1,31 @@
+"""Figure 5(a): transaction throughput, small (512 B) datasets.
+
+Paper shape to reproduce: BASE < ATOM <= ATOM-OPT < NON-ATOMIC for every
+benchmark, with gmean gains in the tens of percent (paper: ATOM +23%,
+ATOM-OPT +27%, NON-ATOMIC +38% over BASE).
+"""
+
+from bench_util import run_once
+
+from repro.harness.experiments import fig5
+
+
+def test_fig5_small(benchmark, scale):
+    result = run_once(benchmark, fig5, "small", scale)
+    print()
+    print(result.render())
+
+    measured = result.measured
+    # Ordering: every optimization must pay off.
+    assert measured["atom"] > 1.05, "ATOM must clearly beat BASE"
+    assert measured["atom-opt"] >= measured["atom"] * 0.97, (
+        "ATOM-OPT must not lose to ATOM beyond noise"
+    )
+    assert measured["non-atomic"] > measured["atom-opt"], (
+        "NON-ATOMIC is the upper bound"
+    )
+    # Magnitude: the BASE -> NON-ATOMIC gap is tens of percent, not 10x.
+    assert 1.2 < measured["non-atomic"] < 3.5
+    # ATOM-OPT closes a substantial fraction of the gap (paper: 71%).
+    gap = (measured["atom-opt"] - 1) / (measured["non-atomic"] - 1)
+    assert gap > 0.25, f"ATOM-OPT closes only {gap:.0%} of the gap"

@@ -1,0 +1,32 @@
+"""Table III: percentage of source-logged cache lines (ATOM-OPT).
+
+Paper shape: the fractions are small on a warm system; they grow with
+dataset size (large >= small for the cache-pressure-bound benchmarks)
+and sps is the lowest (its stores hit lines the swap just loaded, so the
+fill never comes from NVM with the store outstanding).
+"""
+
+from bench_util import run_once
+
+from repro.harness.experiments import table3
+
+
+def test_table3_source_logging(benchmark, scale):
+    result = run_once(benchmark, table3, scale)
+    print()
+    print(result.render())
+
+    measured = result.measured
+    # sps's stores always hit lines its own loads just fetched: the
+    # lowest source-logging rate of the suite (paper: 0.01%).
+    sps = measured["sps_small"]
+    others = [measured[f"{b}_small"] for b in ("btree", "hash", "queue")]
+    assert sps <= min(others) + 1e-9, (
+        f"sps should source-log least (sps={sps:.2f}%, others={others})"
+    )
+    # Larger entries put more pressure on the caches: more store misses
+    # reach NVM, so large >= small for the payload-heavy benches.
+    for bench in ("btree", "hash", "queue"):
+        assert (
+            measured[f"{bench}_large"] >= measured[f"{bench}_small"] * 0.5
+        ), f"{bench}: large unexpectedly below small"

@@ -1,0 +1,35 @@
+"""Table IV: TPC-C new-order throughput normalized to BASE.
+
+Paper shape: ATOM gains a large factor over BASE (paper +58%), ATOM-OPT
+adds little on top (+60%; source logging is rare in TPC-C), and the
+gains exceed those of the micro-benchmarks because TPC-C's update
+frequency is lower so bandwidth matters less.
+
+Known fidelity note (EXPERIMENTS.md): in this reproduction REDO lands
+slightly above ATOM for TPC-C rather than slightly below — TPC-C's
+scattered single-word updates make word-granular redo entries cheaper
+than line-granular undo images at this simulator's transaction weight.
+"""
+
+from bench_util import run_once
+
+from repro.harness.experiments import table4
+
+
+def test_table4_tpcc(benchmark, scale):
+    result = run_once(benchmark, table4, max(1.0, scale))
+    print()
+    print(result.render())
+
+    measured = result.measured
+    # ATOM's hardware logging must pay off big on TPC-C (paper: 1.58x).
+    assert measured["atom"] > 1.3, (
+        f"ATOM should clearly beat BASE on TPC-C (got {measured['atom']:.2f})"
+    )
+    # ATOM-OPT adds little: TPC-C stores overwhelmingly hit lines the
+    # transaction just read, so source logging is rare (paper: +2%).
+    assert abs(measured["atom-opt"] - measured["atom"]) < 0.4 * measured["atom"]
+    # The SQ-full reduction is the mechanism (paper: -42%).
+    assert measured["sq_full_reduction"] > 0.2
+    # All logging designs beat BASE.
+    assert measured["redo"] > 1.2

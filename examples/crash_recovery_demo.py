@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Crash-recovery demo: the atomic-durability contract, visibly.
+
+Four threads hammer a persistent hash table; the machine loses power
+mid-flight.  The demo then shows:
+
+1. what the raw NVM image looks like *before* recovery (partial updates
+   of in-flight transactions may have reached the cells — but every one
+   of them has a durable undo entry);
+2. the recovery routine rolling the incomplete updates back,
+   newest-first, from the per-controller logs;
+3. the durable structure verifying byte-for-byte against a golden model
+   replayed over exactly the committed transactions.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import Design, System, SystemConfig
+from repro.workloads import make_workload
+
+CRASH_CYCLE = 15_000
+
+
+def main() -> None:
+    config = SystemConfig.scaled_down(design=Design.ATOM_OPT, num_cores=4)
+    system = System(config)
+    workload = make_workload(
+        "hash", system, size="small", txns_per_thread=10,
+        initial_items=24, threads=4,
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+
+    print(f"power failure scheduled at cycle {CRASH_CYCLE:,} ...")
+    system.crash_at(CRASH_CYCLE)
+    system.run(max_cycles=100_000_000)
+
+    print(f"crash at cycle {system.engine.now:,}: "
+          f"{workload.commits} transactions had committed "
+          f"(of {4 * 10} issued)")
+
+    # The ADR window flushed each controller's critical LogM structures;
+    # everything else volatile is gone.  Run the recovery system call.
+    report = system.recover()
+    print(
+        f"recovery: rolled back {report.updates_rolled_back} incomplete "
+        f"update(s), {report.records_undone} record(s), "
+        f"{report.entries_undone} undo entrie(s)"
+    )
+    for record in report.records:
+        lines = ", ".join(f"{a:#x}" for a in record.addresses[:3])
+        more = "..." if len(record.addresses) > 3 else ""
+        print(f"  undid mc{record.controller} slot {record.slot} "
+              f"seq {record.seq}: [{lines}{more}]")
+
+    workload.verify_durable()
+    print("\ndurable structure verified against the golden model: "
+          "committed transactions survived in full, uncommitted ones "
+          "vanished without a trace.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Writing your own persistent structure against the public API.
+
+This example builds a small persistent append-only *log-structured
+counter array* from scratch — the kind of structure a downstream user
+would write — using only the public pieces:
+
+* ``system.heap`` to allocate NVM,
+* the ``PMem`` generator helpers for loads/stores,
+* ``atomic_begin``/``atomic_end`` for durability,
+* crash injection + recovery to prove the contract holds.
+
+Each transaction increments K counters atomically.  After a mid-run
+power failure, every counter must reflect a *prefix* of the committed
+increments — never a torn subset.
+
+Run:  python examples/custom_structure.py
+"""
+
+from repro import Design, System, SystemConfig
+from repro.runtime.api import PMem
+
+NUM_COUNTERS = 16
+INCREMENTS_PER_TXN = 4
+TXNS_PER_THREAD = 12
+
+
+def counter_thread(tid: int, base: int, commits: list):
+    """One thread of atomic multi-counter increments."""
+    rng_state = tid * 2654435761 % 2**32
+
+    def next_rand():
+        nonlocal rng_state
+        rng_state = (1103515245 * rng_state + 12345) % 2**31
+        return rng_state
+
+    for txn in range(TXNS_PER_THREAD):
+        picks = [next_rand() % NUM_COUNTERS for _ in range(INCREMENTS_PER_TXN)]
+        yield from PMem.lock(1)  # isolation is software's job
+        yield from PMem.atomic_begin()
+        for counter in picks:
+            addr = base + counter * 64  # line-aligned: no false sharing
+            value = yield from PMem.load_u64(addr)
+            yield from PMem.store_u64(addr, value + 1)
+        yield from PMem.atomic_end(info=(tid, txn, tuple(picks)))
+        yield from PMem.unlock(1)
+
+
+def main() -> None:
+    config = SystemConfig.scaled_down(design=Design.ATOM_OPT, num_cores=4)
+    system = System(config)
+    base = system.heap.alloc(NUM_COUNTERS * 64)
+
+    committed: list = []
+    system.on_commit = lambda core, info: committed.append(info)
+
+    system.start_threads(
+        [counter_thread(tid, base, committed) for tid in range(4)]
+    )
+    system.crash_at(8_000)
+    system.run(max_cycles=100_000_000)
+    print(f"crash at cycle {system.engine.now:,}; "
+          f"{len(committed)} transactions committed")
+
+    system.recover()
+
+    # Golden model: replay the committed increments.
+    expected = [0] * NUM_COUNTERS
+    for _tid, _txn, picks in committed:
+        for counter in picks:
+            expected[counter] += 1
+
+    durable = [
+        system.image.durable_read_u64(base + i * 64)
+        for i in range(NUM_COUNTERS)
+    ]
+    assert durable == expected, (durable, expected)
+    print("counters after recovery:", durable)
+    print("matches the committed-transaction replay exactly — no torn "
+          "increments.")
+
+
+if __name__ == "__main__":
+    main()

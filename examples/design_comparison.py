@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design comparison: all five evaluated designs on one workload.
+
+Reproduces the Figure 5 methodology at example scale: runs the queue
+micro-benchmark (the paper's copy-while-locked FIFO) under BASE, ATOM,
+ATOM-OPT, NON-ATOMIC and REDO, and prints throughput, store-queue-full
+cycles and log traffic side by side — the three quantities the paper
+uses to explain *why* ATOM wins.
+
+Run:  python examples/design_comparison.py
+"""
+
+from repro import Design, System, SystemConfig
+from repro.workloads import make_workload
+
+
+def run(design: Design) -> dict:
+    config = SystemConfig.scaled_down(design=design, num_cores=4)
+    system = System(config)
+    workload = make_workload(
+        "queue", system, size="small", txns_per_thread=16,
+        initial_items=24, threads=4,
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+    system.run(max_cycles=100_000_000)
+    result = system.result()
+    return {
+        "throughput": result.txn_throughput,
+        "sq_full": result.sq_full_cycles,
+        "entries": result.log_entries,
+        "source_logged": result.source_logged,
+    }
+
+
+def main() -> None:
+    designs = [Design.BASE, Design.ATOM, Design.ATOM_OPT,
+               Design.NON_ATOMIC, Design.REDO]
+    rows = {d: run(d) for d in designs}
+    base = rows[Design.BASE]["throughput"]
+
+    print(f"{'design':12s} {'norm.tput':>9s} {'sq-full cyc':>12s} "
+          f"{'log entries':>12s} {'source-logged':>14s}")
+    for design in designs:
+        row = rows[design]
+        print(
+            f"{design.value:12s} {row['throughput'] / base:9.2f} "
+            f"{row['sq_full']:12,d} {row['entries']:12,d} "
+            f"{row['source_logged']:14,d}"
+        )
+    print(
+        "\nreading guide: ATOM removes the log persist from the store\n"
+        "critical path (sq-full cycles drop); ATOM-OPT additionally\n"
+        "source-logs store misses (source-logged > 0); REDO never\n"
+        "stalls stores but pays in log entries (word granularity)."
+    )
+
+
+if __name__ == "__main__":
+    main()

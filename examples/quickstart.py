@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under two designs and compare.
+
+Builds a scaled-down machine (the full Table-I machine works too, just
+slower), runs the rbtree micro-benchmark under the BASE hardware undo
+log and under ATOM-OPT, and prints the speedup — the paper's headline
+effect in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Design, System, SystemConfig
+from repro.workloads import make_workload
+
+
+def run_design(design: Design) -> float:
+    config = SystemConfig.scaled_down(design=design, num_cores=4)
+    system = System(config)
+    workload = make_workload(
+        "rbtree", system, size="small", txns_per_thread=20,
+        initial_items=32, threads=4,
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+    system.run(max_cycles=100_000_000)
+    result = system.result()
+    print(
+        f"  {design.value:11s} {result.txns_committed:4d} txns in "
+        f"{result.cycles:9,d} cycles -> "
+        f"{result.txn_throughput:12,.0f} txn/s"
+    )
+    return result.txn_throughput
+
+
+def main() -> None:
+    print("rbtree insert/delete, 4 cores, 512 B entries:")
+    base = run_design(Design.BASE)
+    opt = run_design(Design.ATOM_OPT)
+    print(f"\nATOM-OPT speedup over BASE: {opt / base:.2f}x "
+          f"(paper reports ~1.3x on the 32-core machine)")
+
+
+if __name__ == "__main__":
+    main()

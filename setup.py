@@ -1,0 +1,12 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` in
+offline environments lacking the `wheel` package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,19 @@
+"""ATOM: the paper's contribution — a hardware undo-log manager.
+
+Subpackages/modules:
+
+* :mod:`repro.atom.record` — log entry collation (LEC) record format.
+* :mod:`repro.atom.aus` — atomic update structures and bucket allocation.
+* :mod:`repro.atom.logm` — the LogM module in each memory controller.
+* :mod:`repro.atom.adr` — asynchronous-DRAM-refresh-style critical flush.
+* :mod:`repro.atom.recovery` — the post-crash undo recovery routine.
+* :mod:`repro.atom.designs` — the five evaluated design policies.
+* :mod:`repro.atom.redo` — the REDO comparator (Doshi et al. [14]).
+* :mod:`repro.atom.invariants` — runtime checkers for Invariants 1 and 2.
+"""
+
+from repro.atom.designs import make_policy
+from repro.atom.logm import LogManager
+from repro.atom.recovery import RecoveryReport, recover
+
+__all__ = ["LogManager", "RecoveryReport", "make_policy", "recover"]

@@ -1,0 +1,114 @@
+"""ADR-style critical-structure flush (paper section IV-D).
+
+On a power failure, platforms with Asynchronous DRAM Refresh guarantee
+that a small number of memory-controller buffers reach the NVM.  ATOM
+uses that window to persist the LogM critical structures that recovery
+needs: per AUS the bucket bit vector and the current bucket / current
+record registers.  (The paper counts ~two cache lines; we additionally
+flush the per-AUS bucket bit vectors — still comfortably inside ADR's
+24-line budget — because recovery must attribute valid buckets to
+updates; see DESIGN.md.)
+
+The flushed image lands in the ADR block at the head of the controller's
+log region, so post-crash recovery operates on the durable image alone.
+
+Serialized format (little-endian)::
+
+    u32 magic  "ADR2"
+    u16 aus_count
+    u16 bucket_count
+    per AUS:
+        bucket bit vector    (bucket_count/8 bytes)
+        u16 current_bucket   (0xFFFF = none)
+        u16 current_record
+        u32 update_start_seq (0xFFFFFFFF = none) — sequence number of
+                             the update's first record; recovery rejects
+                             stale headers below it (see repro.atom.aus)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.atom.aus import AusState
+from repro.common.bitvector import BitVector
+from repro.common.errors import RecoveryError
+
+MAGIC = 0x32524441  # "ADR2"
+_HEADER = struct.Struct("<IHH")
+_REGS = struct.Struct("<HHI")
+_NO_BUCKET = 0xFFFF
+_NO_SEQ = 0xFFFFFFFF
+
+
+@dataclass
+class AdrAusImage:
+    """Recovered critical state of one AUS."""
+
+    slot: int
+    bucket_vec: BitVector
+    current_bucket: int | None
+    current_record: int
+    update_start_seq: int | None
+
+    def active(self) -> bool:
+        """An update was in flight iff it owned at least one bucket."""
+        return self.bucket_vec.any()
+
+
+def serialize(aus_list: list[AusState], bucket_count: int) -> bytes:
+    """Pack the critical structures of one controller's LogM."""
+    parts = [_HEADER.pack(MAGIC, len(aus_list), bucket_count)]
+    for state in aus_list:
+        parts.append(state.bucket_vec.to_bytes())
+        bucket = _NO_BUCKET if state.current_bucket is None else state.current_bucket
+        seq = _NO_SEQ if state.update_start_seq is None else state.update_start_seq
+        parts.append(_REGS.pack(bucket, state.current_record, seq))
+    return b"".join(parts)
+
+
+def deserialize(blob: bytes) -> list[AdrAusImage]:
+    """Unpack an ADR block; empty list when no flush ever happened."""
+    if len(blob) < _HEADER.size:
+        return []
+    magic, aus_count, bucket_count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        return []
+    vec_bytes = (bucket_count + 7) // 8
+    offset = _HEADER.size
+    images: list[AdrAusImage] = []
+    for slot in range(aus_count):
+        end = offset + vec_bytes
+        if end + _REGS.size > len(blob):
+            raise RecoveryError("truncated ADR block")
+        vec = BitVector.from_bytes(bucket_count, blob[offset:end])
+        bucket, record, seq = _REGS.unpack_from(blob, end)
+        offset = end + _REGS.size
+        images.append(
+            AdrAusImage(
+                slot=slot,
+                bucket_vec=vec,
+                current_bucket=None if bucket == _NO_BUCKET else bucket,
+                current_record=record,
+                update_start_seq=None if seq == _NO_SEQ else seq,
+            )
+        )
+    return images
+
+
+def flush_on_power_failure(logm, image, layout) -> bytes:
+    """Write one controller's critical structures to its ADR block.
+
+    Called by ``System.crash()``; models the hardware ADR flush, so the
+    bytes go straight to the durable image.
+    """
+    blob = serialize(logm.aus, logm.cfg.buckets_per_controller)
+    base = layout.adr_base(logm.mc.mc_id)
+    if len(blob) > layout.adr_block_bytes:
+        raise RecoveryError(
+            f"ADR image ({len(blob)} B) exceeds reserved block "
+            f"({layout.adr_block_bytes} B)"
+        )
+    image.persist(base, blob)
+    return blob

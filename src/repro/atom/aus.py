@@ -1,0 +1,141 @@
+"""Atomic update structures (AUS) and bucket-granularity log allocation.
+
+Paper section IV-C: the shared per-controller log space is divided into
+buckets of records.  Each in-flight atomic update owns an AUS consisting
+of a 256-bit *bucket bit vector* (which buckets it holds), a *current
+bucket* register, a *current record* register and the record header
+register.  The free list is derived by NOR-ing all bucket bit vectors,
+allocation sets a bit, and truncation on commit clears the vector in a
+single cycle — no memory traffic, no fragmentation.
+
+The paper supports 32 concurrent updates (one per core); the global
+:class:`AusAllocator` models the structural-overflow behaviour of
+section IV-E — an ``Atomic_Begin`` with no AUS available stalls, which
+cannot deadlock because a waiting update holds no resources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.common.bitvector import BitVector
+from repro.common.errors import LogOverflowError
+from repro.config import LogConfig
+
+
+class AusState:
+    """One atomic update structure inside one controller's LogM."""
+
+    __slots__ = (
+        "slot", "bucket_vec", "current_bucket", "current_record",
+        "open_record", "update_start_seq",
+    )
+
+    def __init__(self, slot: int, buckets: int):
+        self.slot = slot
+        self.bucket_vec = BitVector(buckets)
+        self.current_bucket: int | None = None
+        self.current_record: int = 0
+        #: The open record header register (repro.atom.record.OpenRecord).
+        self.open_record = None
+        #: Sequence number of this update's first record (from the LogM's
+        #: global record counter).  Flushed by ADR and used by recovery to
+        #: reject *stale* record headers: a bucket reallocated to the same
+        #: AUS slot can still hold valid-looking headers from an earlier,
+        #: committed update — those carry a lower sequence number.
+        self.update_start_seq: int | None = None
+
+    def reset(self) -> None:
+        """Single-cycle truncation: clear vector and registers."""
+        self.bucket_vec.clear_all()
+        self.current_bucket = None
+        self.current_record = 0
+        self.open_record = None
+        self.update_start_seq = None
+
+    def active(self) -> bool:
+        """True if this AUS holds any log state."""
+        return self.bucket_vec.any() or self.open_record is not None
+
+
+class BucketAllocator:
+    """Per-controller bucket pool shared by all AUS instances."""
+
+    def __init__(self, cfg: LogConfig):
+        self.cfg = cfg
+        self.num_buckets = cfg.buckets_per_controller
+
+    def free_list(self, all_aus: list[AusState]) -> BitVector:
+        """NOR of every bucket bit vector: 1 = free bucket."""
+        return BitVector.nor_all(
+            (aus.bucket_vec for aus in all_aus), self.num_buckets
+        )
+
+    def allocate(self, aus: AusState, all_aus: list[AusState]) -> int | None:
+        """Grab the first free bucket for ``aus``; None if exhausted.
+
+        Exhaustion is the *log overflow* of section IV-E: the OS would be
+        interrupted to grow the log region.  The caller models the
+        interrupt cost and retries (or raises
+        :class:`~repro.common.errors.LogOverflowError` if no progress is
+        possible).
+        """
+        free = self.free_list(all_aus)
+        bucket = free.find_first_one()
+        if bucket is None:
+            return None
+        aus.bucket_vec.set(bucket)
+        aus.current_bucket = bucket
+        aus.current_record = 0
+        return bucket
+
+
+class AusAllocator:
+    """System-wide AUS slot pool (structural overflow, section IV-E).
+
+    An ``Atomic_Begin`` acquires the same slot index at every memory
+    controller; ``Atomic_End`` releases it.  With the default of one AUS
+    per core there is never contention; configuring fewer AUS than cores
+    exercises the stall path.
+    """
+
+    def __init__(self, num_slots: int):
+        if num_slots <= 0:
+            raise LogOverflowError("need at least one AUS slot")
+        self.num_slots = num_slots
+        self._free: deque[int] = deque(range(num_slots))
+        self._waiters: deque[tuple[int, Callable[[int], None]]] = deque()
+        self._held_by: dict[int, int] = {}
+
+    def acquire(self, core: int, on_grant: Callable[[int], None]) -> None:
+        """Grant a slot now or queue the request FIFO (no deadlock: a
+        waiting update holds no resources)."""
+        if self._free:
+            slot = self._free.popleft()
+            self._held_by[slot] = core
+            on_grant(slot)
+        else:
+            self._waiters.append((core, on_grant))
+
+    def release(self, slot: int) -> None:
+        """Return a slot; wakes the oldest waiter if any."""
+        self._held_by.pop(slot, None)
+        if self._waiters:
+            core, on_grant = self._waiters.popleft()
+            self._held_by[slot] = core
+            on_grant(slot)
+        else:
+            self._free.append(slot)
+
+    def holder(self, slot: int) -> int | None:
+        """Core currently holding ``slot`` (None if free)."""
+        return self._held_by.get(slot)
+
+    def available(self) -> int:
+        """Number of free slots."""
+        return len(self._free)
+
+    def waiting(self) -> int:
+        """Number of stalled Atomic_Begin requests."""
+        return len(self._waiters)

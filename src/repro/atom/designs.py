@@ -1,0 +1,305 @@
+"""The five design policies of the paper's evaluation (section V).
+
+A policy is the store-drain and atomic-region behaviour plugged into
+every core's store queue:
+
+* :class:`NonAtomicPolicy` — no logging; the performance upper bound.
+  The write set is still flushed at ``Atomic_End`` (section V).
+* :class:`BaseUndoPolicy` — hardware undo logging with the log persist
+  in the store critical path (Figure 3(a)): the store retires only when
+  its undo entry is durable.  Uses the uncollated record format (two log
+  writes per entry).
+* :class:`AtomPolicy` — the posted-log optimization (Figure 3(b)): the
+  memory controller locks the line in the record header register and
+  acks immediately; the store retires after the ack round trip while the
+  log write drains lazily and ordering is enforced at the controller.
+* :class:`AtomOptPolicy` — additionally source-logs store misses served
+  from NVM (Figure 3(d)): the fill reply arrives with the log bit set
+  and no log message is sent at all.
+* :class:`RedoPolicy` — the comparator of Doshi et al. [14]: every store
+  in an atomic section appends a word-granularity redo entry through a
+  write-combining buffer; commit persists a commit record; a backend
+  controller later reads the log back and applies updates in place (see
+  :mod:`repro.atom.redo`).
+
+All undo policies share the Atomic_Begin/End plumbing: AUS slot
+acquisition (structural overflow stalls, section IV-E) and the commit
+broadcast that truncates the per-controller logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.coherence.l1 import FillInfo
+from repro.common.errors import ConfigError, InvariantViolation
+from repro.common.units import CACHE_LINE_BYTES, line_of
+from repro.config import Design, SystemConfig
+from repro.cpu.store_queue import StoreEntry
+
+CTRL_BYTES = 8
+LOG_MSG_BYTES = CACHE_LINE_BYTES + 8  # old-value line + address
+
+
+class DesignPolicy:
+    """Base class wiring a policy into the simulated system."""
+
+    #: Snapshot old line values at store issue (undo designs).
+    capture_undo = False
+    #: Capture stored word values at issue (REDO).
+    capture_redo = False
+    #: Flush the write set at Atomic_End (all but REDO).
+    needs_flush_at_end = True
+
+    def __init__(self, system):
+        self.system = system
+        self.engine = system.engine
+        self.mesh = system.mesh
+        self.topology = system.topology
+        self.layout = system.layout
+        self.controllers = system.controllers
+        self.stats = system.stats.domain("policy")
+
+    # -- store drain -------------------------------------------------------------
+
+    def execute_store(self, core, entry: StoreEntry,
+                      on_retired: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    # -- atomic region hooks -------------------------------------------------------
+
+    def atomic_begin(self, core, on_ready: Callable[[], None]) -> None:
+        self.engine.after(1, on_ready)
+
+    def atomic_end(self, core, info, on_done: Callable[[], None]) -> None:
+        """Close the region; the policy must call ``core.notify_commit``
+        (directly or via the system's truncation tracker) exactly once,
+        at the design's durability point."""
+        core.notify_commit(info)
+        self.engine.after(1, on_done)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _finish_store(self, core, on_retired: Callable[[], None]) -> None:
+        """Complete the L1 write and retire after the L1 access latency."""
+        self.engine.after(core.l1.cfg.latency, on_retired)
+
+    def _log_controller(self, core, line: int):
+        """The controller a log entry is routed to.
+
+        With co-location (the ATOM design point) this is the data line's
+        own controller; the ablation knob routes round-robin by core
+        instead, which models a design that cannot co-locate.
+        """
+        if self.system.config.log.colocate:
+            return self.controllers[self.layout.controller_of(line)]
+        return self.controllers[core.core_id % len(self.controllers)]
+
+
+class NonAtomicPolicy(DesignPolicy):
+    """No logging: upper bound (still flushes data at Atomic_End)."""
+
+    def execute_store(self, core, entry, on_retired) -> None:
+        line = line_of(entry.addr)
+        core.l1.ensure_writable(
+            line, False, lambda info: self._finish_store(core, on_retired)
+        )
+
+
+class _UndoPolicyBase(DesignPolicy):
+    """Common Atomic_Begin/End machinery for the undo-log designs."""
+
+    capture_undo = True
+    source_logging = False
+
+    def atomic_begin(self, core, on_ready) -> None:
+        start = self.engine.now
+
+        def granted(slot: int) -> None:
+            waited = self.engine.now - start
+            if waited:
+                core.stats.add("aus_stall_cycles", waited)
+            core.aus_slot = slot
+            for mc in self.controllers:
+                mc.logm.begin(core.core_id, slot)
+            self.engine.after(1, on_ready)
+
+        self.system.aus_allocator.acquire(core.core_id, granted)
+
+    def atomic_end(self, core, info, on_done) -> None:
+        """Broadcast commit; the single-cycle truncation happens in LogM.
+
+        The durability point is the first controller's truncation (the
+        system tracker fires ``notify_commit`` there); a crash mid-
+        broadcast completes the rest inside the ADR window.
+        """
+        self.system.begin_commit_intent(
+            core.core_id, info, len(self.controllers)
+        )
+        remaining = {"count": len(self.controllers)}
+        core_tile = self.topology.core_tile(core.core_id)
+
+        def one_done() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self.system.aus_allocator.release(core.aus_slot)
+                core.aus_slot = None
+                on_done()
+
+        for mc in self.controllers:
+            mc_tile = self.topology.mc_tile(mc.mc_id)
+
+            def deliver(mc=mc, mc_tile=mc_tile) -> None:
+                mc.logm.commit(
+                    core.core_id,
+                    lambda: self.mesh.send(mc_tile, core_tile, CTRL_BYTES,
+                                           one_done),
+                )
+
+            self.mesh.send(core_tile, mc_tile, CTRL_BYTES, deliver)
+
+    def _send_log_entry(
+        self,
+        core,
+        entry: StoreEntry,
+        *,
+        wait_durable: bool,
+        on_retired: Callable[[], None],
+    ) -> None:
+        """Ship the undo entry to the (co-located) controller.
+
+        ``wait_durable`` selects the BASE ack point (entry durable,
+        Figure 3(a)) versus the posted ack point (line locked in the
+        header register, Figure 3(b)).
+        """
+        if entry.undo_payload is None:
+            raise InvariantViolation(
+                "store marked needs_log carries no undo payload "
+                "(Invariant 1 would be violated)"
+            )
+        line = line_of(entry.addr)
+        mc = self._log_controller(core, line)
+        core_tile = self.topology.core_tile(core.core_id)
+        mc_tile = self.topology.mc_tile(mc.mc_id)
+
+        def ack() -> None:
+            self.mesh.send(mc_tile, core_tile, CTRL_BYTES, complete)
+
+        def complete() -> None:
+            core.l1.set_log_bit(line)
+            self._finish_store(core, on_retired)
+
+        def deliver() -> None:
+            if wait_durable:
+                mc.logm.append(core.core_id, entry.addr, entry.undo_payload,
+                               on_durable=ack)
+            else:
+                mc.logm.append(core.core_id, entry.addr, entry.undo_payload,
+                               on_locked=ack)
+
+        self.mesh.send(core_tile, mc_tile, LOG_MSG_BYTES, deliver)
+
+    def execute_store(self, core, entry, on_retired) -> None:
+        line = line_of(entry.addr)
+        atomic_fetch = entry.atomic and self.source_logging
+        core.l1.ensure_writable(
+            line,
+            atomic_fetch,
+            lambda info: self._after_permissions(core, entry, info, on_retired),
+        )
+
+    def _after_permissions(self, core, entry, info: FillInfo,
+                           on_retired) -> None:
+        line = line_of(entry.addr)
+        if not (entry.atomic and entry.needs_log):
+            self._finish_store(core, on_retired)
+            return
+        if info.source_logged:
+            # The controller logged the old value during the fill; the
+            # log bit arrived pre-set (Figure 3(d)) — nothing to send.
+            core.stats.add("source_logged_stores")
+            self._finish_store(core, on_retired)
+            return
+        if core.l1.log_bit(line):
+            # Logged by an earlier chunk of the same program store.
+            self._finish_store(core, on_retired)
+            return
+        # Posting is only sound with log/data co-location (section III-C):
+        # without it, the controller ordering the data write is not the
+        # one holding the lock, so the ack must wait for durability.
+        wait = self.wait_durable or not self.system.config.log.colocate
+        self._send_log_entry(
+            core, entry, wait_durable=wait, on_retired=on_retired
+        )
+
+
+class BaseUndoPolicy(_UndoPolicyBase):
+    """BASE: log persist in the store critical path."""
+
+    wait_durable = True
+
+
+class AtomPolicy(_UndoPolicyBase):
+    """ATOM: posted log writes, ordering enforced at the controller."""
+
+    wait_durable = False
+
+
+class AtomOptPolicy(AtomPolicy):
+    """ATOM-OPT: posted log plus source logging on NVM-served misses."""
+
+    source_logging = True
+
+
+class RedoPolicy(DesignPolicy):
+    """REDO comparator: hardware-issued word redo log, backend apply."""
+
+    capture_redo = True
+    needs_flush_at_end = False
+
+    def execute_store(self, core, entry, on_retired) -> None:
+        line = line_of(entry.addr)
+
+        def after(info: FillInfo) -> None:
+            if entry.atomic and entry.redo_words:
+                # Write-combining append; backpressures when log writes
+                # outrun the NVM's write bandwidth.
+                self.system.redo.append(
+                    core.core_id, entry.redo_words,
+                    lambda: self._finish_store(core, on_retired),
+                )
+            else:
+                self._finish_store(core, on_retired)
+
+        core.l1.ensure_writable(line, False, after)
+
+    def atomic_begin(self, core, on_ready) -> None:
+        self.system.redo.begin(core.core_id, core.txn_id)
+        self.engine.after(1, on_ready)
+
+    def atomic_end(self, core, info, on_done) -> None:
+        self.system.redo.commit(core.core_id, info, on_done)
+
+
+_POLICIES = {
+    Design.BASE: BaseUndoPolicy,
+    Design.ATOM: AtomPolicy,
+    Design.ATOM_OPT: AtomOptPolicy,
+    Design.NON_ATOMIC: NonAtomicPolicy,
+    Design.REDO: RedoPolicy,
+}
+
+
+def make_policy(system) -> DesignPolicy:
+    """Instantiate the policy selected by ``system.config.design``."""
+    design = system.config.design
+    try:
+        cls = _POLICIES[design]
+    except KeyError:
+        raise ConfigError(f"unknown design {design!r}") from None
+    return cls(system)
+
+
+def design_uses_logm(design: Design) -> bool:
+    """True for designs that attach a LogM to each controller."""
+    return design in (Design.BASE, Design.ATOM, Design.ATOM_OPT)

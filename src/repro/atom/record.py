@@ -1,0 +1,118 @@
+"""Log record format: log entry collation (LEC).
+
+Paper section IV-C: a log record is 512 bytes — seven collated undo
+entries (one cache line of old data each) plus one header line.  The
+header holds the addresses of the logged lines, the count of valid
+entries, and reserved bits.  An entry is durable only once its record
+header has persisted; adding an address to the header register is the
+"lock" of the posted-log design, persisting-and-clearing the header is
+the "unlock".
+
+Header line layout (64 bytes)::
+
+    bytes  0..55   seven u64 line addresses
+    byte   56      count of valid entries (0..7)
+    byte   57      flags (bit 0: valid)
+    bytes 58..59   u16 owner AUS slot  }  the paper's "reserved bits",
+    bytes 60..63   u32 record sequence }  used for recovery ordering
+
+The owner/sequence stamp is this reproduction's use of the header's
+reserved bits (see DESIGN.md): recovery orders an update's records by
+sequence number and rejects stale headers left in reallocated buckets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.errors import RecoveryError
+from repro.common.units import CACHE_LINE_BYTES
+
+_ADDR = struct.Struct("<7Q")
+_TAIL = struct.Struct("<BBHI")
+
+FLAG_VALID = 0x01
+
+
+@dataclass
+class RecordHeader:
+    """Decoded contents of a record header line."""
+
+    addresses: list[int]
+    count: int
+    flags: int
+    owner: int
+    seq: int
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID) and 0 < self.count <= 7
+
+    def encode(self) -> bytes:
+        """Pack into the 64-byte header line image."""
+        addrs = list(self.addresses) + [0] * (7 - len(self.addresses))
+        return _ADDR.pack(*addrs) + _TAIL.pack(
+            self.count, self.flags, self.owner, self.seq
+        )
+
+    @classmethod
+    def decode(cls, line: bytes) -> "RecordHeader":
+        """Unpack a 64-byte header line image."""
+        if len(line) != CACHE_LINE_BYTES:
+            raise RecoveryError(f"header line must be 64 bytes, got {len(line)}")
+        addrs = list(_ADDR.unpack_from(line, 0))
+        count, flags, owner, seq = _TAIL.unpack_from(line, 56)
+        count = min(count, 7)
+        return cls(addresses=addrs[:count], count=count, flags=flags,
+                   owner=owner, seq=seq)
+
+
+@dataclass
+class OpenRecord:
+    """The record header *register* plus in-flight entry bookkeeping.
+
+    This is the volatile state LogM holds for the record currently being
+    filled by one atomic update: the addresses collated so far (the
+    locked lines), which entry data lines have persisted, and callbacks
+    waiting for the header to persist (entries become durable then).
+    """
+
+    bucket: int
+    record: int
+    owner: int
+    seq: int
+    addresses: list[int] = field(default_factory=list)
+    data_persisted: int = 0
+    #: Callbacks to run when the record's header persists (BASE acks,
+    #: gated data writes).
+    on_durable: list = field(default_factory=list)
+    #: True once the header write has been requested (closing).
+    closing: bool = False
+
+    @property
+    def entries(self) -> int:
+        return len(self.addresses)
+
+    def holds(self, line_addr: int) -> bool:
+        """True if ``line_addr`` is locked by this open record."""
+        return line_addr in self.addresses
+
+    def header(self) -> RecordHeader:
+        """Materialize the header line for persisting."""
+        return RecordHeader(
+            addresses=list(self.addresses),
+            count=len(self.addresses),
+            flags=FLAG_VALID,
+            owner=self.owner,
+            seq=self.seq,
+        )
+
+    def all_data_persisted(self) -> bool:
+        """True when every collated entry's data line has persisted.
+
+        The header may only be written after this point; otherwise a
+        crash could leave a valid header whose entry payloads never
+        reached the NVM cells.
+        """
+        return self.data_persisted >= len(self.addresses)

@@ -1,0 +1,203 @@
+"""Post-crash recovery: undo incomplete atomic updates (section IV-D).
+
+Recovery is a software routine (a system call in the paper) operating on
+nothing but the durable NVM image.  It proceeds per memory controller:
+
+1. Read the ADR block: per-AUS bucket bit vectors and current
+   bucket/record registers, flushed by hardware at the power failure.
+2. For each AUS that owned buckets, rebuild its record list:
+
+   * every record of each *full* (non-current) bucket belongs to the
+     update — a new bucket is only allocated once the previous one is
+     full;
+   * in the current bucket, records ``[0, current_record)`` are
+     candidates;
+   * a candidate record counts only if its header is **valid**: valid
+     flag set, owner stamp matching the AUS slot, and sequence number
+     strictly increasing along the walk.  The sequence check rejects
+     stale headers left behind in re-allocated buckets and headers whose
+     persist was still queued (and therefore dropped) at the failure —
+     in both cases Invariant 2 guarantees the corresponding data lines
+     never persisted, so skipping them is correct.
+
+3. Undo the accepted records **newest-first** (descending sequence):
+   copy each entry's old-value payload back over its data line.  A line
+   logged multiple times converges to its oldest (pre-update) value, as
+   argued in section III-B.
+4. Clear the ADR block so a second recovery is a no-op.
+
+The routine is deliberately conservative: it may undo lines whose new
+values never persisted (writing the value they already hold), which
+costs recovery time but not correctness — the paper makes the same
+observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atom import adr
+from repro.atom.record import RecordHeader
+from repro.common.units import CACHE_LINE_BYTES
+from repro.config import LogConfig
+from repro.mem.image import MemoryImage
+from repro.mem.layout import AddressLayout, RecordAddress
+
+
+@dataclass
+class UndoneRecord:
+    """One record rolled back during recovery (for reporting/tests)."""
+
+    controller: int
+    slot: int
+    seq: int
+    addresses: list[int]
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one recovery pass."""
+
+    updates_rolled_back: int = 0
+    records_undone: int = 0
+    entries_undone: int = 0
+    controllers_with_state: int = 0
+    records: list[UndoneRecord] = field(default_factory=list)
+
+    def merge(self, other: "RecoveryReport") -> None:
+        self.updates_rolled_back += other.updates_rolled_back
+        self.records_undone += other.records_undone
+        self.entries_undone += other.entries_undone
+        self.controllers_with_state += other.controllers_with_state
+        self.records.extend(other.records)
+
+
+def recover(image: MemoryImage, layout: AddressLayout,
+            cfg: LogConfig) -> RecoveryReport:
+    """Run the full recovery routine over every controller's log."""
+    report = RecoveryReport()
+    for controller in range(layout.num_controllers):
+        report.merge(_recover_controller(image, layout, cfg, controller))
+    return report
+
+
+def _recover_controller(
+    image: MemoryImage,
+    layout: AddressLayout,
+    cfg: LogConfig,
+    controller: int,
+) -> RecoveryReport:
+    report = RecoveryReport()
+    base = layout.adr_base(controller)
+    blob = image.durable_read(base, layout.adr_block_bytes)
+    images = adr.deserialize(blob)
+    if not images:
+        return report
+    report.controllers_with_state = 1
+    for aus in images:
+        if not aus.active():
+            continue
+        records = _collect_records(image, layout, controller, aus)
+        if not records:
+            continue
+        report.updates_rolled_back += 1
+        # Undo newest-first: descending sequence order.
+        for rec_addr, header in sorted(records, key=lambda r: -r[1].seq):
+            _undo_record(image, layout, rec_addr, header)
+            report.records_undone += 1
+            report.entries_undone += header.count
+            report.records.append(
+                UndoneRecord(
+                    controller=controller,
+                    slot=aus.slot,
+                    seq=header.seq,
+                    addresses=list(header.addresses),
+                )
+            )
+    # Recovery complete: clear the ADR block (second recovery = no-op).
+    image.persist(base, bytes(layout.adr_block_bytes))
+    return report
+
+
+def _collect_records(
+    image: MemoryImage,
+    layout: AddressLayout,
+    controller: int,
+    aus: adr.AdrAusImage,
+) -> list[tuple[RecordAddress, RecordHeader]]:
+    """Gather the valid records of one incomplete update, in write order."""
+    cfg = layout.log
+    if aus.update_start_seq is None:
+        return []  # the update never created a record
+    start_seq = aus.update_start_seq
+    # Bucket allocation order: full buckets sorted by their first valid
+    # record's sequence stamp, the current bucket last.
+    full_buckets: list[tuple[int, int]] = []  # (first_seq, bucket)
+    for bucket in aus.bucket_vec.iter_ones():
+        if bucket == aus.current_bucket:
+            continue
+        header = _read_header(image, layout, controller, bucket, 0)
+        if (
+            header is not None
+            and header.owner == aus.slot
+            and header.seq >= start_seq
+        ):
+            full_buckets.append((header.seq, bucket))
+    full_buckets.sort()
+    ordered: list[tuple[int, int]] = [
+        (bucket, cfg.records_per_bucket) for _, bucket in full_buckets
+    ]
+    if aus.current_bucket is not None:
+        ordered.append((aus.current_bucket, aus.current_record))
+
+    accepted: list[tuple[RecordAddress, RecordHeader]] = []
+    last_seq = start_seq - 1
+    for bucket, limit in ordered:
+        for index in range(limit):
+            header = _read_header(image, layout, controller, bucket, index)
+            if header is None or header.owner != aus.slot:
+                return accepted  # prefix ends at the first invalid header
+            if header.seq <= last_seq:
+                # Stale header: left in a reallocated bucket by an
+                # earlier (committed) update, or a header whose persist
+                # was dropped at the failure.  Either way its entries
+                # are not durable state of *this* update.
+                return accepted
+            last_seq = header.seq
+            accepted.append(
+                (RecordAddress(controller, bucket, index), header)
+            )
+    return accepted
+
+
+def _read_header(
+    image: MemoryImage,
+    layout: AddressLayout,
+    controller: int,
+    bucket: int,
+    index: int,
+) -> RecordHeader | None:
+    rec = RecordAddress(controller, bucket, index)
+    line = image.durable_read(layout.record_header_addr(rec), CACHE_LINE_BYTES)
+    header = RecordHeader.decode(line)
+    return header if header.valid else None
+
+
+def _undo_record(
+    image: MemoryImage,
+    layout: AddressLayout,
+    rec_addr: RecordAddress,
+    header: RecordHeader,
+) -> None:
+    """Write each entry's old value back over its data line.
+
+    Entries within one record are undone in reverse order too, so a line
+    collated twice into the same record still converges to the older
+    value.
+    """
+    for slot in range(header.count - 1, -1, -1):
+        data_addr = header.addresses[slot]
+        payload = image.durable_read(
+            layout.record_entry_addr(rec_addr, slot), CACHE_LINE_BYTES
+        )
+        image.persist(data_addr, payload)

@@ -1,0 +1,320 @@
+"""The REDO comparator: Doshi et al.'s non-intrusive backend controller.
+
+Modelled behaviour (sections V and VI-D of the ATOM paper):
+
+* Every store inside an atomic section produces a 16-byte redo entry
+  (address + new word value) — this is why REDO generates an order of
+  magnitude more log entries than ATOM's one-per-first-line-write.
+* Entries pass through a per-core, per-controller **write-combining
+  buffer**; each full 64 B buffer is written to the controller's log
+  region (on the dedicated log channel in the ``*-2C`` configurations).
+* ``Atomic_End`` drains partial buffers and persists a **commit
+  record**; the transaction is durable once every engaged controller's
+  commit record has persisted.  No data flush is needed.
+* A **backend controller** per memory controller then reads the
+  transaction's log lines back from NVM (interfering with demand reads)
+  and applies the updates in place.
+* Dirty evictions of lines whose transaction has not been applied yet
+  park in the (infinite) **victim cache** instead of reaching the NVM.
+
+Functional crash semantics: committed-but-unapplied transactions are
+redo-applied by :meth:`RedoManager.recover`; uncommitted ones vanish.
+Byte-exact log parsing is implemented for the undo path (the paper's
+contribution); for this comparator the durable commit/apply bookkeeping
+is keyed off the same persist events the hardware would use (see
+DESIGN.md's fidelity notes).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.stats import Stats
+from repro.common.units import CACHE_LINE_BYTES, line_of
+
+CTRL_BYTES = 8
+_ENTRY = struct.Struct("<QQ")
+
+
+@dataclass
+class _TxnState:
+    """In-flight transaction bookkeeping for one core."""
+
+    txn_id: int
+    #: Ordered word writes: list of (addr, bytes) in program order.
+    words: list[tuple[int, bytes]] = field(default_factory=list)
+    #: Per-controller count of log lines written (for backend reads).
+    log_lines: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Per-controller pending word entries not yet combined into a line.
+    wc_buffers: dict[int, list[tuple[int, bytes]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+
+class RedoManager:
+    """System-wide redo log machinery (WC buffers, commit, backend)."""
+
+    def __init__(self, system):
+        self.system = system
+        self.engine = system.engine
+        self.mesh = system.mesh
+        self.topology = system.topology
+        self.layout = system.layout
+        self.controllers = system.controllers
+        self.image = system.image
+        self.stats: Stats = system.stats
+        self.dom = system.stats.domain("redo")
+        cfg = system.config.redo
+        self.entries_per_line = CACHE_LINE_BYTES // cfg.entry_bytes
+        self._active: dict[int, _TxnState] = {}
+        #: Outstanding (unpersisted) log-line writes per controller.  The
+        #: write-combining datapath has finite buffering: when the NVM
+        #: cannot drain log writes fast enough, stores stall — this is
+        #: what makes REDO degrade super-linearly as the latency
+        #: multiplier shrinks write bandwidth (Figure 8).
+        self._outstanding: dict[int, int] = defaultdict(int)
+        self._wcb_waiters: list[Callable[[], None]] = []
+        self.wcb_capacity = 32
+        #: Durable state, updated only at persist events.
+        self._durable_commits: dict[int, list[tuple[int, bytes]]] = {}
+        self._commit_order: list[int] = []
+        self._applied: set[int] = set()
+        #: line -> last transaction that wrote it (victim-cache parking).
+        self._line_txn: dict[int, int] = {}
+        #: Per-(controller, core) circular log cursors.
+        self._cursors: dict[tuple[int, int], int] = {}
+        num_cores = system.config.cores.num_cores
+        self._slice_bytes = (
+            system.config.log.region_bytes // max(1, num_cores)
+        ) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
+
+    # -- transaction lifecycle --------------------------------------------------------
+
+    def begin(self, core: int, txn_id: int) -> None:
+        """Open a transaction for ``core``."""
+        self._active[core] = _TxnState(txn_id=txn_id)
+
+    def append(self, core: int, words, on_done: Callable[[], None]) -> None:
+        """Add redo entries for one store's words (from the SQ drain).
+
+        ``on_done`` fires once the write-combining path has buffer space
+        — immediately in the common case, later when log writes have
+        backed up beyond :attr:`wcb_capacity` per controller.
+        """
+        txn = self._active.get(core)
+        if txn is None:
+            on_done()
+            return
+        for addr, value in words:
+            txn.words.append((addr, value))
+            self._line_txn[line_of(addr)] = txn.txn_id
+            mc_id = self.layout.controller_of(addr)
+            buf = txn.wc_buffers[mc_id]
+            buf.append((addr, value))
+            self.dom.add("entries")
+            if len(buf) >= self.entries_per_line:
+                self._flush_wc(core, txn, mc_id)
+        if max(self._outstanding.values(), default=0) <= self.wcb_capacity:
+            on_done()
+        else:
+            self.dom.add("wcb_stalls")
+            self._wcb_waiters.append(on_done)
+
+    def _flush_wc(self, core: int, txn: _TxnState, mc_id: int) -> None:
+        """Write one combined log line; posted (the store never waits)."""
+        buf = txn.wc_buffers[mc_id]
+        if not buf:
+            return
+        payload = self._encode_line(buf)
+        del txn.wc_buffers[mc_id]
+        txn.log_lines[mc_id] += 1
+        addr = self._next_log_addr(mc_id, core)
+        mc = self.controllers[mc_id]
+        core_tile = self.topology.core_tile(core)
+        mc_tile = self.topology.mc_tile(mc_id)
+        self.dom.add("log_line_writes")
+        self._outstanding[mc_id] += 1
+        self.mesh.send_streamed(
+            core_tile, mc_tile, CACHE_LINE_BYTES,
+            lambda: mc.write_log_line(
+                addr, payload,
+                on_persist=lambda: self._log_write_drained(mc_id),
+            ),
+        )
+
+    def _log_write_drained(self, mc_id: int) -> None:
+        self._outstanding[mc_id] -= 1
+        if (
+            self._wcb_waiters
+            and max(self._outstanding.values(), default=0) <= self.wcb_capacity
+        ):
+            waiters, self._wcb_waiters = self._wcb_waiters, []
+            for fn in waiters:
+                self.engine.after(0, fn)
+
+    def _encode_line(self, buf) -> bytes:
+        parts = []
+        for addr, value in buf[: self.entries_per_line]:
+            word = value.ljust(8, b"\x00")[:8]
+            parts.append(_ENTRY.pack(addr, int.from_bytes(word, "little")))
+        blob = b"".join(parts)
+        return blob.ljust(CACHE_LINE_BYTES, b"\x00")
+
+    def _next_log_addr(self, mc_id: int, core: int) -> int:
+        key = (mc_id, core)
+        offset = self._cursors.get(key, 0)
+        base = self.layout.bucket_base(mc_id, 0) + core * self._slice_bytes
+        addr = base + offset
+        self._cursors[key] = (offset + CACHE_LINE_BYTES) % max(
+            CACHE_LINE_BYTES, self._slice_bytes
+        )
+        return addr
+
+    def commit(self, core: int, info, on_done: Callable[[], None]) -> None:
+        """Drain WC buffers, persist commit records, hand off to backend."""
+        txn = self._active.pop(core, None)
+        if txn is None:
+            self.system.cores[core].notify_commit(info)
+            self.engine.after(1, on_done)
+            return
+        for mc_id in list(txn.wc_buffers):
+            self._flush_wc(core, txn, mc_id)
+        engaged = sorted(txn.log_lines) or [core % len(self.controllers)]
+        remaining = {"count": len(engaged)}
+        core_tile = self.topology.core_tile(core)
+
+        def record_persisted() -> None:
+            remaining["count"] -= 1
+            if remaining["count"]:
+                return
+            # Durability point: all commit records persisted.
+            self._durable_commits[txn.txn_id] = list(txn.words)
+            self._commit_order.append(txn.txn_id)
+            self.dom.add("commits")
+            self.system.cores[core].notify_commit(info)
+            on_done()
+            self._backend_apply(txn)
+
+        for mc_id in engaged:
+            mc = self.controllers[mc_id]
+            mc_tile = self.topology.mc_tile(mc_id)
+            addr = self._next_log_addr(mc_id, core)
+            payload = b"COMMIT__" + txn.txn_id.to_bytes(8, "little")
+            payload = payload.ljust(CACHE_LINE_BYTES, b"\x00")
+            # No queue priority: the commit record must persist after the
+            # transaction's log lines, which the FIFO write queue gives.
+            self.mesh.send(
+                core_tile, mc_tile, CACHE_LINE_BYTES,
+                lambda mc=mc, addr=addr, payload=payload: mc.write_log_line(
+                    addr, payload, on_persist=record_persisted,
+                ),
+            )
+
+    # -- backend controller -------------------------------------------------------------
+
+    def _backend_apply(self, txn: _TxnState) -> None:
+        """Read the log back, then write the new values in place.
+
+        The reads and writes ride the normal channel queues, so they
+        contend with demand traffic — the effect behind Figure 7.
+        """
+        engaged = sorted(txn.log_lines)
+        pending = {"reads": 0}
+
+        def all_reads_done() -> None:
+            self._apply_in_place(txn)
+
+        def one_read_done(_payload: bytes) -> None:
+            pending["reads"] -= 1
+            if pending["reads"] == 0:
+                all_reads_done()
+
+        total = 0
+        for mc_id in engaged:
+            mc = self.controllers[mc_id]
+            lines = txn.log_lines[mc_id]
+            total += lines
+            for i in range(lines):
+                pending["reads"] += 1
+                addr = self.layout.bucket_base(mc_id, 0)
+                self.dom.add("log_line_reads")
+                mc.read_log_line(addr + i * CACHE_LINE_BYTES, one_read_done)
+        if total == 0:
+            self._apply_in_place(txn)
+
+    def _apply_in_place(self, txn: _TxnState) -> None:
+        """Persist the logged values line by line (data-channel writes)."""
+        by_line: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
+        for addr, value in txn.words:
+            by_line[line_of(addr)].append((addr, value))
+        pending = {"writes": len(by_line)}
+        if not pending["writes"]:
+            self._mark_applied(txn)
+            return
+
+        def one_write_done() -> None:
+            pending["writes"] -= 1
+            if pending["writes"] == 0:
+                self._mark_applied(txn)
+
+        for line_addr, words in by_line.items():
+            mc = self.controllers[self.layout.controller_of(line_addr)]
+            payload = bytearray(self.image.durable_line(line_addr))
+            for addr, value in words:
+                off = addr - line_addr
+                payload[off : off + len(value)] = value
+            self.dom.add("in_place_writes")
+            mc.write_data_line(line_addr, bytes(payload),
+                               on_persist=one_write_done)
+
+    def _mark_applied(self, txn: _TxnState) -> None:
+        self._applied.add(txn.txn_id)
+        self.dom.add("applied")
+        for mc in self.controllers:
+            if mc.victim_cache is not None:
+                mc.victim_cache.release_txn(txn.txn_id)
+        for line_addr in [
+            l for l, t in self._line_txn.items() if t == txn.txn_id
+        ]:
+            del self._line_txn[line_addr]
+
+    # -- victim-cache parking hook (wired to SharedL2) ------------------------------------
+
+    def park_dirty_eviction(self, line_addr: int) -> bool:
+        """Park a dirty eviction whose transaction is not applied yet."""
+        txn_id = self._line_txn.get(line_addr)
+        if txn_id is None or txn_id in self._applied:
+            return False
+        mc = self.controllers[self.layout.controller_of(line_addr)]
+        if mc.victim_cache is None:
+            return False
+        mc.victim_cache.park(line_addr, txn_id)
+        return True
+
+    # -- crash / recovery ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: volatile WC buffers and victim cache vanish."""
+        self._active.clear()
+        self._line_txn.clear()
+        for mc in self.controllers:
+            if mc.victim_cache is not None:
+                mc.victim_cache.drop_all()
+
+    def recover(self) -> int:
+        """Redo-apply committed-but-unapplied transactions.
+
+        Returns the number of transactions replayed.
+        """
+        replayed = 0
+        for txn_id in self._commit_order:
+            if txn_id in self._applied:
+                continue
+            for addr, value in self._durable_commits[txn_id]:
+                self.image.persist(addr, value)
+            self._applied.add(txn_id)
+            replayed += 1
+        return replayed

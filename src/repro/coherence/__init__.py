@@ -1,0 +1,10 @@
+"""Cache hierarchy: private L1s with log bits, shared banked L2 with an
+inclusive MESI directory, MSHRs, and the REDO victim cache."""
+
+from repro.coherence.l1 import L1Cache
+from repro.coherence.directory import SharedL2
+from repro.coherence.mshr import MSHRFile
+from repro.coherence.states import MESI
+from repro.coherence.victim import VictimCache
+
+__all__ = ["L1Cache", "MESI", "MSHRFile", "SharedL2", "VictimCache"]

@@ -1,0 +1,443 @@
+"""Shared banked L2 with an inclusive MESI directory.
+
+One L2 bank lives on every tile; a line's home bank is determined by line
+interleaving (``Topology.l2_home_tile``).  The directory tracks, per
+resident line, the exclusive owner (an L1 holding M/E) or the sharer set,
+plus a dirty flag for data surrendered by downgraded/written-back owners.
+
+Protocol modelling choice (documented in DESIGN.md): each transaction is
+*serialized per line* with a busy/waiter queue, and directory metadata is
+updated synchronously while message latencies are charged onto the
+transaction's completion time.  This keeps the protocol race-free without
+modelling transient states, at the cost of bounded timing skew — adequate
+for the queueing-level fidelity this reproduction targets.
+
+Flush (``clwb``-like) and dirty writebacks to memory are also directory
+transactions; the actual persist is gated by the memory controller's LogM
+module, which is where ATOM's ordering enforcement lives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.coherence.l1 import FillInfo, L1Cache
+from repro.coherence.states import MESI
+from repro.common.stats import Stats
+from repro.common.units import CACHE_LINE_BYTES, line_index
+from repro.config import CacheConfig
+from repro.engine import Engine
+from repro.mem.controller import MemoryController
+from repro.mem.image import MemoryImage
+from repro.mem.layout import AddressLayout
+from repro.noc.mesh import Mesh
+from repro.noc.topology import Topology
+
+#: Payload sizes for timing purposes.
+CTRL_BYTES = 8
+DATA_BYTES = CACHE_LINE_BYTES
+
+
+@dataclass
+class L2Line:
+    """Directory + tag entry for one L2-resident line."""
+
+    line: int
+    owner: int | None = None
+    sharers: set[int] = field(default_factory=set)
+    dirty: bool = False
+    last_use: int = 0
+    busy: bool = False
+    waiters: deque = field(default_factory=deque)
+
+
+class SharedL2:
+    """The multi-banked shared L2 and its directory."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        mesh: Mesh,
+        tile_cfg: CacheConfig,
+        image: MemoryImage,
+        layout: AddressLayout,
+        controllers: list[MemoryController],
+        stats: Stats,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.mesh = mesh
+        self.cfg = tile_cfg
+        self.image = image
+        self.layout = layout
+        self.controllers = controllers
+        self.stats = stats.domain("l2")
+        self.num_banks = topology.num_tiles
+        self._bank_sets: list[list[dict[int, L2Line]]] = [
+            [dict() for _ in range(tile_cfg.num_sets)] for _ in range(self.num_banks)
+        ]
+        self._use_clock = 0
+        self._l1s: list[L1Cache] = []
+        #: Misses currently being fetched from memory: line -> queued
+        #: request retries, drained once the fill inserts the line.
+        self._pending_fetch: dict[int, list[Callable[[], None]]] = {}
+        #: REDO hook, set by the system builder: fn(line_addr) -> bool,
+        #: True when the dirty eviction was parked in the victim cache
+        #: instead of being written to NVM.
+        self.park_dirty_eviction: Callable[[int], bool] | None = None
+
+    def attach_l1s(self, l1s: list[L1Cache]) -> None:
+        """Wire up the private caches (called once by the system builder)."""
+        self._l1s = l1s
+        for l1 in l1s:
+            l1.l2 = self
+
+    # -- tag store ------------------------------------------------------------
+
+    def _locate(self, line: int) -> tuple[int, dict[int, L2Line]]:
+        bank = line_index(line) % self.num_banks
+        set_idx = (line_index(line) // self.num_banks) % self.cfg.num_sets
+        return bank, self._bank_sets[bank][set_idx]
+
+    def probe(self, line: int) -> L2Line | None:
+        """Directory lookup without LRU side effects."""
+        _, target = self._locate(line)
+        return target.get(line)
+
+    def _touch(self, entry: L2Line) -> None:
+        self._use_clock += 1
+        entry.last_use = self._use_clock
+
+    def home_tile(self, line: int) -> int:
+        """Tile of the line's home bank."""
+        return self.topology.l2_home_tile(line)
+
+    # -- transaction serialization ------------------------------------------------
+
+    def _with_line(self, line: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` when the line has no transaction in flight."""
+        entry = self.probe(line)
+        if entry is not None and entry.busy:
+            entry.waiters.append(fn)
+            return
+        if entry is not None:
+            entry.busy = True
+        fn()
+
+    def _acquire_after_insert(self, entry: L2Line) -> None:
+        entry.busy = True
+
+    def _release(self, line: int) -> None:
+        entry = self.probe(line)
+        if entry is None:
+            return
+        entry.busy = False
+        if entry.waiters:
+            fn = entry.waiters.popleft()
+            entry.busy = True
+            self.engine.after(0, fn)
+
+    # -- GetS ------------------------------------------------------------------
+
+    def get_shared(
+        self, core: int, line: int, on_fill: Callable[[FillInfo], None]
+    ) -> None:
+        """A load miss from ``core``'s L1 (Figure: GetS)."""
+        self._with_line(line, lambda: self._do_get_shared(core, line, on_fill))
+
+    def _do_get_shared(self, core, line, on_fill) -> None:
+        req_tile = self.topology.core_tile(core)
+        home = self.home_tile(line)
+        entry = self.probe(line)
+        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        if entry is not None:
+            self.stats.add("hits")
+            self._touch(entry)
+            extra = 0
+            if entry.owner is not None and entry.owner != core:
+                # Forward to the M/E owner; it downgrades and surrenders
+                # dirty data to the bank (3-hop miss).
+                owner_tile = self.topology.core_tile(entry.owner)
+                extra = self.mesh.latency(home, owner_tile, CTRL_BYTES)
+                dirty = self._l1s[entry.owner].remote_downgrade(line)
+                if dirty:
+                    entry.dirty = True
+                entry.sharers.add(entry.owner)
+                entry.owner = None
+                self.stats.add("owner_forwards")
+                data_lat = self.mesh.latency(owner_tile, req_tile, DATA_BYTES)
+            else:
+                data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+            entry.sharers.add(core)
+            total = req_lat + self.cfg.latency + extra + data_lat
+            self._complete(line, total, on_fill, FillInfo(MESI.SHARED))
+            return
+        # L2 miss: fetch from memory, requester gets Exclusive.
+        if line in self._pending_fetch:
+            self._pending_fetch[line].append(
+                lambda: self._do_get_shared(core, line, on_fill)
+            )
+            return
+        self._pending_fetch[line] = []
+        self.stats.add("misses")
+        mc = self.controllers[self.layout.controller_of(line)]
+        mc_tile = self.topology.mc_tile(mc.mc_id)
+        to_mc = self.mesh.latency(home, mc_tile, CTRL_BYTES)
+        from_mc = self.mesh.latency(mc_tile, home, DATA_BYTES)
+        data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+
+        def fetched(_payload: bytes, _source_logged: bool) -> None:
+            new = self._insert(line)
+            new.owner = core
+            new.waiters.extend(self._pending_fetch.pop(line, []))
+            total = from_mc + data_lat
+            self._complete(line, total, on_fill, FillInfo(MESI.EXCLUSIVE))
+
+        self.engine.after(
+            req_lat + self.cfg.latency + to_mc,
+            lambda: mc.fetch_line(line, fetched),
+        )
+
+    # -- GetX -----------------------------------------------------------------------
+
+    def get_exclusive(
+        self,
+        core: int,
+        line: int,
+        atomic: bool,
+        on_fill: Callable[[FillInfo], None],
+    ) -> None:
+        """A store miss/upgrade from ``core``'s L1 (Figure: GetX)."""
+        self._with_line(
+            line, lambda: self._do_get_exclusive(core, line, atomic, on_fill)
+        )
+
+    def _do_get_exclusive(self, core, line, atomic, on_fill) -> None:
+        req_tile = self.topology.core_tile(core)
+        home = self.home_tile(line)
+        entry = self.probe(line)
+        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        if entry is not None:
+            self.stats.add("hits")
+            self._touch(entry)
+            extra = 0
+            if entry.owner is not None and entry.owner != core:
+                owner_tile = self.topology.core_tile(entry.owner)
+                extra = self.mesh.latency(home, owner_tile, CTRL_BYTES)
+                dirty = self._l1s[entry.owner].remote_invalidate(line)
+                if dirty:
+                    entry.dirty = True
+                self.stats.add("owner_invalidations")
+            elif entry.sharers - {core}:
+                # Invalidate every other sharer; latency is the worst
+                # round trip (invalidations fan out in parallel).
+                worst = 0
+                for sharer in sorted(entry.sharers - {core}):
+                    tile = self.topology.core_tile(sharer)
+                    worst = max(
+                        worst,
+                        self.mesh.request_response(home, tile, CTRL_BYTES, CTRL_BYTES),
+                    )
+                    self._l1s[sharer].remote_invalidate(line)
+                    self.stats.add("sharer_invalidations")
+                extra = worst
+            entry.owner = core
+            entry.sharers = set()
+            data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+            total = req_lat + self.cfg.latency + extra + data_lat
+            self._complete(line, total, on_fill, FillInfo(MESI.MODIFIED))
+            return
+        # L2 miss: fetch-exclusive from memory.  This is the source-logging
+        # window: the controller reads the old value from NVM anyway.
+        if line in self._pending_fetch:
+            self._pending_fetch[line].append(
+                lambda: self._do_get_exclusive(core, line, atomic, on_fill)
+            )
+            return
+        self._pending_fetch[line] = []
+        self.stats.add("misses")
+        mc = self.controllers[self.layout.controller_of(line)]
+        mc_tile = self.topology.mc_tile(mc.mc_id)
+        to_mc = self.mesh.latency(home, mc_tile, CTRL_BYTES)
+        from_mc = self.mesh.latency(mc_tile, home, DATA_BYTES)
+        data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+
+        def fetched(_payload: bytes, source_logged: bool) -> None:
+            new = self._insert(line)
+            new.owner = core
+            new.waiters.extend(self._pending_fetch.pop(line, []))
+            total = from_mc + data_lat
+            self._complete(
+                line, total, on_fill, FillInfo(MESI.MODIFIED, source_logged)
+            )
+
+        self.engine.after(
+            req_lat + self.cfg.latency + to_mc,
+            lambda: mc.fetch_line(
+                line, fetched, exclusive=True,
+                atomic_core=core if atomic else None,
+            ),
+        )
+
+    def _complete(self, line, delay, on_fill, info: FillInfo) -> None:
+        def finish() -> None:
+            self._release(line)
+            on_fill(info)
+
+        self.engine.after(delay, finish)
+
+    # -- evictions and writebacks ----------------------------------------------------
+
+    def writeback_dirty(self, core: int, line: int) -> None:
+        """An L1 evicted a MODIFIED line: data returns to the bank."""
+        entry = self.probe(line)
+        if entry is not None:
+            entry.dirty = True
+            if entry.owner == core:
+                entry.owner = None
+            entry.sharers.discard(core)
+        self.stats.add("l1_writebacks")
+        home = self.home_tile(line)
+        # Timing-only message; metadata was updated synchronously.
+        self.mesh.send(self.topology.core_tile(core), home, DATA_BYTES, lambda: None)
+
+    def evict_clean(self, core: int, line: int) -> None:
+        """An L1 silently dropped a clean (E/S) line."""
+        entry = self.probe(line)
+        if entry is not None:
+            if entry.owner == core:
+                entry.owner = None
+            entry.sharers.discard(core)
+
+    def _insert(self, line: int) -> L2Line:
+        bank, target = self._locate(line)
+        if len(target) >= self.cfg.ways:
+            victims = [e for e in target.values() if not e.busy]
+            if victims:
+                self._evict(min(victims, key=lambda e: e.last_use))
+        entry = L2Line(line=line)
+        self._acquire_after_insert(entry)
+        target[line] = entry
+        self._touch(entry)
+        return entry
+
+    def _evict(self, victim: L2Line) -> None:
+        """Inclusive eviction: recall L1 copies, write dirty data to NVM."""
+        _, target = self._locate(victim.line)
+        del target[victim.line]
+        self.stats.add("evictions")
+        dirty = victim.dirty
+        if victim.owner is not None:
+            dirty |= self._l1s[victim.owner].remote_invalidate(victim.line)
+            self.stats.add("inclusive_recalls")
+        for sharer in victim.sharers:
+            self._l1s[sharer].remote_invalidate(victim.line)
+        if dirty:
+            self._write_line_to_memory(victim.line)
+
+    def _write_line_to_memory(self, line: int, on_persist=None) -> None:
+        """Send a dirty line to its controller (the overtaking path that
+        LogM's header-match gate protects against)."""
+        if self.park_dirty_eviction is not None and self.park_dirty_eviction(line):
+            self.stats.add("parked_evictions")
+            if on_persist is not None:
+                self.engine.after(1, on_persist)
+            return
+        self.stats.add("memory_writebacks")
+        mc = self.controllers[self.layout.controller_of(line)]
+        mc_tile = self.topology.mc_tile(mc.mc_id)
+        home = self.home_tile(line)
+        payload = self.image.volatile_line(line)
+        self.mesh.send(
+            home, mc_tile, DATA_BYTES,
+            lambda: mc.write_data_line(line, payload, on_persist),
+        )
+
+    # -- flush (clwb-like) ----------------------------------------------------------
+
+    def flush(self, core: int, line: int, on_done: Callable[[], None]) -> None:
+        """Write a line's modified data durably to NVM, keeping copies.
+
+        This is the "Flush Modified Data" loop from the programming model
+        (Figure 2): the owning L1 downgrades M->S, its log bit clears when
+        the persist completes, and the controller's LogM gate enforces
+        log -> data ordering.
+        """
+        self._with_line(line, lambda: self._do_flush(core, line, on_done))
+
+    def _do_flush(self, core, line, on_done) -> None:
+        req_tile = self.topology.core_tile(core)
+        home = self.home_tile(line)
+        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        entry = self.probe(line)
+        acquired = entry is not None
+        dirty = False
+        extra = 0
+        if entry is not None:
+            self._touch(entry)
+            if entry.owner is not None:
+                owner_tile = self.topology.core_tile(entry.owner)
+                extra = self.mesh.request_response(
+                    home, owner_tile, CTRL_BYTES, DATA_BYTES
+                )
+                if self._l1s[entry.owner].remote_downgrade(line):
+                    entry.dirty = True
+                entry.sharers.add(entry.owner)
+                entry.owner = None
+            dirty = entry.dirty
+            if dirty:
+                entry.dirty = False
+        if not dirty:
+            ack = self.mesh.latency(home, req_tile, CTRL_BYTES)
+            self._complete_flush(
+                line, req_lat + self.cfg.latency + extra + ack, on_done, acquired
+            )
+            return
+        self.stats.add("flushes")
+
+        def persisted() -> None:
+            for l1 in self._l1s:
+                l1.clear_log_bit(line)
+            ack = self.mesh.latency(
+                self.topology.mc_tile(
+                    self.controllers[self.layout.controller_of(line)].mc_id
+                ),
+                req_tile,
+                CTRL_BYTES,
+            )
+
+            def finish() -> None:
+                if acquired:
+                    self._release(line)
+                on_done()
+
+            self.engine.after(ack, finish)
+
+        self.engine.after(
+            req_lat + self.cfg.latency + extra,
+            lambda: self._write_line_to_memory(line, persisted),
+        )
+
+    def _complete_flush(self, line, delay, on_done, acquired: bool) -> None:
+        def finish() -> None:
+            if acquired:
+                self._release(line)
+            on_done()
+
+        self.engine.after(delay, finish)
+
+    def resident_lines(self) -> list[int]:
+        """All L2-resident line addresses (test aid)."""
+        return [
+            line
+            for bank in self._bank_sets
+            for target in bank
+            for line in target
+        ]
+
+    def __repr__(self) -> str:
+        resident = sum(len(t) for bank in self._bank_sets for t in bank)
+        return f"SharedL2(banks={self.num_banks}, resident={resident})"

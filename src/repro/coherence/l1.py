@@ -1,0 +1,258 @@
+"""Private L1 data cache with the ATOM log bit.
+
+Each line carries the extra **log bit** of paper section III-B: set when a
+line is first written inside an atomic update (or when a source-logged
+fill arrives, section III-D), cleared when the modified value is durably
+written back to memory.  The bit only lives as long as the line is
+resident — an eviction discards it, so a later store to the same line in
+the same atomic update is logged again, which is safe because recovery
+applies roll-backs newest-first (section III-B).
+
+The L1 is a metadata store (tags, MESI state, log bit, LRU); values live
+in the global :class:`~repro.mem.image.MemoryImage`.  Hits are resolved
+synchronously so the core can fast-path them; misses allocate MSHRs and
+go through the shared-L2 directory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.coherence.mshr import MSHRFile
+from repro.coherence.states import MESI
+from repro.common.stats import StatDomain
+from repro.common.units import line_index
+from repro.config import CacheConfig
+
+
+@dataclass
+class L1Line:
+    """Tag-store entry for one resident line."""
+
+    line: int
+    state: MESI
+    log_bit: bool = False
+    last_use: int = 0
+
+
+@dataclass
+class FillInfo:
+    """What the directory tells the L1 about a completed miss."""
+
+    state: MESI
+    #: True when the memory controller source-logged the line during the
+    #: fill, so the log bit must be pre-set (Figure 3(d), Data*(A)).
+    source_logged: bool = False
+
+
+class L1Cache:
+    """One core's private L1 data cache."""
+
+    def __init__(
+        self,
+        core_id: int,
+        cfg: CacheConfig,
+        mshrs: int,
+        stats: StatDomain,
+    ):
+        self.core_id = core_id
+        self.cfg = cfg
+        self.stats = stats
+        self.num_sets = cfg.num_sets
+        self.ways = cfg.ways
+        self._sets: list[dict[int, L1Line]] = [dict() for _ in range(self.num_sets)]
+        self.mshrs = MSHRFile(mshrs)
+        self._use_clock = 0
+        #: Set by the system builder: the shared L2 / directory.
+        self.l2 = None
+        #: Hook invoked with (line_addr) when a line leaves the cache, so
+        #: the core's transaction tracker can forget its logged state.
+        self.on_line_lost: Callable[[int], None] | None = None
+
+    # -- tag-store helpers -------------------------------------------------
+
+    def _set_of(self, line: int) -> dict[int, L1Line]:
+        return self._sets[line_index(line) % self.num_sets]
+
+    def probe(self, line: int) -> L1Line | None:
+        """Look up a line without touching LRU state."""
+        return self._set_of(line).get(line)
+
+    def _touch(self, entry: L1Line) -> None:
+        self._use_clock += 1
+        entry.last_use = self._use_clock
+
+    # -- load path ------------------------------------------------------------
+
+    def load_hit(self, line: int) -> bool:
+        """Synchronous load lookup; True on hit (any readable state)."""
+        entry = self.probe(line)
+        if entry is not None and entry.state.readable:
+            self._touch(entry)
+            self.stats.add("load_hits")
+            return True
+        self.stats.add("load_misses")
+        return False
+
+    def load_miss(self, line: int, on_done: Callable[[], None]) -> None:
+        """Resolve a load miss through the directory.
+
+        Merges into an outstanding miss for the same line when present;
+        otherwise allocates an MSHR (waiting for a slot when the file is
+        full) and issues a GetS.
+        """
+        if self.mshrs.outstanding(line):
+            self.stats.add("mshr_merges")
+            self.mshrs.merge(line, lambda info: on_done())
+            return
+        if not self.mshrs.allocate(line, lambda info: on_done()):
+            self.stats.add("mshr_stalls")
+            self.mshrs.when_slot_free(lambda: self.load_miss(line, on_done))
+            return
+        self.l2.get_shared(
+            self.core_id, line, lambda info: self._fill(line, info)
+        )
+
+    # -- store path --------------------------------------------------------------
+
+    def store_probe(self, line: int) -> MESI:
+        """The state a store to ``line`` currently sees (I when absent)."""
+        entry = self.probe(line)
+        return entry.state if entry is not None else MESI.INVALID
+
+    def ensure_writable(
+        self,
+        line: int,
+        atomic: bool,
+        on_ready: Callable[[FillInfo], None],
+    ) -> None:
+        """Bring ``line`` to MODIFIED, invoking ``on_ready`` when done.
+
+        Hits in M/E complete synchronously.  ``atomic`` tags the request
+        as coming from inside an atomic update so the controller can
+        source-log a fill served from NVM.
+        """
+        entry = self.probe(line)
+        if entry is not None and entry.state.writable:
+            if entry.state is MESI.EXCLUSIVE:
+                entry.state = MESI.MODIFIED
+            self._touch(entry)
+            self.stats.add("store_hits")
+            on_ready(FillInfo(MESI.MODIFIED, source_logged=False))
+            return
+        self.stats.add("store_misses" if entry is None else "store_upgrades")
+        if self.mshrs.outstanding(line):
+            # A load miss to the line is in flight; retry once it fills —
+            # the line will land in S/E and take the upgrade path.
+            self.stats.add("mshr_merges")
+            self.mshrs.merge(
+                line, lambda info: self.ensure_writable(line, atomic, on_ready)
+            )
+            return
+        if not self.mshrs.allocate(line, on_ready):
+            self.stats.add("mshr_stalls")
+            self.mshrs.when_slot_free(
+                lambda: self.ensure_writable(line, atomic, on_ready)
+            )
+            return
+        self.l2.get_exclusive(
+            self.core_id,
+            line,
+            atomic,
+            lambda info: self._fill(line, info),
+        )
+
+    # -- fills and eviction ----------------------------------------------------
+
+    def _fill(self, line: int, info: FillInfo) -> None:
+        entry = self.probe(line)
+        if entry is None:
+            entry = self._insert(line, info.state)
+        else:
+            entry.state = info.state
+        if info.source_logged:
+            entry.log_bit = True
+        self._touch(entry)
+        for waiter in self.mshrs.complete(line):
+            waiter(info)
+
+    def _insert(self, line: int, state: MESI) -> L1Line:
+        target = self._set_of(line)
+        if len(target) >= self.ways:
+            victim = min(target.values(), key=lambda e: e.last_use)
+            self._evict(victim)
+        entry = L1Line(line=line, state=state)
+        target[line] = entry
+        return entry
+
+    def _evict(self, victim: L1Line) -> None:
+        """Capacity eviction: M lines write back dirty data to the L2."""
+        del self._set_of(victim.line)[victim.line]
+        self.stats.add("evictions")
+        if victim.state is MESI.MODIFIED:
+            self.stats.add("dirty_evictions")
+            self.l2.writeback_dirty(self.core_id, victim.line)
+        else:
+            self.l2.evict_clean(self.core_id, victim.line)
+        if self.on_line_lost is not None:
+            self.on_line_lost(victim.line)
+
+    # -- log bit -------------------------------------------------------------------
+
+    def log_bit(self, line: int) -> bool:
+        """Read the log bit (False when the line is not resident)."""
+        entry = self.probe(line)
+        return entry.log_bit if entry is not None else False
+
+    def set_log_bit(self, line: int) -> None:
+        """Set the log bit; the line must be resident."""
+        entry = self.probe(line)
+        if entry is not None:
+            entry.log_bit = True
+
+    def clear_log_bit(self, line: int) -> None:
+        """Clear the log bit (modified value was durably written)."""
+        entry = self.probe(line)
+        if entry is not None:
+            entry.log_bit = False
+
+    # -- directory-initiated actions --------------------------------------------
+
+    def remote_invalidate(self, line: int) -> bool:
+        """Invalidate for another core's exclusive request.
+
+        Returns True if the line was dirty (its data, i.e. the latest
+        volatile value, accompanies the ack to the directory).
+        """
+        entry = self.probe(line)
+        if entry is None:
+            return False
+        dirty = entry.state is MESI.MODIFIED
+        del self._set_of(entry.line)[entry.line]
+        self.stats.add("remote_invalidations")
+        if self.on_line_lost is not None:
+            self.on_line_lost(line)
+        return dirty
+
+    def remote_downgrade(self, line: int) -> bool:
+        """Downgrade M/E -> S for another core's shared request.
+
+        Returns True if dirty data was surrendered to the L2.
+        """
+        entry = self.probe(line)
+        if entry is None:
+            return False
+        dirty = entry.state is MESI.MODIFIED
+        if entry.state in (MESI.MODIFIED, MESI.EXCLUSIVE):
+            entry.state = MESI.SHARED
+            self.stats.add("remote_downgrades")
+        return dirty
+
+    def resident_lines(self) -> list[int]:
+        """All resident line addresses (test/introspection aid)."""
+        return [line for s in self._sets for line in s]
+
+    def __repr__(self) -> str:
+        resident = sum(len(s) for s in self._sets)
+        return f"L1Cache(core={self.core_id}, resident={resident})"

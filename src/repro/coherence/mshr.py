@@ -1,0 +1,81 @@
+"""Miss status handling registers.
+
+Each L1 has a bounded MSHR file (Table I: 32).  Outstanding misses to the
+same line merge into one entry; when the file is full, new misses wait for
+a free slot.  The store-queue drain and the load path both allocate
+through here, so MSHR pressure throttles memory-level parallelism exactly
+as it does in hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.common.errors import CoherenceError
+
+
+class MSHRFile:
+    """Bounded set of outstanding line misses with merge support."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise CoherenceError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, list[Callable]] = {}
+        self._slot_waiters: deque[Callable[[], None]] = deque()
+
+    def outstanding(self, line: int) -> bool:
+        """True if a miss to ``line`` is already in flight."""
+        return line in self._entries
+
+    def full(self) -> bool:
+        """True if no MSHR slot is free."""
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, line: int, on_fill: Callable) -> bool:
+        """Try to allocate an entry for ``line``.
+
+        Returns True on success (``on_fill`` will run at fill time).
+        Returns False when the file is full; the caller should park via
+        :meth:`when_slot_free`.  Raises if the line already has an entry —
+        merge instead.
+        """
+        if line in self._entries:
+            raise CoherenceError(f"line {line:#x} already has an MSHR")
+        if self.full():
+            return False
+        self._entries[line] = [on_fill]
+        return True
+
+    def merge(self, line: int, on_fill: Callable) -> None:
+        """Attach another waiter to an in-flight miss."""
+        try:
+            self._entries[line].append(on_fill)
+        except KeyError:
+            raise CoherenceError(f"no MSHR for line {line:#x}") from None
+
+    def complete(self, line: int) -> list[Callable]:
+        """Free the entry for ``line`` and return its waiters (in order).
+
+        Also wakes one slot-waiter, if any; the caller must invoke the
+        returned callbacks itself (they typically need fill metadata).
+        """
+        try:
+            waiters = self._entries.pop(line)
+        except KeyError:
+            raise CoherenceError(f"no MSHR to complete for {line:#x}") from None
+        if self._slot_waiters:
+            self._slot_waiters.popleft()()
+        return waiters
+
+    def when_slot_free(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once an entry frees up (FIFO order)."""
+        self._slot_waiters.append(fn)
+
+    def in_flight(self) -> int:
+        """Number of allocated entries."""
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"MSHRFile({len(self._entries)}/{self.capacity})"

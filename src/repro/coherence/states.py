@@ -1,0 +1,24 @@
+"""MESI coherence states (paper section V: MESI-based protocol)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MESI(Enum):
+    """Stable states of a line in a private L1 cache."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def writable(self) -> bool:
+        """True if a store may complete without a coherence transaction."""
+        return self in (MESI.MODIFIED, MESI.EXCLUSIVE)
+
+    @property
+    def readable(self) -> bool:
+        """True if a load may complete without a coherence transaction."""
+        return self is not MESI.INVALID

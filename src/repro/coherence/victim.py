@@ -1,0 +1,77 @@
+"""Victim cache for the REDO comparator design.
+
+Doshi et al.'s redo-log design performs in-place data updates only after
+the backend controller has read a transaction's log back from memory.  A
+dirty line evicted from the hierarchy *before* its transaction has been
+applied must not reach the NVM array (it would overwrite the old value
+that the not-yet-applied log is the only durable copy of), so it parks in
+a victim cache at the memory controller.  The paper grants the comparator
+an infinite victim cache (section V); capacity is configurable here for
+sensitivity experiments.
+
+In the two-image functional model the victim cache is a timing construct:
+membership defers the durable write and lets subsequent fills hit at the
+controller instead of paying the NVM read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.stats import StatDomain
+
+
+class VictimCache:
+    """Line-granularity victim buffer in front of one memory controller."""
+
+    def __init__(self, capacity: int | None, stats: StatDomain):
+        self.capacity = capacity
+        self.stats = stats
+        #: line address -> id of the (uncommitted/unapplied) txn that last
+        #: wrote it.  Ordered for FIFO spill under finite capacity.
+        self._lines: OrderedDict[int, int] = OrderedDict()
+
+    def park(self, line_addr: int, txn_id: int) -> list[int]:
+        """Hold a dirty eviction until ``txn_id`` is applied.
+
+        Returns any lines force-spilled to make room (finite capacity
+        only); the caller must write those to NVM.
+        """
+        spilled: list[int] = []
+        if line_addr in self._lines:
+            self._lines.move_to_end(line_addr)
+            self._lines[line_addr] = txn_id
+        else:
+            self._lines[line_addr] = txn_id
+            self.stats.add("parked")
+        if self.capacity is not None:
+            while len(self._lines) > self.capacity:
+                old_line, _ = self._lines.popitem(last=False)
+                spilled.append(old_line)
+                self.stats.add("spilled")
+        self.stats.peak("peak_occupancy", len(self._lines))
+        return spilled
+
+    def holds(self, line_addr: int) -> bool:
+        """True if the line is parked here (fills hit at the controller)."""
+        return line_addr in self._lines
+
+    def release_txn(self, txn_id: int) -> list[int]:
+        """The backend applied ``txn_id``: free its parked lines."""
+        freed = [line for line, t in self._lines.items() if t == txn_id]
+        for line in freed:
+            del self._lines[line]
+        self.stats.add("released", len(freed))
+        return freed
+
+    def occupancy(self) -> int:
+        """Number of lines currently parked."""
+        return len(self._lines)
+
+    def drop_all(self) -> None:
+        """Power failure: parked lines are volatile and vanish."""
+        self._lines.clear()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"VictimCache({len(self._lines)}/{cap})"

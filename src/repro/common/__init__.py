@@ -1,0 +1,34 @@
+"""Shared utilities: errors, units, bit vectors, statistics."""
+
+from repro.common.bitvector import BitVector
+from repro.common.errors import (
+    AllocationError,
+    CoherenceError,
+    ConfigError,
+    InvariantViolation,
+    LogOverflowError,
+    MemoryError_,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+    StructuralOverflowError,
+    WorkloadError,
+)
+from repro.common.stats import StatDomain, Stats
+
+__all__ = [
+    "AllocationError",
+    "BitVector",
+    "CoherenceError",
+    "ConfigError",
+    "InvariantViolation",
+    "LogOverflowError",
+    "MemoryError_",
+    "RecoveryError",
+    "ReproError",
+    "SimulationError",
+    "StatDomain",
+    "Stats",
+    "StructuralOverflowError",
+    "WorkloadError",
+]

@@ -1,0 +1,152 @@
+"""Fixed-width bit vector used by the LogM atomic-update structures.
+
+The paper's LogM module tracks log-bucket ownership with 256-bit *bucket
+bit vectors*, one per atomic update structure (AUS), and derives the free
+list by NOR-ing all bucket bit vectors (paper section IV-C).  This module
+provides a small fixed-width bit vector with exactly the operations that
+hardware performs: set/clear/test single bits, find-first-zero /
+find-first-one, population count, bulk clear, NOR across a collection, and
+serialization to bytes (the ADR flush writes these structures to NVM on a
+power failure, section IV-D).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class BitVector:
+    """A fixed-width mutable bit vector.
+
+    Bits are indexed from 0 (LSB).  Operations raise ``IndexError`` when an
+    index is outside ``[0, width)``, mirroring the fact that the hardware
+    registers have a fixed physical width.
+    """
+
+    __slots__ = ("width", "_bits")
+
+    def __init__(self, width: int, value: int = 0):
+        if width <= 0:
+            raise ValueError(f"bit vector width must be positive, got {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"initial value does not fit in {width} bits")
+        self.width = width
+        self._bits = value
+
+    # -- single-bit operations ------------------------------------------
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for width {self.width}")
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        """Return True if bit ``index`` is 1."""
+        self._check(index)
+        return bool(self._bits >> index & 1)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.test(index)
+
+    # -- whole-vector operations ----------------------------------------
+
+    def clear_all(self) -> None:
+        """Zero the vector (the single-cycle log truncation of IV-C)."""
+        self._bits = 0
+
+    def any(self) -> bool:
+        """Return True if any bit is set."""
+        return self._bits != 0
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return self._bits.bit_count()
+
+    def find_first_zero(self) -> int | None:
+        """Index of the lowest clear bit, or None if all bits are set."""
+        inverted = ~self._bits & ((1 << self.width) - 1)
+        if inverted == 0:
+            return None
+        return (inverted & -inverted).bit_length() - 1
+
+    def find_first_one(self) -> int | None:
+        """Index of the lowest set bit, or None if no bits are set."""
+        if self._bits == 0:
+            return None
+        return (self._bits & -self._bits).bit_length() - 1
+
+    def iter_ones(self) -> Iterator[int]:
+        """Iterate over the indices of set bits, ascending."""
+        bits = self._bits
+        while bits:
+            low = (bits & -bits).bit_length() - 1
+            yield low
+            bits &= bits - 1
+
+    def value(self) -> int:
+        """The raw integer value of the vector."""
+        return self._bits
+
+    def complement(self) -> "BitVector":
+        """Return a new vector with every bit flipped.
+
+        Recovery identifies valid buckets by complementing the free-list
+        bit vector (paper section IV-D).
+        """
+        mask = (1 << self.width) - 1
+        return BitVector(self.width, ~self._bits & mask)
+
+    def copy(self) -> "BitVector":
+        return BitVector(self.width, self._bits)
+
+    # -- serialization (ADR flush) --------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Little-endian byte image, width rounded up to whole bytes."""
+        nbytes = (self.width + 7) // 8
+        return self._bits.to_bytes(nbytes, "little")
+
+    @classmethod
+    def from_bytes(cls, width: int, data: bytes) -> "BitVector":
+        """Reconstruct a vector of ``width`` bits from its byte image."""
+        value = int.from_bytes(data, "little")
+        mask = (1 << width) - 1
+        return cls(width, value & mask)
+
+    # -- combination ------------------------------------------------------
+
+    @staticmethod
+    def nor_all(vectors: Iterable["BitVector"], width: int) -> "BitVector":
+        """NOR a collection of vectors: 1 where *no* input has the bit set.
+
+        This is exactly how LogM derives the free-list bit vector from all
+        bucket bit vectors (paper section IV-C): a bucket is free iff no
+        atomic update owns it.
+        """
+        acc = 0
+        for vec in vectors:
+            if vec.width != width:
+                raise ValueError("all vectors must share the same width")
+            acc |= vec.value()
+        mask = (1 << width) - 1
+        return BitVector(width, ~acc & mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.width == other.width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __repr__(self) -> str:
+        return f"BitVector(width={self.width}, value={self._bits:#x})"

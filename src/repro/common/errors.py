@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch one base class.  Specific subclasses exist for configuration
+problems, simulation-engine misuse, memory-system faults and log-manager
+conditions (the two overflow kinds described in paper section IV-E).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent (see Table I)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class MemoryError_(ReproError):
+    """A memory access fell outside the simulated physical address space.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class AllocationError(ReproError):
+    """The NVM heap could not satisfy an allocation request."""
+
+
+class CoherenceError(ReproError):
+    """An illegal MESI state transition or protocol invariant violation."""
+
+
+class LogOverflowError(ReproError):
+    """All reserved log buckets behind a memory controller are exhausted
+    and the OS refused to grow the log region (paper section IV-E)."""
+
+
+class StructuralOverflowError(ReproError):
+    """More concurrent atomic updates were requested than the hardware has
+    atomic update structures (AUS) for (paper section IV-E)."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime durability invariant check failed.
+
+    Raised by :mod:`repro.atom.invariants` when Invariant 1 (log entry
+    exists before a store completes) or Invariant 2 (data never durable
+    before its undo log entry) is violated.  These indicate a bug in a
+    design policy, never expected in normal operation.
+    """
+
+
+class RecoveryError(ReproError):
+    """The post-crash recovery routine found malformed log state."""
+
+
+class WorkloadError(ReproError):
+    """A workload detected an inconsistency in its persistent structure."""

@@ -1,0 +1,102 @@
+"""Hierarchical statistics registry.
+
+Every hardware component registers a :class:`StatDomain` (a named bag of
+counters) with the system-wide :class:`Stats` object.  The harness reads
+these counters to build the paper's tables and figures: transaction
+throughput (Fig. 5), store-queue-full cycles (Fig. 6), source-logged
+percentages (Table III), memory traffic breakdowns (Fig. 7/8 analysis).
+
+Counters are plain integers/floats created on first use.  ``reset()``
+zeroes every counter while keeping the registry intact, which the harness
+uses to discard the warm-up phase of a run (caches stay warm, statistics
+start clean).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+
+class StatDomain:
+    """A named group of counters belonging to one component instance."""
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Increment ``counter`` by ``amount`` (creating it at zero)."""
+        self._counters[counter] += amount
+
+    def put(self, counter: str, value: float) -> None:
+        """Overwrite ``counter`` with ``value``."""
+        self._counters[counter] = value
+
+    def peak(self, counter: str, value: float) -> None:
+        """Keep the maximum of the current value and ``value``."""
+        if value > self._counters[counter]:
+            self._counters[counter] = value
+
+    def get(self, counter: str, default: float = 0) -> float:
+        """Read ``counter``; missing counters read as ``default``."""
+        return self._counters.get(counter, default)
+
+    def reset(self) -> None:
+        """Zero all counters in this domain."""
+        self._counters.clear()
+
+    def as_dict(self) -> dict[str, float]:
+        """A snapshot copy of all counters."""
+        return dict(self._counters)
+
+    def __contains__(self, counter: str) -> bool:
+        return counter in self._counters
+
+    def __repr__(self) -> str:
+        return f"StatDomain({self.name!r}, {dict(self._counters)!r})"
+
+
+class Stats:
+    """Registry of every :class:`StatDomain` in a simulated system."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, StatDomain] = {}
+
+    def domain(self, name: str) -> StatDomain:
+        """Fetch-or-create the domain called ``name``."""
+        found = self._domains.get(name)
+        if found is None:
+            found = StatDomain(name)
+            self._domains[name] = found
+        return found
+
+    def domains(self) -> Iterator[StatDomain]:
+        """Iterate over all registered domains."""
+        return iter(self._domains.values())
+
+    def reset(self) -> None:
+        """Zero every counter in every domain (used after warm-up)."""
+        for dom in self._domains.values():
+            dom.reset()
+
+    def total(self, counter: str, prefix: str = "") -> float:
+        """Sum ``counter`` across all domains whose name has ``prefix``.
+
+        Example: ``stats.total("sq_full_cycles", prefix="core")`` sums the
+        store-queue stall cycles over all 32 cores for Figure 6.
+        """
+        return sum(
+            dom.get(counter)
+            for dom in self._domains.values()
+            if dom.name.startswith(prefix)
+        )
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Nested snapshot of every domain's counters."""
+        return {name: dom.as_dict() for name, dom in self._domains.items()}
+
+    def __repr__(self) -> str:
+        return f"Stats({sorted(self._domains)})"

@@ -1,0 +1,30 @@
+"""CPU model: op trace interface, store queue, lock manager, core."""
+
+from repro.cpu.core import Core
+from repro.cpu.lockmgr import LockManager
+from repro.cpu.ops import (
+    AtomicBegin,
+    AtomicEnd,
+    Compute,
+    Flush,
+    Load,
+    Lock,
+    Store,
+    Unlock,
+)
+from repro.cpu.store_queue import StoreEntry, StoreQueue
+
+__all__ = [
+    "AtomicBegin",
+    "AtomicEnd",
+    "Compute",
+    "Core",
+    "Flush",
+    "Load",
+    "Lock",
+    "LockManager",
+    "Store",
+    "StoreEntry",
+    "StoreQueue",
+    "Unlock",
+]

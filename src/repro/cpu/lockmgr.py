@@ -1,0 +1,117 @@
+"""Software lock model (isolation substrate).
+
+ATOM guarantees atomic durability, not isolation (paper section III-A):
+programs provide isolation with locks, and durable regions coincide with
+outermost critical sections.  The micro-benchmarks and TPC-C take locks
+through this manager.
+
+Timing model: a lock variable lives in a cache line homed on some tile;
+acquiring costs a round trip to that tile plus queueing behind the
+current holder (a coarse but serviceable stand-in for the coherence
+ping-pong of a real spinlock).  Functionally the manager gives real
+mutual exclusion — the generator of a blocked thread does not run — so
+shared persistent structures stay race-free in simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatDomain
+from repro.engine import Engine
+from repro.noc.mesh import Mesh
+from repro.noc.topology import Topology
+
+CTRL_BYTES = 8
+
+
+@dataclass
+class _LockState:
+    holder: int | None = None
+    waiters: deque = field(default_factory=deque)
+
+
+class LockManager:
+    """System-wide table of software locks."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        mesh: Mesh,
+        stats: StatDomain,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.mesh = mesh
+        self.stats = stats
+        self._locks: dict[int, _LockState] = {}
+
+    def _state(self, lock_id: int) -> _LockState:
+        state = self._locks.get(lock_id)
+        if state is None:
+            state = _LockState()
+            self._locks[lock_id] = state
+        return state
+
+    def _home_tile(self, lock_id: int) -> int:
+        return lock_id % self.topology.num_tiles
+
+    def acquire(self, core: int, lock_id: int, on_grant: Callable[[], None]) -> None:
+        """Acquire ``lock_id`` for ``core``; grants FIFO."""
+        state = self._state(lock_id)
+        home = self._home_tile(lock_id)
+        trip = self.mesh.request_response(
+            self.topology.core_tile(core), home, CTRL_BYTES, CTRL_BYTES
+        )
+        request_time = self.engine.now
+
+        def arrive() -> None:
+            if state.holder is None:
+                state.holder = core
+                self.stats.add("acquires")
+                on_grant()
+            else:
+                self.stats.add("contended_acquires")
+                state.waiters.append((core, on_grant, request_time))
+
+        self.engine.after(trip, arrive)
+
+    def release(self, core: int, lock_id: int) -> None:
+        """Release ``lock_id``; the oldest waiter is granted next."""
+        state = self._state(lock_id)
+        if state.holder != core:
+            raise SimulationError(
+                f"core {core} released lock {lock_id} held by {state.holder}"
+            )
+        home = self._home_tile(lock_id)
+        trip = self.mesh.latency(
+            self.topology.core_tile(core), home, CTRL_BYTES
+        )
+
+        def arrive() -> None:
+            if state.waiters:
+                waiter, grant, requested = state.waiters.popleft()
+                state.holder = waiter
+                self.stats.add("lock_wait_cycles", self.engine.now - requested)
+                grant()
+            else:
+                state.holder = None
+
+        self.engine.after(trip, arrive)
+
+    def holder(self, lock_id: int) -> int | None:
+        """Current holder of ``lock_id`` (None if free)."""
+        state = self._locks.get(lock_id)
+        return state.holder if state else None
+
+    def held_locks(self, core: int) -> list[int]:
+        """All locks currently held by ``core`` (test aid)."""
+        return [
+            lock_id
+            for lock_id, state in self._locks.items()
+            if state.holder == core
+        ]

@@ -1,0 +1,93 @@
+"""The micro-op trace interface between workloads and cores.
+
+A workload thread is a Python generator that *yields* these ops; the core
+executes them with full timing and sends load results back into the
+generator.  The ISA extension of paper section III-A appears here as
+:class:`AtomicBegin` / :class:`AtomicEnd` — the only two primitives the
+ATOM programming model adds; logging is invisible to the program.
+
+Ops:
+
+========================  =====================================================
+``Load(addr, size)``      read bytes; the yield evaluates to ``bytes``
+``Store(addr, data)``     write bytes (applied at issue, drained via the SQ)
+``Compute(cycles)``       pure computation
+``AtomicBegin()``         open an atomically durable region (flattens nesting)
+``AtomicEnd(info)``       close it: drain SQ, flush write set, commit the log
+``Flush(addr)``           explicit cache-line writeback (rarely needed —
+                          AtomicEnd flushes the tracked write set itself)
+``Lock(lock_id)`` /       software isolation (section III-A): atomic regions
+``Unlock(lock_id)``       coincide with outermost critical sections
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read ``size`` bytes at ``addr``; yields the bytes back."""
+
+    addr: int
+    size: int
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write ``data`` at ``addr``.
+
+    Multi-line stores are split into per-line store-queue chunks, each
+    occupying one SQ slot per 8-byte word, like the word stores a
+    memcpy compiles into.
+    """
+
+    addr: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Spend ``cycles`` of pure computation."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class AtomicBegin:
+    """Start an atomically durable region (``Atomic_Begin``)."""
+
+
+@dataclass(frozen=True)
+class AtomicEnd:
+    """End the region (``Atomic_End``).
+
+    ``info`` is an opaque label describing the logical operation the
+    transaction performed; the harness hands it to the workload's golden
+    model when the commit completes, enabling post-crash consistency
+    checks.
+    """
+
+    info: object = None
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Explicitly write the line containing ``addr`` back to NVM."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Lock:
+    """Acquire a software lock (isolation is software's job)."""
+
+    lock_id: int
+
+
+@dataclass(frozen=True)
+class Unlock:
+    """Release a software lock."""
+
+    lock_id: int

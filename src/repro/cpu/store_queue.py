@@ -1,0 +1,143 @@
+"""The store queue and its drain engine.
+
+The store queue is where ATOM's benefit materializes (paper section
+VI-B): stores normally retire out of the critical path through the SQ,
+but when a log persist sits in the drain path of every first-write store
+the queue backs up, fills, and stalls the pipeline.  Figure 6 plots
+exactly the "SQ full" cycles this module accounts.
+
+Occupancy is counted in 8-byte word slots (Table I: 32 entries): a 64 B
+line-chunk store occupies 8 slots, matching the word stores a payload
+memcpy compiles into.
+
+Draining is in order.  The head entry is handed to the active design
+policy, which decides what must happen before the store may retire:
+nothing (NON-ATOMIC, or no logging needed), a posted-log ack round trip
+(ATOM), a durable log write (BASE), or a write-combining append (REDO).
+Consecutive cheap entries are drained in batches to keep the event count
+manageable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.stats import StatDomain
+from repro.common.units import WORD_BYTES
+from repro.engine import Engine
+
+
+@dataclass
+class StoreEntry:
+    """One line-resident chunk of a program store."""
+
+    addr: int
+    size: int
+    #: True when this chunk performs the first write to its line in the
+    #: current atomic update (decided at issue; triggers logging).
+    needs_log: bool = False
+    #: Old value of the whole line, snapshotted at issue *before* the
+    #: store applied — the undo entry payload.
+    undo_payload: bytes | None = None
+    #: New values of the words this chunk writes (REDO log payloads).
+    redo_words: tuple[tuple[int, bytes], ...] = ()
+    #: Issued inside an atomic region?
+    atomic: bool = False
+    issue_time: int = 0
+
+    @property
+    def slots(self) -> int:
+        """SQ word slots this chunk occupies."""
+        return max(1, (self.size + WORD_BYTES - 1) // WORD_BYTES)
+
+
+class StoreQueue:
+    """In-order bounded store queue with an asynchronous drainer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity_slots: int,
+        execute: Callable[[StoreEntry, Callable[[], None]], None],
+        stats: StatDomain,
+    ):
+        self.engine = engine
+        self.capacity = capacity_slots
+        self._execute = execute
+        self.stats = stats
+        self._entries: deque[StoreEntry] = deque()
+        self._used_slots = 0
+        self._draining = False
+        self._space_waiters: deque[Callable[[], None]] = deque()
+        self._empty_waiters: list[Callable[[], None]] = []
+
+    # -- producer side -----------------------------------------------------
+
+    def try_push(self, entry: StoreEntry) -> bool:
+        """Append ``entry`` if it fits; False when the SQ is full."""
+        if self._used_slots + entry.slots > self.capacity:
+            return False
+        entry.issue_time = self.engine.now
+        self._entries.append(entry)
+        self._used_slots += entry.slots
+        self.stats.peak("sq_peak_slots", self._used_slots)
+        self._start_drain()
+        return True
+
+    def when_space(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` when at least one slot frees (FIFO)."""
+        self._space_waiters.append(fn)
+
+    def when_empty(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once the queue fully drains (AtomicEnd barrier)."""
+        if not self._entries:
+            fn()
+        else:
+            self._empty_waiters.append(fn)
+
+    def occupancy(self) -> int:
+        """Currently used word slots."""
+        return self._used_slots
+
+    def empty(self) -> bool:
+        return not self._entries
+
+    # -- drain side ------------------------------------------------------------
+
+    def _start_drain(self) -> None:
+        if self._draining or not self._entries:
+            return
+        self._draining = True
+        self.engine.after(0, self._drain_head)
+
+    def _drain_head(self) -> None:
+        if not self._entries:
+            self._draining = False
+            self._notify_empty()
+            return
+        head = self._entries[0]
+        self._execute(head, lambda: self._retire(head))
+
+    def _retire(self, entry: StoreEntry) -> None:
+        popped = self._entries.popleft()
+        assert popped is entry, "stores must retire in order"
+        self._used_slots -= entry.slots
+        self.stats.add("stores_retired")
+        self.stats.add("store_latency_cycles", self.engine.now - entry.issue_time)
+        while self._space_waiters and self._used_slots < self.capacity:
+            self.engine.after(0, self._space_waiters.popleft())
+        if self._entries:
+            self.engine.after(0, self._drain_head)
+        else:
+            self._draining = False
+            self._notify_empty()
+
+    def _notify_empty(self) -> None:
+        waiters, self._empty_waiters = self._empty_waiters, []
+        for fn in waiters:
+            fn()
+
+    def __repr__(self) -> str:
+        return f"StoreQueue({self._used_slots}/{self.capacity} slots)"

@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from repro.engine.event import Engine, Event
+
+__all__ = ["Engine", "Event"]

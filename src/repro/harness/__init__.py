@@ -1,0 +1,6 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import RunSpec, run_spec
+
+__all__ = ["EXPERIMENTS", "RunSpec", "run_experiment", "run_spec"]

@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness --experiment fig5a
+    python -m repro.harness --all --scale 0.5
+    python -m repro.harness --all --markdown > results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import format_markdown
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate ATOM (HPCA 2017) evaluation results.",
+    )
+    parser.add_argument(
+        "--experiment", "-e", action="append", default=[],
+        choices=sorted(EXPERIMENTS),
+        help="experiment to run (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="transaction-count scale factor (default 1.0)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown tables")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.all else args.experiment
+    if not names:
+        parser.error("pass --all or at least one --experiment")
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, scale=args.scale)
+        elapsed = time.time() - start
+        if args.markdown:
+            print(f"### {result.name}\n")
+            print(format_markdown(result.headers, result.rows))
+            if result.notes:
+                print(f"\n*{result.notes}*")
+            print()
+        else:
+            print(result.render())
+            print(f"({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Memory subsystem: functional images, address layout, NVM timing,
+channels and memory controllers."""
+
+from repro.mem.image import MemoryImage
+from repro.mem.layout import AddressLayout
+
+__all__ = ["AddressLayout", "MemoryImage"]

@@ -1,0 +1,198 @@
+"""Memory channel timing model.
+
+Each memory controller owns one or two channels (Figure 7 evaluates a
+two-channel configuration where logging traffic is segregated onto its
+own channel).  A channel models:
+
+* **device latency** — NVM array access time, 240/360 cycles for
+  reads/writes at the paper's 10x-DRAM operating point;
+* **serialization** — peak bandwidth of 5.3 GB/s (~24 cycles per 64 B
+  transfer at 2 GHz), modelled as exclusive bus occupancy;
+* **scheduling** — reads have priority over writes (writes are posted
+  into a bounded write queue) until the write queue crosses a drain
+  watermark, after which writes drain first.  This is the standard
+  read-priority/write-drain policy and it is what makes REDO's log reads
+  interfere with demand reads (paper section VI-D).
+
+The channel is purely a timing device: completion callbacks receive the
+finish cycle and the caller updates functional state (durable image).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.stats import StatDomain
+from repro.config import MemoryConfig
+from repro.engine import Engine
+
+
+class AccessKind(Enum):
+    """What a channel request is for — drives stats and scheduling."""
+
+    DATA_READ = "data_read"
+    DATA_WRITE = "data_write"
+    LOG_WRITE = "log_write"
+    LOG_READ = "log_read"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (AccessKind.DATA_READ, AccessKind.LOG_READ)
+
+
+@dataclass
+class ChannelRequest:
+    """One line-sized (or smaller) NVM access."""
+
+    kind: AccessKind
+    addr: int
+    size: int
+    on_done: Callable[[], None] | None = None
+    enqueue_time: int = 0
+    #: Set by the channel when the request is issued to the device.
+    issue_time: int = field(default=-1)
+
+
+class Channel:
+    """One NVM channel: queues, arbiter and device timing."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: MemoryConfig,
+        stats: StatDomain,
+        name: str = "channel",
+    ):
+        self.engine = engine
+        self.cfg = cfg
+        self.stats = stats
+        self.name = name
+        self._read_q: deque[ChannelRequest] = deque()
+        self._write_q: deque[ChannelRequest] = deque()
+        self._busy_until = 0
+        self._scheduled = False
+        #: Callbacks waiting for write-queue space (backpressure).
+        self._write_waiters: deque[Callable[[], None]] = deque()
+
+    # -- public interface ---------------------------------------------------
+
+    def read(self, kind: AccessKind, addr: int, size: int,
+             on_done: Callable[[], None]) -> None:
+        """Enqueue a read; ``on_done`` fires when data is back."""
+        assert kind.is_read
+        req = ChannelRequest(kind, addr, size, on_done, self.engine.now)
+        self._read_q.append(req)
+        self.stats.add(f"{kind.value}_count")
+        self._kick()
+
+    def write(self, kind: AccessKind, addr: int, size: int,
+              on_done: Callable[[], None] | None = None,
+              priority: bool = False) -> bool:
+        """Enqueue a posted write.
+
+        Returns False (and does not enqueue) when the write queue is full;
+        the caller should register with :meth:`when_write_space`.
+        ``on_done`` fires when the write has persisted in the NVM cells.
+        ``priority`` writes jump the queue (commit records — ordering
+        hazards are the caller's responsibility).
+        """
+        assert not kind.is_read
+        if len(self._write_q) >= self.cfg.write_queue_depth:
+            self.stats.add("write_queue_full_events")
+            return False
+        req = ChannelRequest(kind, addr, size, on_done, self.engine.now)
+        if priority:
+            self._write_q.appendleft(req)
+        else:
+            self._write_q.append(req)
+        self.stats.add(f"{kind.value}_count")
+        self.stats.peak("write_queue_peak", len(self._write_q))
+        self._kick()
+        return True
+
+    def when_write_space(self, fn: Callable[[], None]) -> None:
+        """Call ``fn`` once a write-queue slot frees up."""
+        self._write_waiters.append(fn)
+
+    def pending_writes(self) -> int:
+        """Writes queued but not yet persisted (discarded on a crash)."""
+        return len(self._write_q)
+
+    def drop_pending(self) -> int:
+        """Power failure: discard queued work.  Returns count dropped.
+
+        Per paper section IV-D, pending log writes in controller buffers
+        are safely discarded because Invariant 2 guarantees no dependent
+        data write persisted either.
+        """
+        dropped = len(self._read_q) + len(self._write_q)
+        self._read_q.clear()
+        self._write_q.clear()
+        self._write_waiters.clear()
+        return dropped
+
+    # -- arbiter --------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._scheduled:
+            return
+        start = max(self.engine.now, self._busy_until)
+        self._scheduled = True
+        self.engine.at(start, self._issue_next)
+
+    def _select(self) -> ChannelRequest | None:
+        """Read-priority with write-drain watermark."""
+        watermark = self.cfg.write_drain_watermark * self.cfg.write_queue_depth
+        draining = len(self._write_q) >= watermark
+        if self._read_q and not draining:
+            return self._read_q.popleft()
+        if self._write_q:
+            return self._write_q.popleft()
+        if self._read_q:
+            return self._read_q.popleft()
+        return None
+
+    def _issue_next(self) -> None:
+        self._scheduled = False
+        req = self._select()
+        if req is None:
+            return
+        now = self.engine.now
+        latency = (
+            self.cfg.read_cycles if req.kind.is_read else self.cfg.write_cycles
+        )
+        # Effective occupancy: bus serialization, or the device-bank
+        # bottleneck when the array latency outruns the banks.
+        ser = max(
+            self._serialization_cycles(req.size),
+            round(latency / max(1, self.cfg.device_banks)),
+        )
+        req.issue_time = now
+        self._busy_until = now + ser
+        self.stats.add("busy_cycles", ser)
+        self.stats.add(f"{req.kind.value}_bytes", req.size)
+        self.stats.add("queue_wait_cycles", now - req.enqueue_time)
+        done_at = now + ser + latency
+        if req.on_done is not None:
+            self.engine.at(done_at, req.on_done)
+        if not req.kind.is_read:
+            self._notify_write_space()
+        if self._read_q or self._write_q:
+            self._kick()
+
+    def _serialization_cycles(self, size: int) -> int:
+        return max(1, round(size / self.cfg.bytes_per_cycle))
+
+    def _notify_write_space(self) -> None:
+        if self._write_waiters:
+            waiter = self._write_waiters.popleft()
+            self.engine.after(0, waiter)
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name}, reads={len(self._read_q)}, "
+            f"writes={len(self._write_q)}, busy_until={self._busy_until})"
+        )

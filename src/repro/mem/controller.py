@@ -1,0 +1,223 @@
+"""Memory controller: channel arbitration plus the LogM attachment point.
+
+The controller is where ATOM enforces the ``log -> data`` ordering
+constraint (paper section III-C): every *data* write is gated through the
+attached LogM module, which compares the address against the current
+record header register.  On a match the header is persisted first (closing
+the record and unlocking its lines), and only then is the data write
+released to the channel — Invariant 2 without any core-side waiting.
+
+With two channels per controller (the ``*-2C`` configurations of
+Figure 7), channel 0 carries data traffic and channel 1 carries log
+traffic, mirroring the configuration of Doshi et al. [14].
+
+The controller also exposes the fill path hook used by *source logging*
+(section III-D): a fetch-exclusive that is served from the NVM array may
+be logged directly by the controller, with the reply telling the L1 that
+the log bit should be pre-set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.stats import Stats
+from repro.common.units import CACHE_LINE_BYTES
+from repro.config import MemoryConfig
+from repro.engine import Engine
+from repro.mem.channel import AccessKind, Channel
+from repro.mem.image import MemoryImage
+from repro.mem.layout import AddressLayout
+
+
+class MemoryController:
+    """One of the (typically four) on-die memory controllers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mc_id: int,
+        cfg: MemoryConfig,
+        image: MemoryImage,
+        layout: AddressLayout,
+        stats: Stats,
+    ):
+        self.engine = engine
+        self.mc_id = mc_id
+        self.cfg = cfg
+        self.image = image
+        self.layout = layout
+        self.stats = stats.domain(f"mc{mc_id}")
+        self._channels = [
+            Channel(engine, cfg, stats.domain(f"mc{mc_id}.ch{c}"), f"mc{mc_id}.ch{c}")
+            for c in range(cfg.channels_per_controller)
+        ]
+        #: Attached log manager (undo designs) — set by the system builder.
+        self.logm = None
+        #: Attached redo backend (REDO design) — set by the system builder.
+        self.redo_backend = None
+        #: Victim cache (REDO design) — set by the system builder.
+        self.victim_cache = None
+        #: Invariant-checking hook: called as fn(addr) just before a data
+        #: line persists.  Installed by repro.atom.invariants in tests.
+        self.pre_persist_check: Callable[[int], None] | None = None
+
+    # -- channel selection ----------------------------------------------------
+
+    @property
+    def data_channel(self) -> Channel:
+        return self._channels[0]
+
+    @property
+    def log_channel(self) -> Channel:
+        """Log traffic uses the second channel when one exists."""
+        return self._channels[-1]
+
+    @property
+    def channels(self) -> list[Channel]:
+        return list(self._channels)
+
+    # -- read path ---------------------------------------------------------------
+
+    def fetch_line(
+        self,
+        addr: int,
+        on_data: Callable[[bytes, bool], None],
+        *,
+        exclusive: bool = False,
+        atomic_core: int | None = None,
+    ) -> None:
+        """Read a line from NVM for a cache fill.
+
+        ``on_data(payload, source_logged)`` is invoked with the durable
+        line contents.  When the fetch is exclusive, comes from a core
+        inside an atomic region, and a LogM is attached, the controller
+        attempts source logging: the just-read old value goes straight
+        into the undo log and the reply carries ``source_logged=True`` so
+        the L1 sets the log bit on fill (Figure 3(d)).
+        """
+        self.stats.add("fills")
+
+        if self.victim_cache is not None and self.victim_cache.holds(addr):
+            # The line is parked at the controller (REDO): serve it
+            # without an NVM array access.
+            self.stats.add("victim_hits")
+            self.engine.after(
+                4, lambda: on_data(self.image.volatile_line(addr), False)
+            )
+            return
+
+        def complete() -> None:
+            payload = self.image.durable_line(addr)
+            source_logged = False
+            if (
+                exclusive
+                and atomic_core is not None
+                and self.logm is not None
+                and self.logm.supports_source_logging
+            ):
+                source_logged = self.logm.source_log(atomic_core, addr, payload)
+            on_data(payload, source_logged)
+
+        self.data_channel.read(AccessKind.DATA_READ, addr, CACHE_LINE_BYTES, complete)
+
+    def read_log_line(self, addr: int, on_data: Callable[[bytes], None]) -> None:
+        """Read a log line back from NVM (REDO backend apply path)."""
+
+        def complete() -> None:
+            on_data(self.image.durable_line(addr))
+
+        self.log_channel.read(AccessKind.LOG_READ, addr, CACHE_LINE_BYTES, complete)
+
+    # -- write paths -----------------------------------------------------------
+
+    def write_data_line(
+        self,
+        addr: int,
+        payload: bytes,
+        on_persist: Callable[[], None] | None = None,
+    ) -> None:
+        """Persist a data line, honouring the LogM ordering gate.
+
+        The payload was snapshotted by the sender (cache writeback or
+        flush); it lands in the durable image when the write completes.
+        """
+        self.stats.add("data_writes")
+
+        def release() -> None:
+            self._submit_write(
+                self.data_channel, AccessKind.DATA_WRITE, addr, len(payload),
+                lambda: self._persist(addr, payload, on_persist, check=True),
+            )
+
+        if self.logm is not None:
+            self.logm.gate_data_write(addr, release)
+        else:
+            release()
+
+    def write_log_line(
+        self,
+        addr: int,
+        payload: bytes,
+        on_persist: Callable[[], None] | None = None,
+        priority: bool = False,
+    ) -> None:
+        """Persist a line in the log region (no ordering gate).
+
+        ``priority`` lets commit records jump the write queue (used by
+        the REDO comparator; an undo record header must *not* use it,
+        as it would overtake its own entry data lines).
+        """
+        self.stats.add("log_writes")
+        self._submit_write(
+            self.log_channel, AccessKind.LOG_WRITE, addr, len(payload),
+            lambda: self._persist(addr, payload, on_persist, check=False),
+            priority=priority,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _persist(
+        self,
+        addr: int,
+        payload: bytes,
+        on_persist: Callable[[], None] | None,
+        *,
+        check: bool,
+    ) -> None:
+        if check and self.pre_persist_check is not None:
+            self.pre_persist_check(addr)
+        self.image.persist(addr, payload)
+        if on_persist is not None:
+            on_persist()
+
+    def _submit_write(
+        self,
+        channel: Channel,
+        kind: AccessKind,
+        addr: int,
+        size: int,
+        on_done: Callable[[], None],
+        priority: bool = False,
+    ) -> None:
+        """Enqueue a write, retrying transparently under backpressure."""
+
+        def attempt() -> None:
+            if not channel.write(kind, addr, size, on_done, priority=priority):
+                channel.when_write_space(attempt)
+
+        attempt()
+
+    # -- crash ------------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Power failure: drop all in-flight channel work.
+
+        Returns the number of dropped requests.  Invariant 2 makes the
+        drop safe (section IV-D): any data write still queued has its undo
+        entry either durable or also still queued.
+        """
+        return sum(ch.drop_pending() for ch in self._channels)
+
+    def __repr__(self) -> str:
+        return f"MemoryController(id={self.mc_id}, channels={len(self._channels)})"

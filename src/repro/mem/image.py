@@ -1,0 +1,142 @@
+"""Two-image functional memory model.
+
+The simulator separates *values* from *timing*.  Values live in a
+:class:`MemoryImage`, which keeps two byte arrays over the same physical
+address space:
+
+* the **volatile image** — the latest value of every byte, i.e. what a
+  coherent load anywhere in the machine would observe.  Stores update it
+  when they issue.
+* the **durable image** — the contents of the NVM cells.  Only a persist
+  completing at a memory controller updates it (cache writeback, explicit
+  flush, log write, or the REDO backend's in-place apply).
+
+Caches therefore carry metadata only (tags, MESI state, dirty and log
+bits); a writeback message snapshots the volatile line at send time.  A
+power failure simply *discards the volatile image*: recovery and all
+post-crash consistency checks read the durable image, which is exactly
+the state a real NVM would hold.
+
+Addresses are physical; the :class:`~repro.mem.layout.AddressLayout` maps
+them to controllers and log regions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import MemoryError_
+from repro.common.units import CACHE_LINE_BYTES, line_of
+
+_U64 = struct.Struct("<Q")
+
+
+class MemoryImage:
+    """Byte-addressable volatile + durable images of physical memory."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % CACHE_LINE_BYTES:
+            raise MemoryError_(
+                f"image size must be a positive multiple of "
+                f"{CACHE_LINE_BYTES}, got {size_bytes}"
+            )
+        self.size_bytes = size_bytes
+        self._volatile = bytearray(size_bytes)
+        self._durable = bytearray(size_bytes)
+
+    # -- bounds -----------------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size_bytes:
+            raise MemoryError_(
+                f"access [{addr:#x}, {addr + size:#x}) outside image of "
+                f"{self.size_bytes:#x} bytes"
+            )
+
+    # -- volatile (latest-value) accessors ---------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes of the latest value at ``addr``."""
+        self._check(addr, size)
+        return bytes(self._volatile[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Apply a store's bytes to the volatile image."""
+        self._check(addr, len(data))
+        self._volatile[addr : addr + len(data)] = data
+
+    def read_u64(self, addr: int) -> int:
+        """Latest 8-byte little-endian word at ``addr``."""
+        self._check(addr, 8)
+        return _U64.unpack_from(self._volatile, addr)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Store an 8-byte little-endian word into the volatile image."""
+        self._check(addr, 8)
+        _U64.pack_into(self._volatile, addr, value)
+
+    def volatile_line(self, addr: int) -> bytes:
+        """Snapshot the 64 B cache line containing ``addr`` (latest value).
+
+        Used when a writeback/flush message leaves a cache, and when the
+        LogI module captures the pre-store value for an undo entry.
+        """
+        base = line_of(addr)
+        self._check(base, CACHE_LINE_BYTES)
+        return bytes(self._volatile[base : base + CACHE_LINE_BYTES])
+
+    # -- durable (NVM-cell) accessors --------------------------------------
+
+    def durable_read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes of NVM contents at ``addr``."""
+        self._check(addr, size)
+        return bytes(self._durable[addr : addr + size])
+
+    def durable_read_u64(self, addr: int) -> int:
+        """8-byte little-endian word of NVM contents at ``addr``."""
+        self._check(addr, 8)
+        return _U64.unpack_from(self._durable, addr)[0]
+
+    def durable_line(self, addr: int) -> bytes:
+        """The 64 B NVM line containing ``addr``.
+
+        This is what the memory controller reads on a fill — and the old
+        value that *source logging* writes into the undo log.
+        """
+        base = line_of(addr)
+        self._check(base, CACHE_LINE_BYTES)
+        return bytes(self._durable[base : base + CACHE_LINE_BYTES])
+
+    def persist(self, addr: int, data: bytes) -> None:
+        """A write completes at the NVM: update the durable image."""
+        self._check(addr, len(data))
+        self._durable[addr : addr + len(data)] = data
+
+    def persist_equals_volatile(self, addr: int, size: int) -> bool:
+        """True if durable and volatile agree over the range (test aid)."""
+        self._check(addr, size)
+        return (
+            self._volatile[addr : addr + size]
+            == self._durable[addr : addr + size]
+        )
+
+    # -- whole-image operations --------------------------------------------
+
+    def sync_all(self) -> None:
+        """Make the durable image identical to the volatile image.
+
+        Used by the DirectDriver when pre-populating workload structures:
+        setup writes are deemed flushed before the timed/crashed phase.
+        """
+        self._durable[:] = self._volatile
+
+    def crash(self) -> None:
+        """Power failure: all volatile state is lost.
+
+        The volatile image is reset to the durable image (after recovery,
+        the machine reboots seeing only NVM contents).
+        """
+        self._volatile[:] = self._durable
+
+    def __repr__(self) -> str:
+        return f"MemoryImage({self.size_bytes:#x} bytes)"

@@ -1,0 +1,6 @@
+"""On-chip network: 2D mesh topology and timing."""
+
+from repro.noc.mesh import Mesh
+from repro.noc.topology import Topology
+
+__all__ = ["Mesh", "Topology"]

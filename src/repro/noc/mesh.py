@@ -1,0 +1,119 @@
+"""2D mesh network timing model.
+
+Messages are charged injection overhead, per-hop router/link latency, and
+flit serialization (a 64 B payload plus header is five 16 B flits).  An
+optional coarse contention model tracks cumulative occupancy per source
+tile and delays injection when a tile has oversubscribed its injection
+port; full per-link flow control is intentionally out of scope (the
+paper's results are driven by memory-side queueing, not NoC saturation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.stats import StatDomain
+from repro.config import NocConfig
+from repro.engine import Engine
+from repro.noc.topology import Topology
+
+#: Bytes of header/command metadata charged to every message.
+HEADER_BYTES = 8
+
+
+class Mesh:
+    """The on-chip interconnect: latency calculator and message scheduler."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        cfg: NocConfig,
+        stats: StatDomain,
+        model_contention: bool = True,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.cfg = cfg
+        self.stats = stats
+        self.model_contention = model_contention
+        #: Earliest cycle each tile's injection port is next free.
+        self._inject_free = [0] * topology.num_tiles
+
+    # -- timing -----------------------------------------------------------------
+
+    def flits(self, payload_bytes: int) -> int:
+        """Number of flits for a message with ``payload_bytes`` of data."""
+        total = payload_bytes + HEADER_BYTES
+        return max(1, -(-total // self.cfg.flit_bytes))
+
+    def latency(self, src_tile: int, dst_tile: int, payload_bytes: int) -> int:
+        """Zero-load latency of a message between two tiles."""
+        hops = self.topology.hops(src_tile, dst_tile)
+        serialization = self.flits(payload_bytes)
+        return (
+            self.cfg.inject_cycles
+            + hops * self.cfg.hop_cycles
+            + serialization
+        )
+
+    # -- message delivery ---------------------------------------------------------
+
+    def send(
+        self,
+        src_tile: int,
+        dst_tile: int,
+        payload_bytes: int,
+        on_arrive: Callable[[], None],
+    ) -> None:
+        """Deliver a message; ``on_arrive`` fires at the destination.
+
+        With contention modelling on, back-to-back messages from one tile
+        serialize on its injection port at one flit per cycle.
+        """
+        now = self.engine.now
+        depart = now
+        if self.model_contention:
+            depart = max(now, self._inject_free[src_tile])
+            self._inject_free[src_tile] = depart + self.flits(payload_bytes)
+            if depart > now:
+                self.stats.add("inject_stall_cycles", depart - now)
+        arrive = depart + self.latency(src_tile, dst_tile, payload_bytes)
+        self.stats.add("messages")
+        self.stats.add("flit_hops",
+                       self.flits(payload_bytes)
+                       * max(1, self.topology.hops(src_tile, dst_tile)))
+        self.engine.at(arrive, on_arrive)
+
+    def send_streamed(
+        self,
+        src_tile: int,
+        dst_tile: int,
+        payload_bytes: int,
+        on_arrive: Callable[[], None],
+    ) -> None:
+        """Deliver a message on a dedicated streaming virtual network.
+
+        Used for write-combining log streams (the REDO comparator's
+        buffers drain through their own datapath, so they do not
+        serialize against the tile's demand-miss injection port).
+        """
+        arrive = self.engine.now + self.latency(src_tile, dst_tile,
+                                                payload_bytes)
+        self.stats.add("streamed_messages")
+        self.engine.at(arrive, on_arrive)
+
+    def request_response(
+        self,
+        src_tile: int,
+        dst_tile: int,
+        request_bytes: int,
+        response_bytes: int,
+    ) -> int:
+        """Zero-load round-trip latency (request there, response back)."""
+        return self.latency(src_tile, dst_tile, request_bytes) + self.latency(
+            dst_tile, src_tile, response_bytes
+        )
+
+    def __repr__(self) -> str:
+        return f"Mesh({self.topology.rows}x{self.topology.cols})"

@@ -1,0 +1,92 @@
+"""Mesh topology: tile placement of cores, L2 banks and controllers.
+
+The paper's platform is a 32-tile chip arranged as a 4-row 2D mesh; each
+tile holds one core and one L2 bank, and the four memory controllers sit
+on the corners of the die (paper section V).  This module computes tile
+coordinates, Manhattan hop distances, the home L2 bank of a physical
+address, and the tile a memory controller attaches to.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.units import line_index
+from repro.config import NocConfig
+
+
+class Topology:
+    """Static placement and distance computation for the 2D mesh."""
+
+    def __init__(self, num_tiles: int, num_controllers: int, cfg: NocConfig):
+        if num_tiles % cfg.rows:
+            raise ConfigError(
+                f"{num_tiles} tiles do not tile a {cfg.rows}-row mesh"
+            )
+        self.num_tiles = num_tiles
+        self.rows = cfg.rows
+        self.cols = num_tiles // cfg.rows
+        self.num_controllers = num_controllers
+        self._mc_tiles = self._place_controllers()
+
+    def _place_controllers(self) -> list[int]:
+        """Controllers attach to the die corners, then edge midpoints."""
+        corners = [
+            self.coord_to_tile(0, 0),
+            self.coord_to_tile(0, self.cols - 1),
+            self.coord_to_tile(self.rows - 1, 0),
+            self.coord_to_tile(self.rows - 1, self.cols - 1),
+        ]
+        # Deduplicate while preserving order (tiny meshes fold corners).
+        seen: list[int] = []
+        for tile in corners:
+            if tile not in seen:
+                seen.append(tile)
+        extras = [t for t in range(self.num_tiles) if t not in seen]
+        placement = (seen + extras)[: self.num_controllers]
+        if len(placement) < self.num_controllers:
+            raise ConfigError("more controllers than tiles")
+        return placement
+
+    # -- coordinates -----------------------------------------------------------
+
+    def tile_to_coord(self, tile: int) -> tuple[int, int]:
+        """(row, col) of a tile index."""
+        if not 0 <= tile < self.num_tiles:
+            raise ConfigError(f"tile {tile} out of range")
+        return divmod(tile, self.cols)
+
+    def coord_to_tile(self, row: int, col: int) -> int:
+        """Tile index of (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigError(f"coordinate ({row},{col}) off the mesh")
+        return row * self.cols + col
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles (XY routing)."""
+        sr, sc = self.tile_to_coord(src)
+        dr, dc = self.tile_to_coord(dst)
+        return abs(sr - dr) + abs(sc - dc)
+
+    # -- placement queries ------------------------------------------------------
+
+    def core_tile(self, core_id: int) -> int:
+        """Tile of a core: one core per tile, identity mapping."""
+        if not 0 <= core_id < self.num_tiles:
+            raise ConfigError(f"core {core_id} out of range")
+        return core_id
+
+    def l2_home_tile(self, addr: int) -> int:
+        """Home L2 bank tile of a physical address (line interleaved)."""
+        return line_index(addr) % self.num_tiles
+
+    def mc_tile(self, mc_id: int) -> int:
+        """Tile a memory controller attaches to."""
+        if not 0 <= mc_id < self.num_controllers:
+            raise ConfigError(f"controller {mc_id} out of range")
+        return self._mc_tiles[mc_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.rows}x{self.cols}, "
+            f"mc_tiles={self._mc_tiles})"
+        )

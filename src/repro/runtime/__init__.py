@@ -1,0 +1,8 @@
+"""Persistence runtime: heap, typed memory API, drivers, system builder."""
+
+from repro.runtime.api import PMem
+from repro.runtime.driver import DirectDriver
+from repro.runtime.heap import Heap
+from repro.runtime.system import System, SimResult
+
+__all__ = ["DirectDriver", "Heap", "PMem", "SimResult", "System"]

@@ -1,0 +1,116 @@
+"""Typed persistent-memory access helpers for workload generators.
+
+Workload threads are generators of :mod:`repro.cpu.ops` micro-ops.  This
+module wraps the raw ``Load``/``Store`` ops with typed helpers so data
+structure code stays readable::
+
+    value = yield from pm.load_u64(node + OFF_KEY)
+    yield from pm.store_u64(node + OFF_LEFT, child)
+    yield from pm.store_bytes(entry, payload)
+
+Every helper is itself a generator (driven with ``yield from``), so the
+same workload code runs under the full timing simulator (via
+:class:`~repro.cpu.core.Core`) and under the functional
+:class:`~repro.runtime.driver.DirectDriver` used for setup and for fast
+structure unit tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.cpu import ops
+
+_U64 = struct.Struct("<Q")
+
+
+class PMem:
+    """Namespace of generator helpers producing micro-ops."""
+
+    # -- loads -----------------------------------------------------------------
+
+    @staticmethod
+    def load_u64(addr: int):
+        """Load one little-endian 8-byte word."""
+        raw = yield ops.Load(addr, 8)
+        return _U64.unpack(raw)[0]
+
+    @staticmethod
+    def load_bytes(addr: int, size: int):
+        """Load ``size`` raw bytes."""
+        raw = yield ops.Load(addr, size)
+        return raw
+
+    # -- stores ----------------------------------------------------------------
+
+    @staticmethod
+    def store_u64(addr: int, value: int):
+        """Store one little-endian 8-byte word."""
+        yield ops.Store(addr, _U64.pack(value))
+
+    @staticmethod
+    def store_bytes(addr: int, data: bytes):
+        """Store raw bytes (split across lines by the core)."""
+        yield ops.Store(addr, bytes(data))
+
+    @staticmethod
+    def memset(addr: int, size: int, fill: int = 0):
+        """Store ``size`` copies of ``fill``."""
+        yield ops.Store(addr, bytes([fill & 0xFF]) * size)
+
+    # -- structure --------------------------------------------------------------
+
+    @staticmethod
+    def compute(cycles: int):
+        """Model ``cycles`` of computation."""
+        yield ops.Compute(cycles)
+
+    @staticmethod
+    def atomic_begin():
+        """Open an atomically durable region."""
+        yield ops.AtomicBegin()
+
+    @staticmethod
+    def atomic_end(info=None):
+        """Close the region; ``info`` feeds the golden commit model."""
+        yield ops.AtomicEnd(info)
+
+    @staticmethod
+    def lock(lock_id: int):
+        """Acquire a software lock."""
+        yield ops.Lock(lock_id)
+
+    @staticmethod
+    def unlock(lock_id: int):
+        """Release a software lock."""
+        yield ops.Unlock(lock_id)
+
+
+class ImageReader:
+    """Direct durable-image reads for post-crash verification.
+
+    Workload ``verify_durable`` routines walk their persistent structures
+    through this reader, seeing exactly what survived in the NVM cells.
+    """
+
+    def __init__(self, image):
+        self._image = image
+
+    def load_u64(self, addr: int) -> int:
+        return self._image.durable_read_u64(addr)
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        return self._image.durable_read(addr, size)
+
+
+class VolatileReader:
+    """Latest-value reads (pre-crash ground truth in tests)."""
+
+    def __init__(self, image):
+        self._image = image
+
+    def load_u64(self, addr: int) -> int:
+        return self._image.read_u64(addr)
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        return self._image.read(addr, size)

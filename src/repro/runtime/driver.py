@@ -1,0 +1,65 @@
+"""DirectDriver: functional (zero-timing) execution of workload threads.
+
+Used for three things:
+
+* **Setup** — pre-populating persistent structures before the timed
+  phase; writes go to both the volatile and the durable image (setup
+  state is deemed flushed).
+* **Structure unit tests** — data-structure code runs to completion in
+  microseconds without building a machine.
+* **Golden replay** — replaying the committed-transaction sequence into
+  a scratch image for post-crash comparison.
+
+Locks are no-ops (single-threaded execution), atomic regions only invoke
+the commit callback, loads/stores hit the image directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.cpu import ops
+from repro.mem.image import MemoryImage
+
+
+class DirectDriver:
+    """Run op generators functionally against a memory image."""
+
+    def __init__(self, image: MemoryImage, durable: bool = True):
+        self.image = image
+        #: When True, stores are applied to the durable image as well —
+        #: appropriate for setup (state starts flushed).
+        self.durable = durable
+        self.ops_executed = 0
+        #: Fired as fn(info) on every AtomicEnd.
+        self.on_commit: Callable[[object], None] | None = None
+
+    def run(self, gen: Generator):
+        """Drive ``gen`` to completion; returns its StopIteration value."""
+        value = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = self._apply(op)
+            self.ops_executed += 1
+
+    def _apply(self, op):
+        if isinstance(op, ops.Load):
+            return self.image.read(op.addr, op.size)
+        if isinstance(op, ops.Store):
+            self.image.write(op.addr, op.data)
+            if self.durable:
+                self.image.persist(op.addr, op.data)
+            return None
+        if isinstance(op, ops.AtomicEnd):
+            if self.on_commit is not None:
+                self.on_commit(op.info)
+            return None
+        if isinstance(
+            op,
+            (ops.Compute, ops.AtomicBegin, ops.Flush, ops.Lock, ops.Unlock),
+        ):
+            return None
+        raise TypeError(f"unknown op {op!r}")

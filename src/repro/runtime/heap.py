@@ -1,0 +1,93 @@
+"""NVM heap: allocation of persistent objects in the simulated data space.
+
+A minimal NVHeaps-style allocator: bump allocation from per-core arenas
+(to avoid false sharing between threads) with segregated free lists for
+reuse after ``free``.  Allocation is a host-side (setup/runtime) service;
+it deliberately generates no simulated memory traffic — the paper's
+benchmarks measure data-structure updates, not allocator metadata.
+
+Addresses handed out are physical addresses in the data region of the
+:class:`~repro.mem.layout.AddressLayout`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.common.errors import AllocationError
+from repro.common.units import CACHE_LINE_BYTES, align_up
+
+
+class Heap:
+    """Bump-plus-free-list allocator over the simulated data space."""
+
+    def __init__(self, data_bytes: int, arenas: int = 1,
+                 reserve_bytes: int = 0, stagger_bytes: int = 4096):
+        if arenas <= 0:
+            raise AllocationError("need at least one arena")
+        usable = data_bytes - reserve_bytes
+        if usable <= 0:
+            raise AllocationError("reserve exceeds data space")
+        self.data_bytes = data_bytes
+        self.arenas = arenas
+        arena_bytes = usable // arenas
+        # Stagger arena starts by one page each: arena sizes are often a
+        # multiple of (controllers x page), which would otherwise map
+        # every arena's hot head pages onto the same memory controller.
+        self._limit = [
+            reserve_bytes + (i + 1) * arena_bytes for i in range(arenas)
+        ]
+        self._base = [
+            min(reserve_bytes + i * arena_bytes + (i % 8) * stagger_bytes,
+                self._limit[i])
+            for i in range(arenas)
+        ]
+        self._next = list(self._base)
+        self._free: list[dict[int, list[int]]] = [
+            defaultdict(list) for _ in range(arenas)
+        ]
+        self.allocated = 0
+
+    def alloc(self, size: int, arena: int = 0, align: int = 8) -> int:
+        """Allocate ``size`` bytes; returns the physical address.
+
+        Objects are line-aligned when they are at least a line long, so
+        entry payloads start on cache-line boundaries like a real
+        persistent allocator would arrange.
+        """
+        if size <= 0:
+            raise AllocationError(f"cannot allocate {size} bytes")
+        if not 0 <= arena < self.arenas:
+            raise AllocationError(f"arena {arena} out of range")
+        if size >= CACHE_LINE_BYTES:
+            align = max(align, CACHE_LINE_BYTES)
+        size = align_up(size, align)
+        bucket = self._free[arena].get(size)
+        if bucket:
+            self.allocated += size
+            return bucket.pop()
+        addr = align_up(self._next[arena], align)
+        if addr + size > self._limit[arena]:
+            raise AllocationError(
+                f"arena {arena} exhausted allocating {size} bytes "
+                f"(grow SystemConfig.data_bytes)"
+            )
+        self._next[arena] = addr + size
+        self.allocated += size
+        return addr
+
+    def free(self, addr: int, size: int, arena: int = 0,
+             align: int = 8) -> None:
+        """Return a block for reuse by same-size allocations."""
+        if size >= CACHE_LINE_BYTES:
+            align = max(align, CACHE_LINE_BYTES)
+        size = align_up(size, align)
+        self._free[arena][size].append(addr)
+        self.allocated -= size
+
+    def remaining(self, arena: int = 0) -> int:
+        """Bytes left for bump allocation in ``arena``."""
+        return self._limit[arena] - self._next[arena]
+
+    def __repr__(self) -> str:
+        return f"Heap(arenas={self.arenas}, allocated={self.allocated})"

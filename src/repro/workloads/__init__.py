@@ -1,0 +1,6 @@
+"""Workloads: the paper's six micro-benchmarks (Table II) plus TPC-C."""
+
+from repro.workloads.base import Workload, WorkloadParams
+from repro.workloads.registry import MICROBENCHMARKS, make_workload
+
+__all__ = ["MICROBENCHMARKS", "Workload", "WorkloadParams", "make_workload"]

@@ -1,0 +1,243 @@
+"""A persistent B+-Tree over simulated NVM.
+
+Shared by the ``btree`` micro-benchmark and the TPC-C tables (the paper
+implements the TPC-C schema with B+-Trees [6]).  Keys are u64; values
+are u64 words (typically pointers to out-of-line payload blocks).
+
+Node layout (``order`` = max keys per node)::
+
+    [is_leaf u64][nkeys u64][next u64]          header (leaf chaining)
+    [keys:   order x u64]
+    [vals:   (order+1) x u64]                   children or values
+
+Insert splits full nodes on the way down (single-pass, preemptive).
+Delete removes the key from its leaf without rebalancing (lazy
+deletion): underfull leaves are permitted and empty leaves stay chained.
+This is a deliberate, documented design choice — it keeps every
+transaction's store pattern comparable to the paper's while avoiding a
+rebalancing cascade that the evaluation does not measure; lookups and
+range scans remain exactly correct.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import WorkloadError
+from repro.runtime.api import PMem
+
+OFF_IS_LEAF = 0
+OFF_NKEYS = 8
+OFF_NEXT = 16
+HDR = 24
+
+
+class BPlusTree:
+    """One persistent B+-Tree instance."""
+
+    def __init__(self, heap, arena: int, order: int = 8):
+        if order < 3:
+            raise WorkloadError("B+-tree order must be >= 3")
+        self.heap = heap
+        self.arena = arena
+        self.order = order
+        self.node_bytes = HDR + order * 8 + (order + 1) * 8
+        #: Address of the root-pointer word (set by :meth:`create`).
+        self.root_ptr: int | None = None
+
+    # -- address helpers ------------------------------------------------------
+
+    def _key_addr(self, node: int, index: int) -> int:
+        return node + HDR + index * 8
+
+    def _val_addr(self, node: int, index: int) -> int:
+        return node + HDR + self.order * 8 + index * 8
+
+    # -- construction ------------------------------------------------------------
+
+    def create(self):
+        """Allocate the root pointer and an empty leaf root."""
+        self.root_ptr = self.heap.alloc(8, arena=self.arena)
+        leaf = yield from self._new_node(is_leaf=True)
+        yield from PMem.store_u64(self.root_ptr, leaf)
+
+    def _new_node(self, is_leaf: bool):
+        node = self.heap.alloc(self.node_bytes, arena=self.arena)
+        yield from PMem.store_u64(node + OFF_IS_LEAF, 1 if is_leaf else 0)
+        yield from PMem.store_u64(node + OFF_NKEYS, 0)
+        yield from PMem.store_u64(node + OFF_NEXT, 0)
+        return node
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _find_leaf(self, key: int):
+        node = yield from PMem.load_u64(self.root_ptr)
+        while True:
+            is_leaf = yield from PMem.load_u64(node + OFF_IS_LEAF)
+            if is_leaf:
+                return node
+            nkeys = yield from PMem.load_u64(node + OFF_NKEYS)
+            index = 0
+            while index < nkeys:
+                k = yield from PMem.load_u64(self._key_addr(node, index))
+                if key < k:
+                    break
+                index += 1
+            node = yield from PMem.load_u64(self._val_addr(node, index))
+
+    def get(self, key: int):
+        """Return the value for ``key``, or None."""
+        leaf = yield from self._find_leaf(key)
+        nkeys = yield from PMem.load_u64(leaf + OFF_NKEYS)
+        for index in range(nkeys):
+            k = yield from PMem.load_u64(self._key_addr(leaf, index))
+            if k == key:
+                value = yield from PMem.load_u64(self._val_addr(leaf, index))
+                return value
+        return None
+
+    # -- insert ---------------------------------------------------------------------
+
+    def put(self, key: int, value: int):
+        """Insert or update ``key``; splits full nodes on the way down."""
+        root = yield from PMem.load_u64(self.root_ptr)
+        nkeys = yield from PMem.load_u64(root + OFF_NKEYS)
+        if nkeys >= self.order:
+            # Grow the tree: new root above the split old root.
+            new_root = yield from self._new_node(is_leaf=False)
+            yield from PMem.store_u64(self._val_addr(new_root, 0), root)
+            yield from self._split_child(new_root, 0, root)
+            yield from PMem.store_u64(self.root_ptr, new_root)
+            root = new_root
+        yield from self._insert_nonfull(root, key, value)
+
+    def _split_child(self, parent: int, index: int, child: int):
+        """Split a full ``child``; hoist the separator into ``parent``."""
+        is_leaf = yield from PMem.load_u64(child + OFF_IS_LEAF)
+        right = yield from self._new_node(is_leaf=bool(is_leaf))
+        mid = self.order // 2
+        if is_leaf:
+            # Leaves keep the separator key in the right node (B+ style).
+            moved = self.order - mid
+            for i in range(moved):
+                k = yield from PMem.load_u64(self._key_addr(child, mid + i))
+                v = yield from PMem.load_u64(self._val_addr(child, mid + i))
+                yield from PMem.store_u64(self._key_addr(right, i), k)
+                yield from PMem.store_u64(self._val_addr(right, i), v)
+            separator = yield from PMem.load_u64(self._key_addr(child, mid))
+            yield from PMem.store_u64(right + OFF_NKEYS, moved)
+            yield from PMem.store_u64(child + OFF_NKEYS, mid)
+            child_next = yield from PMem.load_u64(child + OFF_NEXT)
+            yield from PMem.store_u64(right + OFF_NEXT, child_next)
+            yield from PMem.store_u64(child + OFF_NEXT, right)
+        else:
+            moved = self.order - mid - 1
+            for i in range(moved):
+                k = yield from PMem.load_u64(self._key_addr(child, mid + 1 + i))
+                yield from PMem.store_u64(self._key_addr(right, i), k)
+            for i in range(moved + 1):
+                v = yield from PMem.load_u64(self._val_addr(child, mid + 1 + i))
+                yield from PMem.store_u64(self._val_addr(right, i), v)
+            separator = yield from PMem.load_u64(self._key_addr(child, mid))
+            yield from PMem.store_u64(right + OFF_NKEYS, moved)
+            yield from PMem.store_u64(child + OFF_NKEYS, mid)
+        # Shift the parent's keys/children right and link the new child.
+        pkeys = yield from PMem.load_u64(parent + OFF_NKEYS)
+        for i in range(pkeys, index, -1):
+            k = yield from PMem.load_u64(self._key_addr(parent, i - 1))
+            yield from PMem.store_u64(self._key_addr(parent, i), k)
+        for i in range(pkeys + 1, index + 1, -1):
+            v = yield from PMem.load_u64(self._val_addr(parent, i - 1))
+            yield from PMem.store_u64(self._val_addr(parent, i), v)
+        yield from PMem.store_u64(self._key_addr(parent, index), separator)
+        yield from PMem.store_u64(self._val_addr(parent, index + 1), right)
+        yield from PMem.store_u64(parent + OFF_NKEYS, pkeys + 1)
+
+    def _insert_nonfull(self, node: int, key: int, value: int):
+        while True:
+            is_leaf = yield from PMem.load_u64(node + OFF_IS_LEAF)
+            nkeys = yield from PMem.load_u64(node + OFF_NKEYS)
+            if is_leaf:
+                # Update in place when present.
+                index = 0
+                while index < nkeys:
+                    k = yield from PMem.load_u64(self._key_addr(node, index))
+                    if k == key:
+                        yield from PMem.store_u64(
+                            self._val_addr(node, index), value
+                        )
+                        return
+                    if k > key:
+                        break
+                    index += 1
+                for i in range(nkeys, index, -1):
+                    k = yield from PMem.load_u64(self._key_addr(node, i - 1))
+                    v = yield from PMem.load_u64(self._val_addr(node, i - 1))
+                    yield from PMem.store_u64(self._key_addr(node, i), k)
+                    yield from PMem.store_u64(self._val_addr(node, i), v)
+                yield from PMem.store_u64(self._key_addr(node, index), key)
+                yield from PMem.store_u64(self._val_addr(node, index), value)
+                yield from PMem.store_u64(node + OFF_NKEYS, nkeys + 1)
+                return
+            index = 0
+            while index < nkeys:
+                k = yield from PMem.load_u64(self._key_addr(node, index))
+                if key < k:
+                    break
+                index += 1
+            child = yield from PMem.load_u64(self._val_addr(node, index))
+            child_keys = yield from PMem.load_u64(child + OFF_NKEYS)
+            if child_keys >= self.order:
+                yield from self._split_child(node, index, child)
+                sep = yield from PMem.load_u64(self._key_addr(node, index))
+                if key >= sep:
+                    child = yield from PMem.load_u64(
+                        self._val_addr(node, index + 1)
+                    )
+            node = child
+
+    # -- delete (lazy) -------------------------------------------------------------------
+
+    def delete(self, key: int):
+        """Remove ``key`` from its leaf; returns True if found."""
+        leaf = yield from self._find_leaf(key)
+        nkeys = yield from PMem.load_u64(leaf + OFF_NKEYS)
+        for index in range(nkeys):
+            k = yield from PMem.load_u64(self._key_addr(leaf, index))
+            if k == key:
+                for i in range(index, nkeys - 1):
+                    nk = yield from PMem.load_u64(self._key_addr(leaf, i + 1))
+                    nv = yield from PMem.load_u64(self._val_addr(leaf, i + 1))
+                    yield from PMem.store_u64(self._key_addr(leaf, i), nk)
+                    yield from PMem.store_u64(self._val_addr(leaf, i), nv)
+                yield from PMem.store_u64(leaf + OFF_NKEYS, nkeys - 1)
+                return True
+        return False
+
+    # -- durable walking (verification, no timing) -------------------------------------------
+
+    def walk_durable(self, reader) -> dict[int, int]:
+        """All key->value pairs from the durable image, via leaf links."""
+        node = reader.load_u64(self.root_ptr)
+        # Descend to the leftmost leaf.
+        while not reader.load_u64(node + OFF_IS_LEAF):
+            node = reader.load_u64(self._val_addr(node, 0))
+        found: dict[int, int] = {}
+        hops = 0
+        while node:
+            nkeys = reader.load_u64(node + OFF_NKEYS)
+            previous = -1
+            for i in range(nkeys):
+                key = reader.load_u64(self._key_addr(node, i))
+                if key <= previous:
+                    raise WorkloadError(
+                        f"B+tree leaf keys out of order ({key} after "
+                        f"{previous})"
+                    )
+                if key in found:
+                    raise WorkloadError(f"duplicate B+tree key {key}")
+                previous = key
+                found[key] = reader.load_u64(self._val_addr(node, i))
+            node = reader.load_u64(node + OFF_NEXT)
+            hops += 1
+            if hops > 1_000_000:
+                raise WorkloadError("cycle in leaf chain")
+        return found

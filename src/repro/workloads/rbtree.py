@@ -1,0 +1,419 @@
+"""RBTree micro-benchmark: insert/delete nodes in a red-black tree.
+
+A textbook red-black tree implemented directly over simulated NVM.
+Rebalancing rotations and recolourings make this the pointer-update-rich
+workload of the suite; the paper uses it for the latency-sensitivity
+study (Figure 8).
+
+Node layout::
+
+    [key u64][color u64][left u64][right u64][parent u64][payload ...]
+
+A NIL sentinel node per tree keeps the algorithms uniform; the root
+pointer lives in a one-word header.  All structural mutation happens
+inside atomic regions under the thread's lock.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import PMem
+from repro.workloads.base import Workload, payload_for, payload_tag
+
+RED = 0
+BLACK = 1
+
+OFF_KEY = 0
+OFF_COLOR = 8
+OFF_LEFT = 16
+OFF_RIGHT = 24
+OFF_PARENT = 32
+NODE_HDR = 40
+
+
+class RBTreeWorkload(Workload):
+    """Red-black tree with per-thread instances."""
+
+    name = "rbtree"
+
+    def __init__(self, system, params=None, **kw):
+        super().__init__(system, params, **kw)
+        self.node_bytes = NODE_HDR + self.params.entry_bytes
+        self.roots: list[int] = []  # address of root-pointer word
+        self.nils: list[int] = []  # per-tree NIL sentinel node
+        self.golden: list[dict[int, int]] = [
+            dict() for _ in range(self.threads_count)
+        ]
+        self._next_key = [1 for _ in range(self.threads_count)]
+
+    # -- setup ---------------------------------------------------------------------
+
+    def _setup_thread(self, tid: int, driver) -> None:
+        root_ptr = self.heap.alloc(8, arena=tid)
+        nil = self.heap.alloc(NODE_HDR, arena=tid)
+        self.roots.append(root_ptr)
+        self.nils.append(nil)
+        driver.run(PMem.store_u64(nil + OFF_COLOR, BLACK))
+        driver.run(PMem.store_u64(root_ptr, nil))
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            key = self._fresh_key(tid, rng)
+            driver.run(self._insert(tid, key, 0))
+            self.golden[tid][key] = payload_tag(key, 0)
+
+    def _fresh_key(self, tid: int, rng) -> int:
+        # Spread keys so trees are not pathological insertion orders.
+        key = self._next_key[tid]
+        self._next_key[tid] += 1
+        return ((key * 2654435761) & 0xFFFFFF) * 64 + tid + 1
+
+    # -- field helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _get(node, off):
+        value = yield from PMem.load_u64(node + off)
+        return value
+
+    @staticmethod
+    def _set(node, off, value):
+        yield from PMem.store_u64(node + off, value)
+
+    # -- rotations -----------------------------------------------------------------------
+
+    def _rotate_left(self, tid, x):
+        nil = self.nils[tid]
+        y = yield from self._get(x, OFF_RIGHT)
+        y_left = yield from self._get(y, OFF_LEFT)
+        yield from self._set(x, OFF_RIGHT, y_left)
+        if y_left != nil:
+            yield from self._set(y_left, OFF_PARENT, x)
+        x_parent = yield from self._get(x, OFF_PARENT)
+        yield from self._set(y, OFF_PARENT, x_parent)
+        if x_parent == nil:
+            yield from PMem.store_u64(self.roots[tid], y)
+        else:
+            parent_left = yield from self._get(x_parent, OFF_LEFT)
+            side = OFF_LEFT if parent_left == x else OFF_RIGHT
+            yield from self._set(x_parent, side, y)
+        yield from self._set(y, OFF_LEFT, x)
+        yield from self._set(x, OFF_PARENT, y)
+
+    def _rotate_right(self, tid, x):
+        nil = self.nils[tid]
+        y = yield from self._get(x, OFF_LEFT)
+        y_right = yield from self._get(y, OFF_RIGHT)
+        yield from self._set(x, OFF_LEFT, y_right)
+        if y_right != nil:
+            yield from self._set(y_right, OFF_PARENT, x)
+        x_parent = yield from self._get(x, OFF_PARENT)
+        yield from self._set(y, OFF_PARENT, x_parent)
+        if x_parent == nil:
+            yield from PMem.store_u64(self.roots[tid], y)
+        else:
+            parent_right = yield from self._get(x_parent, OFF_RIGHT)
+            side = OFF_RIGHT if parent_right == x else OFF_LEFT
+            yield from self._set(x_parent, side, y)
+        yield from self._set(y, OFF_RIGHT, x)
+        yield from self._set(x, OFF_PARENT, y)
+
+    # -- insert ---------------------------------------------------------------------------
+
+    def _insert(self, tid, key, version):
+        nil = self.nils[tid]
+        node = self.heap.alloc(self.node_bytes, arena=tid)
+        yield from self._set(node, OFF_KEY, key)
+        yield from PMem.store_bytes(
+            node + NODE_HDR, payload_for(key, version, self.params.entry_bytes)
+        )
+        parent = nil
+        cursor = yield from PMem.load_u64(self.roots[tid])
+        while cursor != nil:
+            parent = cursor
+            cursor_key = yield from self._get(cursor, OFF_KEY)
+            if key < cursor_key:
+                cursor = yield from self._get(cursor, OFF_LEFT)
+            else:
+                cursor = yield from self._get(cursor, OFF_RIGHT)
+        yield from self._set(node, OFF_PARENT, parent)
+        if parent == nil:
+            yield from PMem.store_u64(self.roots[tid], node)
+        else:
+            parent_key = yield from self._get(parent, OFF_KEY)
+            side = OFF_LEFT if key < parent_key else OFF_RIGHT
+            yield from self._set(parent, side, node)
+        yield from self._set(node, OFF_LEFT, nil)
+        yield from self._set(node, OFF_RIGHT, nil)
+        yield from self._set(node, OFF_COLOR, RED)
+        yield from self._insert_fixup(tid, node)
+
+    def _insert_fixup(self, tid, z):
+        nil = self.nils[tid]
+        while True:
+            parent = yield from self._get(z, OFF_PARENT)
+            if parent == nil:
+                break
+            parent_color = yield from self._get(parent, OFF_COLOR)
+            if parent_color != RED:
+                break
+            grand = yield from self._get(parent, OFF_PARENT)
+            grand_left = yield from self._get(grand, OFF_LEFT)
+            if parent == grand_left:
+                uncle = yield from self._get(grand, OFF_RIGHT)
+                uncle_color = yield from self._get(uncle, OFF_COLOR)
+                if uncle_color == RED:
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    yield from self._set(uncle, OFF_COLOR, BLACK)
+                    yield from self._set(grand, OFF_COLOR, RED)
+                    z = grand
+                else:
+                    parent_right = yield from self._get(parent, OFF_RIGHT)
+                    if z == parent_right:
+                        z = parent
+                        yield from self._rotate_left(tid, z)
+                        parent = yield from self._get(z, OFF_PARENT)
+                        grand = yield from self._get(parent, OFF_PARENT)
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    yield from self._set(grand, OFF_COLOR, RED)
+                    yield from self._rotate_right(tid, grand)
+            else:
+                uncle = yield from self._get(grand, OFF_LEFT)
+                uncle_color = yield from self._get(uncle, OFF_COLOR)
+                if uncle_color == RED:
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    yield from self._set(uncle, OFF_COLOR, BLACK)
+                    yield from self._set(grand, OFF_COLOR, RED)
+                    z = grand
+                else:
+                    parent_left = yield from self._get(parent, OFF_LEFT)
+                    if z == parent_left:
+                        z = parent
+                        yield from self._rotate_right(tid, z)
+                        parent = yield from self._get(z, OFF_PARENT)
+                        grand = yield from self._get(parent, OFF_PARENT)
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    yield from self._set(grand, OFF_COLOR, RED)
+                    yield from self._rotate_left(tid, grand)
+        root = yield from PMem.load_u64(self.roots[tid])
+        yield from self._set(root, OFF_COLOR, BLACK)
+
+    # -- search ------------------------------------------------------------------------------
+
+    def _search(self, tid, key):
+        nil = self.nils[tid]
+        cursor = yield from PMem.load_u64(self.roots[tid])
+        while cursor != nil:
+            cursor_key = yield from self._get(cursor, OFF_KEY)
+            if key == cursor_key:
+                return cursor
+            if key < cursor_key:
+                cursor = yield from self._get(cursor, OFF_LEFT)
+            else:
+                cursor = yield from self._get(cursor, OFF_RIGHT)
+        return 0
+
+    # -- delete ------------------------------------------------------------------------------
+
+    def _transplant(self, tid, u, v):
+        nil = self.nils[tid]
+        u_parent = yield from self._get(u, OFF_PARENT)
+        if u_parent == nil:
+            yield from PMem.store_u64(self.roots[tid], v)
+        else:
+            parent_left = yield from self._get(u_parent, OFF_LEFT)
+            side = OFF_LEFT if parent_left == u else OFF_RIGHT
+            yield from self._set(u_parent, side, v)
+        yield from self._set(v, OFF_PARENT, u_parent)
+
+    def _minimum(self, tid, node):
+        nil = self.nils[tid]
+        while True:
+            left = yield from self._get(node, OFF_LEFT)
+            if left == nil:
+                return node
+            node = left
+
+    def _delete(self, tid, z):
+        nil = self.nils[tid]
+        y = z
+        y_color = yield from self._get(y, OFF_COLOR)
+        z_left = yield from self._get(z, OFF_LEFT)
+        z_right = yield from self._get(z, OFF_RIGHT)
+        if z_left == nil:
+            x = z_right
+            yield from self._transplant(tid, z, z_right)
+        elif z_right == nil:
+            x = z_left
+            yield from self._transplant(tid, z, z_left)
+        else:
+            y = yield from self._minimum(tid, z_right)
+            y_color = yield from self._get(y, OFF_COLOR)
+            x = yield from self._get(y, OFF_RIGHT)
+            y_parent = yield from self._get(y, OFF_PARENT)
+            if y_parent == z:
+                yield from self._set(x, OFF_PARENT, y)
+            else:
+                yield from self._transplant(tid, y, x)
+                new_right = yield from self._get(z, OFF_RIGHT)
+                yield from self._set(y, OFF_RIGHT, new_right)
+                yield from self._set(new_right, OFF_PARENT, y)
+            yield from self._transplant(tid, z, y)
+            new_left = yield from self._get(z, OFF_LEFT)
+            yield from self._set(y, OFF_LEFT, new_left)
+            yield from self._set(new_left, OFF_PARENT, y)
+            z_color = yield from self._get(z, OFF_COLOR)
+            yield from self._set(y, OFF_COLOR, z_color)
+        if y_color == BLACK:
+            yield from self._delete_fixup(tid, x)
+        self.heap.free(z, self.node_bytes, arena=tid)
+
+    def _delete_fixup(self, tid, x):
+        nil = self.nils[tid]
+        while True:
+            root = yield from PMem.load_u64(self.roots[tid])
+            x_color = yield from self._get(x, OFF_COLOR)
+            if x == root or x_color != BLACK:
+                break
+            parent = yield from self._get(x, OFF_PARENT)
+            parent_left = yield from self._get(parent, OFF_LEFT)
+            if x == parent_left:
+                w = yield from self._get(parent, OFF_RIGHT)
+                w_color = yield from self._get(w, OFF_COLOR)
+                if w_color == RED:
+                    yield from self._set(w, OFF_COLOR, BLACK)
+                    yield from self._set(parent, OFF_COLOR, RED)
+                    yield from self._rotate_left(tid, parent)
+                    w = yield from self._get(parent, OFF_RIGHT)
+                w_left = yield from self._get(w, OFF_LEFT)
+                w_right = yield from self._get(w, OFF_RIGHT)
+                wl_color = yield from self._get(w_left, OFF_COLOR)
+                wr_color = yield from self._get(w_right, OFF_COLOR)
+                if wl_color == BLACK and wr_color == BLACK:
+                    yield from self._set(w, OFF_COLOR, RED)
+                    x = parent
+                else:
+                    if wr_color == BLACK:
+                        yield from self._set(w_left, OFF_COLOR, BLACK)
+                        yield from self._set(w, OFF_COLOR, RED)
+                        yield from self._rotate_right(tid, w)
+                        w = yield from self._get(parent, OFF_RIGHT)
+                    parent_color = yield from self._get(parent, OFF_COLOR)
+                    yield from self._set(w, OFF_COLOR, parent_color)
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    w_right = yield from self._get(w, OFF_RIGHT)
+                    yield from self._set(w_right, OFF_COLOR, BLACK)
+                    yield from self._rotate_left(tid, parent)
+                    x = yield from PMem.load_u64(self.roots[tid])
+            else:
+                w = yield from self._get(parent, OFF_LEFT)
+                w_color = yield from self._get(w, OFF_COLOR)
+                if w_color == RED:
+                    yield from self._set(w, OFF_COLOR, BLACK)
+                    yield from self._set(parent, OFF_COLOR, RED)
+                    yield from self._rotate_right(tid, parent)
+                    w = yield from self._get(parent, OFF_LEFT)
+                w_left = yield from self._get(w, OFF_LEFT)
+                w_right = yield from self._get(w, OFF_RIGHT)
+                wl_color = yield from self._get(w_left, OFF_COLOR)
+                wr_color = yield from self._get(w_right, OFF_COLOR)
+                if wl_color == BLACK and wr_color == BLACK:
+                    yield from self._set(w, OFF_COLOR, RED)
+                    x = parent
+                else:
+                    if wl_color == BLACK:
+                        yield from self._set(w_right, OFF_COLOR, BLACK)
+                        yield from self._set(w, OFF_COLOR, RED)
+                        yield from self._rotate_left(tid, w)
+                        w = yield from self._get(parent, OFF_LEFT)
+                    parent_color = yield from self._get(parent, OFF_COLOR)
+                    yield from self._set(w, OFF_COLOR, parent_color)
+                    yield from self._set(parent, OFF_COLOR, BLACK)
+                    w_left = yield from self._get(w, OFF_LEFT)
+                    yield from self._set(w_left, OFF_COLOR, BLACK)
+                    yield from self._rotate_right(tid, parent)
+                    x = yield from PMem.load_u64(self.roots[tid])
+        yield from self._set(x, OFF_COLOR, BLACK)
+
+    # -- transaction stream -------------------------------------------------------------------
+
+    def thread_body(self, tid: int):
+        rng = self.rngs[tid]
+        live = list(self.golden[tid])
+        lock = self.lock_id(tid)
+        for _ in range(self.params.txns_per_thread):
+            yield from PMem.compute(self.params.compute_cycles)
+            do_insert = (not live) or rng.random() < 0.55
+            yield from PMem.lock(lock)
+            if do_insert:
+                key = self._fresh_key(tid, rng)
+                while key in self.golden[tid] or key in live:
+                    key = self._fresh_key(tid, rng)
+                yield from self._search(tid, rng.choice(live) if live else key)
+                yield from PMem.atomic_begin()
+                yield from self._insert(tid, key, 0)
+                yield from PMem.atomic_end(("ins", tid, key, 0))
+                live.append(key)
+            else:
+                key = live.pop(rng.randrange(len(live)))
+                node = yield from self._search(tid, key)
+                self.check(node != 0, f"live key {key} missing")
+                yield from PMem.atomic_begin()
+                yield from self._delete(tid, node)
+                yield from PMem.atomic_end(("del", tid, key))
+            yield from PMem.unlock(lock)
+
+    # -- golden / verification ---------------------------------------------------------------
+
+    def golden_apply(self, info) -> None:
+        if info[0] == "ins":
+            _, tid, key, version = info
+            self.golden[tid][key] = payload_tag(key, version)
+        elif info[0] == "del":
+            _, tid, key = info
+            self.golden[tid].pop(key, None)
+
+    def verify_durable(self) -> None:
+        reader = self.reader()
+        for tid in range(self.threads_count):
+            nil = self.nils[tid]
+            root = reader.load_u64(self.roots[tid])
+            found: dict[int, int] = {}
+            black_heights: set[int] = set()
+
+            def walk(node, lo, hi, blacks, tid=tid, nil=nil, found=found,
+                     black_heights=black_heights):
+                if node == nil:
+                    black_heights.add(blacks)
+                    return
+                key = reader.load_u64(node + OFF_KEY)
+                color = reader.load_u64(node + OFF_COLOR)
+                self.check(lo < key < hi, f"BST violation at key {key}")
+                self.check(key not in found, f"duplicate key {key}")
+                found[key] = reader.load_u64(node + NODE_HDR)
+                left = reader.load_u64(node + OFF_LEFT)
+                right = reader.load_u64(node + OFF_RIGHT)
+                if color == RED:
+                    for child in (left, right):
+                        if child != nil:
+                            child_color = reader.load_u64(child + OFF_COLOR)
+                            self.check(
+                                child_color == BLACK,
+                                f"red-red violation under key {key}",
+                            )
+                nb = blacks + (1 if color == BLACK else 0)
+                walk(left, lo, key, nb)
+                walk(right, key, hi, nb)
+
+            if root != nil:
+                self.check(
+                    reader.load_u64(root + OFF_COLOR) == BLACK,
+                    f"thread {tid}: red root",
+                )
+            walk(root, -1, 2**63, 0)
+            self.check(
+                len(black_heights) <= 1,
+                f"thread {tid}: unequal black heights {black_heights}",
+            )
+            self.check(
+                found == self.golden[tid],
+                f"thread {tid}: durable tree ({len(found)} keys) diverges "
+                f"from golden ({len(self.golden[tid])} keys)",
+            )

@@ -1,0 +1,56 @@
+"""Workload registry: Table II names to classes, size presets."""
+
+from __future__ import annotations
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import Workload, WorkloadParams
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.hashtable import HashTableWorkload
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.sdg import GraphWorkload
+from repro.workloads.sps import SpsWorkload
+
+#: Table II of the paper, by name.
+MICROBENCHMARKS: dict[str, type[Workload]] = {
+    "hash": HashTableWorkload,
+    "queue": QueueWorkload,
+    "rbtree": RBTreeWorkload,
+    "btree": BTreeWorkload,
+    "sdg": GraphWorkload,
+    "sps": SpsWorkload,
+}
+
+#: Dataset-size presets from section V: entry payload bytes.
+SIZE_PRESETS = {"small": 512, "large": 4096}
+
+
+def make_workload(name: str, system, size: str | None = None, **kw) -> Workload:
+    """Build a workload by Table II name.
+
+    ``size`` may be ``"small"`` (512 B entries) or ``"large"`` (4 KB);
+    explicit ``entry_bytes`` in ``kw`` wins.  Remaining keyword arguments
+    feed :class:`~repro.workloads.base.WorkloadParams` or the workload's
+    own knobs.
+    """
+    if name == "tpcc":
+        from repro.workloads.tpcc import TpccWorkload
+
+        cls: type[Workload] = TpccWorkload
+    else:
+        try:
+            cls = MICROBENCHMARKS[name]
+        except KeyError:
+            known = ", ".join(sorted(MICROBENCHMARKS) + ["tpcc"])
+            raise WorkloadError(
+                f"unknown workload {name!r} (known: {known})"
+            ) from None
+    if size is not None:
+        if size not in SIZE_PRESETS:
+            raise WorkloadError(f"unknown size preset {size!r}")
+        kw.setdefault("entry_bytes", SIZE_PRESETS[size])
+    param_fields = set(WorkloadParams.__dataclass_fields__)
+    params = WorkloadParams(
+        **{k: kw.pop(k) for k in list(kw) if k in param_fields}
+    )
+    return cls(system, params, **kw)

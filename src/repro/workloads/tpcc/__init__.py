@@ -1,0 +1,6 @@
+"""TPC-C substrate: schema on persistent B+-Trees, new-order workload."""
+
+from repro.workloads.tpcc.schema import TpccScale, TpccTables
+from repro.workloads.tpcc.workload import TpccWorkload
+
+__all__ = ["TpccScale", "TpccTables", "TpccWorkload"]

@@ -1,0 +1,119 @@
+"""The new-order transaction.
+
+The paper evaluates the most write-intensive TPC-C transaction: each
+new-order reads warehouse/district/customer/item/stock rows, increments
+the district's next-order id, inserts an ORDER and NEW_ORDER row, and
+for each of 5-15 order lines updates the stock row and inserts an
+ORDER_LINE row.  The wait-time ("think time") of the standard is removed,
+as the paper does, so the system is driven at full speed.
+
+Isolation follows the paper's model: each transaction takes the lock of
+its target district (durable region == outermost critical section), so
+32 terminals contend over ``warehouses x 10`` districts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.api import PMem
+from repro.workloads.tpcc import schema
+from repro.workloads.tpcc.schema import TpccTables
+
+
+@dataclass(frozen=True)
+class NewOrderSpec:
+    """One generated new-order transaction (also the golden-replay info)."""
+
+    terminal: int
+    w_id: int
+    d_id: int
+    c_id: int
+    #: (item_id, quantity) pairs, one per order line.
+    lines: tuple[tuple[int, int], ...]
+
+
+def generate_spec(rng, terminal: int, scale) -> NewOrderSpec:
+    """Draw a new-order transaction per the TPC-C distributions
+    (uniform keys here; skew does not change the write-intensity)."""
+    w_id = 1 + rng.randrange(scale.warehouses)
+    d_id = 1 + rng.randrange(scale.districts_per_warehouse)
+    c_id = 1 + rng.randrange(scale.customers_per_district)
+    n_lines = rng.randint(scale.min_ol, scale.max_ol)
+    lines = tuple(
+        (1 + rng.randrange(scale.items), 1 + rng.randrange(10))
+        for _ in range(n_lines)
+    )
+    return NewOrderSpec(terminal=terminal, w_id=w_id, d_id=d_id, c_id=c_id,
+                        lines=lines)
+
+
+def stock_lock_ids(tables: TpccTables, spec: NewOrderSpec) -> list[int]:
+    """Sorted, deduplicated lock ids for the spec's stock rows.
+
+    Stock rows are shared across districts of a warehouse, so their
+    read-modify-writes take row locks for the transaction's duration.
+    Sorted acquisition order makes the locking deadlock-free.
+    """
+    keys = sorted({tables.key_stock(spec.w_id, i) for i, _ in spec.lines})
+    return [0x7D00_0000 | key for key in keys]
+
+
+def execute(tables: TpccTables, spec: NewOrderSpec):
+    """Run one new-order transaction body (generator of micro-ops).
+
+    The caller wraps this in Lock/AtomicBegin .. AtomicEnd/Unlock (the
+    district lock plus the sorted stock row locks).
+    Returns the order id assigned.
+    """
+    # Reads: warehouse, district, customer rows.
+    w_row = yield from tables.warehouse.get(spec.w_id)
+    yield from PMem.load_u64(w_row + 8)  # w_tax
+    d_key = tables.key_wd(spec.w_id, spec.d_id)
+    d_row = yield from tables.district.get(d_key)
+    yield from PMem.load_u64(d_row + 16)  # d_tax
+    c_row = yield from tables.customer.get(
+        tables.key_wdc(spec.w_id, spec.d_id, spec.c_id)
+    )
+    yield from PMem.load_u64(c_row + 24)  # c_discount
+
+    # Assign the order id: read-modify-write of d_next_o_id.
+    o_id = yield from PMem.load_u64(d_row + schema.D_NEXT_O_ID)
+    yield from PMem.store_u64(d_row + schema.D_NEXT_O_ID, o_id + 1)
+
+    # Insert ORDER and NEW_ORDER rows (per-district partitions: these
+    # inserts are covered by the district lock).
+    o_row = yield from tables._new_row(
+        schema.ORDER_FIELDS,
+        [o_id, spec.d_id, spec.w_id, spec.c_id, len(spec.lines), 0],
+    )
+    yield from tables.orders[d_key].put(
+        tables.key_order(spec.w_id, spec.d_id, o_id), o_row
+    )
+    no_row = yield from tables._new_row(
+        schema.NEW_ORDER_FIELDS, [o_id, spec.d_id, spec.w_id]
+    )
+    yield from tables.new_order[d_key].put(
+        tables.key_order(spec.w_id, spec.d_id, o_id), no_row
+    )
+
+    # Order lines: read item, update stock, insert ORDER_LINE.
+    for number, (i_id, qty) in enumerate(spec.lines, start=1):
+        i_row = yield from tables.item.get(i_id)
+        price = yield from PMem.load_u64(i_row + 8)
+        s_row = yield from tables.stock.get(tables.key_stock(spec.w_id, i_id))
+        quantity = yield from PMem.load_u64(s_row + schema.S_QUANTITY)
+        new_qty = quantity - qty if quantity >= qty + 10 else quantity - qty + 91
+        yield from PMem.store_u64(s_row + schema.S_QUANTITY, new_qty)
+        ytd = yield from PMem.load_u64(s_row + schema.S_YTD)
+        yield from PMem.store_u64(s_row + schema.S_YTD, ytd + qty)
+        cnt = yield from PMem.load_u64(s_row + schema.S_ORDER_CNT)
+        yield from PMem.store_u64(s_row + schema.S_ORDER_CNT, cnt + 1)
+        ol_row = yield from tables._new_row(
+            schema.ORDER_LINE_FIELDS,
+            [o_id, spec.d_id, spec.w_id, number, i_id, qty, qty * price],
+        )
+        yield from tables.order_line[d_key].put(
+            tables.key_order_line(spec.w_id, spec.d_id, o_id, number), ol_row
+        )
+    return o_id

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import build_system
+from repro.config import Design
+
+
+@pytest.fixture
+def system():
+    """A small 4-core ATOM-OPT machine with invariant checking on."""
+    return build_system()
+
+
+@pytest.fixture(params=[Design.BASE, Design.ATOM, Design.ATOM_OPT])
+def undo_system(request):
+    """One small machine per undo-logging design."""
+    return build_system(design=request.param)
+
+
+@pytest.fixture(
+    params=[Design.BASE, Design.ATOM, Design.ATOM_OPT, Design.NON_ATOMIC,
+            Design.REDO]
+)
+def any_system(request):
+    """One small machine per evaluated design."""
+    return build_system(design=request.param)

@@ -1,0 +1,94 @@
+"""Atomic update structures: bucket allocation, free list, AUS pool."""
+
+import pytest
+
+from repro.atom.aus import AusAllocator, AusState, BucketAllocator
+from repro.common.errors import LogOverflowError
+from repro.config import LogConfig
+
+
+def make_pool(buckets=8, aus=4):
+    cfg = LogConfig(buckets_per_controller=buckets, aus_per_controller=aus)
+    states = [AusState(i, buckets) for i in range(aus)]
+    return BucketAllocator(cfg), states
+
+
+class TestBucketAllocation:
+    def test_allocates_first_free(self):
+        alloc, states = make_pool()
+        assert alloc.allocate(states[0], states) == 0
+        assert alloc.allocate(states[0], states) == 1
+        assert states[0].bucket_vec.popcount() == 2
+
+    def test_free_list_is_nor_of_vectors(self):
+        alloc, states = make_pool(buckets=4)
+        alloc.allocate(states[0], states)
+        alloc.allocate(states[1], states)
+        free = alloc.free_list(states)
+        assert list(free.iter_ones()) == [2, 3]
+
+    def test_exhaustion_returns_none(self):
+        alloc, states = make_pool(buckets=2)
+        assert alloc.allocate(states[0], states) is not None
+        assert alloc.allocate(states[1], states) is not None
+        assert alloc.allocate(states[2], states) is None
+
+    def test_reset_frees_buckets(self):
+        alloc, states = make_pool(buckets=2)
+        alloc.allocate(states[0], states)
+        alloc.allocate(states[0], states)
+        states[0].reset()
+        assert alloc.allocate(states[1], states) is not None
+
+    def test_reset_clears_registers(self):
+        _, states = make_pool()
+        state = states[0]
+        state.current_bucket = 3
+        state.current_record = 5
+        state.update_start_seq = 17
+        state.reset()
+        assert state.current_bucket is None
+        assert state.current_record == 0
+        assert state.update_start_seq is None
+        assert not state.active()
+
+
+class TestAusAllocator:
+    def test_grants_up_to_capacity(self):
+        pool = AusAllocator(2)
+        granted = []
+        pool.acquire(0, granted.append)
+        pool.acquire(1, granted.append)
+        assert len(granted) == 2
+        assert pool.available() == 0
+
+    def test_structural_overflow_queues(self):
+        pool = AusAllocator(1)
+        granted = []
+        pool.acquire(0, lambda s: granted.append(("c0", s)))
+        pool.acquire(1, lambda s: granted.append(("c1", s)))
+        assert granted == [("c0", 0)]
+        assert pool.waiting() == 1
+        pool.release(0)
+        assert granted == [("c0", 0), ("c1", 0)]
+
+    def test_fifo_grant_order(self):
+        pool = AusAllocator(1)
+        order = []
+        pool.acquire(0, lambda s: order.append(0))
+        pool.acquire(1, lambda s: order.append(1))
+        pool.acquire(2, lambda s: order.append(2))
+        pool.release(0)
+        pool.release(0)
+        assert order == [0, 1, 2]
+
+    def test_holder_tracking(self):
+        pool = AusAllocator(2)
+        pool.acquire(7, lambda s: None)
+        assert pool.holder(0) == 7
+        pool.release(0)
+        assert pool.holder(0) is None
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(LogOverflowError):
+            AusAllocator(0)

@@ -1,0 +1,138 @@
+"""Unit and property tests for the LogM bit vector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitvector import BitVector
+
+
+class TestBasics:
+    def test_starts_clear(self):
+        vec = BitVector(256)
+        assert not vec.any()
+        assert vec.popcount() == 0
+
+    def test_set_and_test(self):
+        vec = BitVector(64)
+        vec.set(0)
+        vec.set(63)
+        assert vec.test(0) and vec.test(63)
+        assert not vec.test(32)
+
+    def test_getitem(self):
+        vec = BitVector(8)
+        vec.set(3)
+        assert vec[3] and not vec[4]
+
+    def test_clear_bit(self):
+        vec = BitVector(8)
+        vec.set(5)
+        vec.clear(5)
+        assert not vec.test(5)
+
+    def test_clear_all_is_single_shot(self):
+        vec = BitVector(256)
+        for i in (0, 100, 255):
+            vec.set(i)
+        vec.clear_all()
+        assert not vec.any()
+
+    def test_out_of_range_raises(self):
+        vec = BitVector(8)
+        with pytest.raises(IndexError):
+            vec.set(8)
+        with pytest.raises(IndexError):
+            vec.test(-1)
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+    def test_value_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(4, value=16)
+
+
+class TestSearch:
+    def test_find_first_zero_empty(self):
+        assert BitVector(8).find_first_zero() == 0
+
+    def test_find_first_zero_skips_set_bits(self):
+        vec = BitVector(8)
+        vec.set(0)
+        vec.set(1)
+        assert vec.find_first_zero() == 2
+
+    def test_find_first_zero_full(self):
+        vec = BitVector(4, value=0xF)
+        assert vec.find_first_zero() is None
+
+    def test_find_first_one(self):
+        vec = BitVector(16)
+        assert vec.find_first_one() is None
+        vec.set(9)
+        assert vec.find_first_one() == 9
+
+    def test_iter_ones_ascending(self):
+        vec = BitVector(32)
+        for i in (30, 2, 17):
+            vec.set(i)
+        assert list(vec.iter_ones()) == [2, 17, 30]
+
+
+class TestCombination:
+    def test_nor_all_derives_free_list(self):
+        a = BitVector(8)
+        b = BitVector(8)
+        a.set(0)
+        b.set(3)
+        free = BitVector.nor_all([a, b], 8)
+        assert not free.test(0) and not free.test(3)
+        assert free.test(1) and free.test(7)
+        assert free.popcount() == 6
+
+    def test_nor_all_empty_is_all_ones(self):
+        free = BitVector.nor_all([], 8)
+        assert free.popcount() == 8
+
+    def test_nor_all_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector.nor_all([BitVector(8), BitVector(16)], 8)
+
+    def test_complement(self):
+        vec = BitVector(4, value=0b0101)
+        assert vec.complement().value() == 0b1010
+
+    def test_equality_and_copy(self):
+        vec = BitVector(16, value=0xBEEF & 0xFFFF)
+        other = vec.copy()
+        assert vec == other
+        other.clear(0)
+        assert vec != other
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        vec = BitVector(256)
+        vec.set(200)
+        back = BitVector.from_bytes(256, vec.to_bytes())
+        assert back == vec
+
+    @given(st.integers(min_value=1, max_value=512), st.data())
+    def test_roundtrip_property(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        vec = BitVector(width, value)
+        assert BitVector.from_bytes(width, vec.to_bytes()) == vec
+
+    @given(st.integers(min_value=1, max_value=256), st.data())
+    def test_popcount_matches_iter_ones(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        vec = BitVector(width, value)
+        assert vec.popcount() == len(list(vec.iter_ones()))
+
+    @given(st.integers(min_value=1, max_value=128), st.data())
+    def test_complement_involution(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        vec = BitVector(width, value)
+        assert vec.complement().complement() == vec

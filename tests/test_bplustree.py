@@ -1,0 +1,101 @@
+"""Property-based tests for the persistent B+-Tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.mem.image import MemoryImage
+from repro.runtime.api import ImageReader
+from repro.runtime.driver import DirectDriver
+from repro.runtime.heap import Heap
+from repro.workloads.bplustree import BPlusTree
+
+
+def make_tree(order=4):
+    image = MemoryImage(8 * 1024 * 1024)
+    heap = Heap(8 * 1024 * 1024)
+    driver = DirectDriver(image, durable=True)
+    tree = BPlusTree(heap, arena=0, order=order)
+    driver.run(tree.create())
+    return tree, driver, image
+
+
+class TestBasics:
+    def test_empty_get(self):
+        tree, driver, _ = make_tree()
+        assert driver.run(tree.get(5)) is None
+
+    def test_put_get(self):
+        tree, driver, _ = make_tree()
+        driver.run(tree.put(5, 500))
+        assert driver.run(tree.get(5)) == 500
+
+    def test_update_in_place(self):
+        tree, driver, _ = make_tree()
+        driver.run(tree.put(5, 1))
+        driver.run(tree.put(5, 2))
+        assert driver.run(tree.get(5)) == 2
+
+    def test_delete(self):
+        tree, driver, _ = make_tree()
+        driver.run(tree.put(5, 1))
+        assert driver.run(tree.delete(5)) is True
+        assert driver.run(tree.get(5)) is None
+        assert driver.run(tree.delete(5)) is False
+
+    def test_splits_preserve_all_keys(self):
+        tree, driver, image = make_tree(order=4)
+        for key in range(100):
+            driver.run(tree.put(key, key * 10))
+        for key in range(100):
+            assert driver.run(tree.get(key)) == key * 10
+        found = tree.walk_durable(ImageReader(image))
+        assert found == {k: k * 10 for k in range(100)}
+
+    def test_reverse_insertion_order(self):
+        tree, driver, image = make_tree(order=4)
+        for key in reversed(range(60)):
+            driver.run(tree.put(key, key))
+        assert tree.walk_durable(ImageReader(image)) == {
+            k: k for k in range(60)
+        }
+
+    def test_min_order_enforced(self):
+        with pytest.raises(WorkloadError):
+            BPlusTree(Heap(1024 * 1024), arena=0, order=2)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["put", "delete", "get"]),
+                      st.integers(min_value=0, max_value=200)),
+            max_size=300,
+        ),
+        st.sampled_from([3, 4, 8, 16]),
+    )
+    def test_matches_dict_model(self, script, order):
+        tree, driver, image = make_tree(order=order)
+        model = {}
+        for op, key in script:
+            if op == "put":
+                driver.run(tree.put(key, key ^ 0x5A5A))
+                model[key] = key ^ 0x5A5A
+            elif op == "delete":
+                assert driver.run(tree.delete(key)) == (key in model)
+                model.pop(key, None)
+            else:
+                assert driver.run(tree.get(key)) == model.get(key)
+        assert tree.walk_durable(ImageReader(image)) == model
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=10_000),
+                   min_size=1, max_size=300))
+    def test_leaf_chain_is_sorted(self, keys):
+        tree, driver, image = make_tree(order=8)
+        for key in keys:
+            driver.run(tree.put(key, 1))
+        found = tree.walk_durable(ImageReader(image))
+        assert sorted(found) == sorted(keys)

@@ -1,0 +1,121 @@
+"""NVM channel timing: latency, serialization, scheduling, backpressure."""
+
+from repro.common.stats import Stats
+from repro.config import MemoryConfig
+from repro.engine import Engine
+from repro.mem.channel import AccessKind, Channel
+
+
+def make_channel(**cfg_kw):
+    engine = Engine()
+    cfg = MemoryConfig(**cfg_kw)
+    channel = Channel(engine, cfg, Stats().domain("ch"))
+    return engine, cfg, channel
+
+
+class TestLatency:
+    def test_read_completes_after_device_latency(self):
+        engine, cfg, channel = make_channel()
+        done = []
+        channel.read(AccessKind.DATA_READ, 0, 64, lambda: done.append(engine.now))
+        engine.run()
+        # occupancy (bank-limited) + device latency
+        occupancy = max(cfg.line_transfer_cycles,
+                        round(cfg.read_cycles / cfg.device_banks))
+        assert done == [occupancy + cfg.read_cycles]
+
+    def test_write_persist_time(self):
+        engine, cfg, channel = make_channel()
+        done = []
+        channel.write(AccessKind.DATA_WRITE, 0, 64,
+                      lambda: done.append(engine.now))
+        engine.run()
+        occupancy = max(cfg.line_transfer_cycles,
+                        round(cfg.write_cycles / cfg.device_banks))
+        assert done == [occupancy + cfg.write_cycles]
+
+    def test_bank_occupancy_caps_write_bandwidth(self):
+        """At high latency multipliers, write occupancy grows beyond the
+        bus serialization — PCM-like write-bandwidth collapse."""
+        _, cfg_low, _ = make_channel(latency_multiplier=1.0)
+        _, cfg_high, _ = make_channel(latency_multiplier=40.0)
+        occ_low = max(cfg_low.line_transfer_cycles,
+                      round(cfg_low.write_cycles / cfg_low.device_banks))
+        occ_high = max(cfg_high.line_transfer_cycles,
+                       round(cfg_high.write_cycles / cfg_high.device_banks))
+        assert occ_low == cfg_low.line_transfer_cycles
+        assert occ_high > 10 * occ_low
+
+
+class TestScheduling:
+    def test_reads_have_priority_over_writes(self):
+        engine, _, channel = make_channel()
+        order = []
+        channel.write(AccessKind.DATA_WRITE, 0, 64, lambda: order.append("w"))
+        channel.read(AccessKind.DATA_READ, 64, 64, lambda: order.append("r"))
+        engine.run()
+        # Both were queued before the arbiter ran; the read goes first.
+        assert order == ["r", "w"]
+
+    def test_serialization_spaces_requests(self):
+        engine, cfg, channel = make_channel()
+        times = []
+        for i in range(3):
+            channel.read(AccessKind.DATA_READ, i * 64, 64,
+                         lambda: times.append(engine.now))
+        engine.run()
+        occupancy = max(cfg.line_transfer_cycles,
+                        round(cfg.read_cycles / cfg.device_banks))
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == occupancy for d in deltas)
+
+    def test_write_drain_watermark_flips_priority(self):
+        # Watermark of 2 with 6 queued writes: the channel drains writes
+        # before servicing the read, so at least the first write finishes
+        # (completes) before the read does despite read priority.
+        engine, cfg, channel = make_channel(write_queue_depth=8,
+                                            write_drain_watermark=0.25)
+        order = []
+        for i in range(6):
+            channel.write(AccessKind.LOG_WRITE, i * 64, 64,
+                          lambda i=i: order.append(f"w{i}"))
+        channel.read(AccessKind.DATA_READ, 512, 64, lambda: order.append("r"))
+        engine.run()
+        assert order.index("w0") < order.index("r")
+
+
+class TestBackpressure:
+    def test_write_queue_full_returns_false(self):
+        engine, _, channel = make_channel(write_queue_depth=2)
+        assert channel.write(AccessKind.DATA_WRITE, 0, 64)
+        assert channel.write(AccessKind.DATA_WRITE, 64, 64)
+        assert not channel.write(AccessKind.DATA_WRITE, 128, 64)
+
+    def test_when_write_space_fires_after_drain(self):
+        engine, _, channel = make_channel(write_queue_depth=1)
+        assert channel.write(AccessKind.DATA_WRITE, 0, 64)
+        woken = []
+        channel.when_write_space(lambda: woken.append(engine.now))
+        engine.run()
+        assert woken, "waiter must be woken when the queue drains"
+
+    def test_drop_pending_on_crash(self):
+        engine, _, channel = make_channel()
+        channel.write(AccessKind.LOG_WRITE, 0, 64)
+        channel.read(AccessKind.DATA_READ, 64, 64, lambda: None)
+        dropped = channel.drop_pending()
+        assert dropped == 2
+        assert channel.pending_writes() == 0
+
+
+class TestPriorityWrites:
+    def test_priority_write_jumps_queue(self):
+        engine, _, channel = make_channel()
+        order = []
+        channel.write(AccessKind.LOG_WRITE, 0, 64, lambda: order.append("a"))
+        channel.write(AccessKind.LOG_WRITE, 64, 64, lambda: order.append("b"))
+        channel.write(AccessKind.LOG_WRITE, 128, 64,
+                      lambda: order.append("p"), priority=True)
+        engine.run()
+        # "a" may already be issued, but "p" must beat "b".
+        assert order.index("p") < order.index("b")

@@ -1,0 +1,90 @@
+"""Configuration validation (Table I parameters)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config import CacheConfig, Design, SystemConfig
+
+
+class TestDefaultsMatchTableI:
+    def test_core_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.cores.num_cores == 32
+        assert cfg.cores.rob_size == 192
+        assert cfg.cores.store_queue_size == 32
+
+    def test_cache_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.hierarchy.l1.size_bytes == 32 * 1024
+        assert cfg.hierarchy.l1.ways == 4
+        assert cfg.hierarchy.l1.latency == 3
+        assert cfg.hierarchy.l2_tile.size_bytes == 1024 * 1024
+        assert cfg.hierarchy.l2_tile.ways == 16
+        assert cfg.hierarchy.l2_tile.latency == 30
+        assert cfg.hierarchy.mshrs == 32
+
+    def test_memory_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.memory.num_controllers == 4
+        # 10x DRAM: 360-cycle writes, 240-cycle reads.
+        assert cfg.memory.write_cycles == 360
+        assert cfg.memory.read_cycles == 240
+        # 5.3 GB/s at 2 GHz moves a line in ~24 cycles.
+        assert cfg.memory.line_transfer_cycles == 24
+
+    def test_noc_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.noc.rows == 4
+        assert cfg.noc.flit_bytes == 16
+
+    def test_log_record_geometry(self):
+        cfg = SystemConfig()
+        assert cfg.log.record_bytes == 512
+        assert cfg.log.entries_per_record == 7
+        assert cfg.log.aus_per_controller == 32
+
+    def test_validates_clean(self):
+        assert SystemConfig().validate() is not None
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        cfg = SystemConfig()
+        cfg.cores.num_cores = 0
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_cores_must_tile_mesh(self):
+        cfg = SystemConfig()
+        cfg.cores.num_cores = 30  # not divisible by 4 rows
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_record_geometry_consistency(self):
+        cfg = SystemConfig()
+        cfg.log.entries_per_record = 5
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_cache_set_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=24 * 1024, ways=4, latency=3).validate("l1")
+
+    def test_latency_multiplier_scales(self):
+        cfg = SystemConfig()
+        cfg.memory.latency_multiplier = 1.0
+        assert cfg.memory.write_cycles == 36
+        assert cfg.memory.read_cycles == 24
+        cfg.memory.latency_multiplier = 40.0
+        assert cfg.memory.write_cycles == 1440
+
+    def test_scaled_down_is_valid(self):
+        for design in Design:
+            cfg = SystemConfig.scaled_down(design=design)
+            assert cfg.design is design
+
+    def test_replace(self):
+        cfg = SystemConfig()
+        other = cfg.replace(design=Design.REDO)
+        assert other.design is Design.REDO
+        assert cfg.design is not Design.REDO or cfg.design is Design.REDO

@@ -1,0 +1,191 @@
+"""Core model: op execution, atomic regions, SQ stalls, write-set flush."""
+
+from helpers import build_system
+from repro.config import Design
+from repro.cpu import ops
+from repro.runtime.api import PMem
+
+
+def run_thread(system, gen, max_cycles=10_000_000):
+    system.start_threads([gen])
+    return system.run(max_cycles=max_cycles)
+
+
+class TestBasicExecution:
+    def test_compute_advances_time(self, system):
+        def thread():
+            yield ops.Compute(500)
+
+        end = run_thread(system, thread())
+        assert end >= 500
+
+    def test_load_returns_bytes(self, system):
+        system.image.write(0x100, b"abcdefgh")
+        seen = []
+
+        def thread():
+            value = yield ops.Load(0x100, 8)
+            seen.append(value)
+
+        run_thread(system, thread())
+        assert seen == [b"abcdefgh"]
+
+    def test_store_applies_functionally(self, system):
+        def thread():
+            yield ops.Store(0x100, b"hello")
+
+        run_thread(system, thread())
+        assert system.image.read(0x100, 5) == b"hello"
+
+    def test_load_sees_own_store(self, system):
+        seen = []
+
+        def thread():
+            yield ops.Store(0x100, (77).to_bytes(8, "little"))
+            value = yield from PMem.load_u64(0x100)
+            seen.append(value)
+
+        run_thread(system, thread())
+        assert seen == [77]
+
+    def test_multi_line_load(self, system):
+        system.image.write(0x100, bytes(range(130 % 256)) if False else b"z" * 130)
+
+        def thread():
+            value = yield ops.Load(0x100, 130)
+            assert value == b"z" * 130
+
+        run_thread(system, thread())
+
+    def test_multi_line_store_split(self, system):
+        def thread():
+            yield ops.Store(0x1000, b"q" * 512)
+
+        run_thread(system, thread())
+        system.drain()  # let the SQ tail finish after the thread ends
+        assert system.image.read(0x1000, 512) == b"q" * 512
+        assert system.cores[0].stats.get("stores_retired") == 8
+
+
+class TestAtomicRegions:
+    def test_commit_counts_and_hook(self, system):
+        infos = []
+        system.on_commit = lambda core, info: infos.append((core, info))
+
+        def thread():
+            yield ops.AtomicBegin()
+            yield ops.Store(0x100, b"x" * 8)
+            yield ops.AtomicEnd(info="tag")
+
+        run_thread(system, thread())
+        assert infos == [(0, "tag")]
+        assert system.cores[0].stats.get("txns_committed") == 1
+
+    def test_write_set_is_durable_after_commit(self, undo_system):
+        system = undo_system
+
+        def thread():
+            yield ops.AtomicBegin()
+            yield ops.Store(0x1000, b"d" * 128)
+            yield ops.AtomicEnd()
+
+        run_thread(system, thread())
+        assert system.image.persist_equals_volatile(0x1000, 128)
+
+    def test_nested_regions_flatten(self, system):
+        def thread():
+            yield ops.AtomicBegin()
+            yield ops.AtomicBegin()
+            yield ops.Store(0x100, b"y" * 8)
+            yield ops.AtomicEnd()
+            yield ops.Store(0x140, b"z" * 8)
+            yield ops.AtomicEnd()
+
+        run_thread(system, thread())
+        # One commit (the outermost), both stores durable.
+        assert system.cores[0].stats.get("txns_committed") == 1
+        assert system.image.persist_equals_volatile(0x100, 8)
+        assert system.image.persist_equals_volatile(0x140, 8)
+
+    def test_first_write_logging_per_line(self, undo_system):
+        system = undo_system
+
+        def thread():
+            yield ops.AtomicBegin()
+            for word in range(8):  # 8 stores, one line
+                yield ops.Store(0x1000 + word * 8, b"a" * 8)
+            yield ops.AtomicEnd()
+
+        run_thread(system, thread())
+        entries = system.stats.total("entries", prefix="logm")
+        assert entries == 1, "one line modified => one undo entry"
+
+    def test_non_atomic_design_logs_nothing(self):
+        system = build_system(design=Design.NON_ATOMIC)
+
+        def thread():
+            yield ops.AtomicBegin()
+            yield ops.Store(0x1000, b"b" * 64)
+            yield ops.AtomicEnd()
+
+        run_thread(system, thread())
+        assert system.stats.total("entries", prefix="logm") == 0
+        assert system.image.persist_equals_volatile(0x1000, 64)
+
+
+class TestStoreQueuePressure:
+    def test_sq_full_cycles_accrue_under_base(self):
+        system = build_system(design=Design.BASE)
+
+        def thread():
+            yield ops.AtomicBegin()
+            # Many distinct lines: every store logs and waits durably.
+            for i in range(64):
+                yield ops.Store(0x4000 + i * 64, b"c" * 64)
+            yield ops.AtomicEnd()
+
+        run_thread(system, thread())
+        assert system.cores[0].stats.get("sq_full_cycles") > 0
+
+    def test_base_slower_than_non_atomic(self):
+        def thread():
+            yield ops.AtomicBegin()
+            for i in range(64):
+                yield ops.Store(0x4000 + i * 64, b"c" * 64)
+            yield ops.AtomicEnd()
+
+        times = {}
+        for design in (Design.BASE, Design.NON_ATOMIC):
+            system = build_system(design=design)
+            times[design] = run_thread(system, thread())
+        assert times[Design.BASE] > times[Design.NON_ATOMIC], times
+
+
+class TestExplicitFlush:
+    def test_flush_op_persists_line(self, system):
+        def thread():
+            yield ops.Store(0x2000, b"f" * 64)
+            yield ops.Flush(0x2000)
+
+        run_thread(system, thread())
+        assert system.image.persist_equals_volatile(0x2000, 64)
+
+
+class TestLocksInThreads:
+    def test_critical_sections_serialize(self):
+        system = build_system(num_cores=4)
+        order = []
+
+        def thread(tid):
+            yield from PMem.lock(1)
+            order.append(("in", tid))
+            yield ops.Compute(100)
+            order.append(("out", tid))
+            yield from PMem.unlock(1)
+
+        system.start_threads([thread(t) for t in range(4)])
+        system.run(max_cycles=10_000_000)
+        # No interleaving inside the critical section.
+        for i in range(0, 8, 2):
+            assert order[i][0] == "in" and order[i + 1][0] == "out"
+            assert order[i][1] == order[i + 1][1]

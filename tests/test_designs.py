@@ -1,0 +1,134 @@
+"""Design-policy behaviour: per-design store paths and invariants."""
+
+from helpers import build_system
+from repro.config import Design
+from repro.cpu import ops
+
+
+def one_txn_thread(lines=4, base=0x4000):
+    yield ops.AtomicBegin()
+    for i in range(lines):
+        yield ops.Store(base + i * 64, b"d" * 64)
+    yield ops.AtomicEnd(info="t")
+
+
+def run_one(system, gen=None, max_cycles=10_000_000):
+    system.start_threads([gen if gen is not None else one_txn_thread()])
+    end = system.run(max_cycles=max_cycles)
+    assert system.all_done()
+    return end
+
+
+class TestInvariant1:
+    """A first-write store always carries an undo payload."""
+
+    def test_log_entries_match_first_writes(self, undo_system):
+        run_one(undo_system, one_txn_thread(lines=6))
+        assert undo_system.stats.total("entries", prefix="logm") == 6
+
+    def test_second_write_to_line_not_logged(self, undo_system):
+        def thread():
+            yield ops.AtomicBegin()
+            yield ops.Store(0x4000, b"a" * 64)
+            yield ops.Store(0x4000, b"b" * 64)  # same line
+            yield ops.AtomicEnd()
+
+        run_one(undo_system, thread())
+        assert undo_system.stats.total("entries", prefix="logm") == 1
+
+
+class TestInvariant2:
+    """Data is never durable before its undo entry (checker enforced)."""
+
+    def test_checker_runs_on_every_data_persist(self, undo_system):
+        run_one(undo_system)
+        assert undo_system.invariant_checker.checks > 0
+        undo_system.invariant_checker.assert_clean()
+
+    def test_durable_state_matches_after_commit(self, any_system):
+        run_one(any_system)
+        any_system.drain()
+        if any_system.config.design is Design.REDO:
+            any_system.crash()
+            any_system.recover()
+        assert any_system.image.durable_read(0x4000, 4 * 64) == b"d" * 256
+
+
+class TestDesignOrdering:
+    """BASE pays the most per store; ATOM's ack is cheap; OPT free on
+    NVM-served misses; NON-ATOMIC pays nothing."""
+
+    def test_store_latency_ordering(self):
+        latency = {}
+        for design in (Design.BASE, Design.ATOM, Design.NON_ATOMIC):
+            system = build_system(design=design)
+            run_one(system, one_txn_thread(lines=16))
+            system.drain()
+            total = system.stats.total("store_latency_cycles", prefix="core")
+            count = system.stats.total("stores_retired", prefix="core")
+            latency[design] = total / count
+        assert latency[Design.BASE] > latency[Design.ATOM]
+        assert latency[Design.ATOM] > latency[Design.NON_ATOMIC]
+
+    def test_source_logging_only_in_opt(self):
+        for design, expect in ((Design.ATOM, 0), (Design.ATOM_OPT, 1)):
+            system = build_system(design=design)
+            run_one(system, one_txn_thread(lines=8))
+            source = system.stats.total("source_logged", prefix="logm")
+            if expect:
+                assert source > 0, "cold-cache store misses must source-log"
+            else:
+                assert source == 0
+
+    def test_colocation_routes_log_with_data(self, system):
+        run_one(system, one_txn_thread(lines=8, base=0x4000))
+        # All 8 lines share the page at 0x4000 -> one controller logged.
+        engaged = [
+            mc.mc_id for mc in system.controllers
+            if system.stats.domain(f"logm{mc.mc_id}").get("entries") > 0
+        ]
+        assert engaged == [system.layout.controller_of(0x4000)]
+
+
+class TestRedoDesign:
+    def test_word_granular_entries(self):
+        system = build_system(design=Design.REDO)
+        run_one(system, one_txn_thread(lines=4))
+        # 4 lines x 8 words = 32 redo entries versus 4 undo entries.
+        assert system.stats.domain("redo").get("entries") == 32
+
+    def test_backend_applies_in_place(self):
+        system = build_system(design=Design.REDO)
+        run_one(system)
+        system.drain()
+        assert system.stats.domain("redo").get("applied") == 1
+        assert system.image.durable_read(0x4000, 64) == b"d" * 64
+
+    def test_no_flush_at_atomic_end(self):
+        system = build_system(design=Design.REDO)
+        run_one(system)
+        assert system.stats.total("flushed_lines", prefix="core") == 0
+
+    def test_commit_records_persisted(self):
+        system = build_system(design=Design.REDO)
+        run_one(system)
+        assert system.stats.domain("redo").get("commits") == 1
+
+
+class TestStructuralOverflow:
+    def test_fewer_aus_than_cores_stalls_but_completes(self):
+        system = build_system(num_cores=4)
+        # Rebuild the allocator with a single slot: structural overflow.
+        from repro.atom.aus import AusAllocator
+        system.aus_allocator = AusAllocator(1)
+
+        def thread(tid):
+            yield ops.AtomicBegin()
+            yield ops.Store(0x4000 + tid * 4096, b"s" * 64)
+            yield ops.AtomicEnd()
+
+        system.start_threads([thread(t) for t in range(4)])
+        system.run(max_cycles=50_000_000)
+        assert system.all_done()
+        assert system.stats.total("txns_committed", prefix="core") == 4
+        assert system.stats.total("aus_stall_cycles", prefix="core") > 0

@@ -1,0 +1,136 @@
+"""Discrete-event engine tests: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.at(10, lambda: order.append("b"))
+        engine.at(5, lambda: order.append("a"))
+        engine.at(20, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 20
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for tag in "abc":
+            engine.at(7, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        seen = []
+        engine.at(100, lambda: engine.after(5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [105]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = Engine()
+        engine.at(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1, lambda: None)
+
+
+class TestControl:
+    def test_until_leaves_future_events_queued(self):
+        engine = Engine()
+        seen = []
+        engine.at(5, lambda: seen.append(5))
+        engine.at(50, lambda: seen.append(50))
+        engine.run(until=10)
+        assert seen == [5]
+        assert engine.now == 10
+        assert engine.pending() == 1
+        engine.run()
+        assert seen == [5, 50]
+
+    def test_max_events(self):
+        engine = Engine()
+        seen = []
+        for t in range(5):
+            engine.at(t, lambda t=t: seen.append(t))
+        engine.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_stop_freezes_mid_run(self):
+        engine = Engine()
+        seen = []
+        engine.at(1, lambda: (seen.append(1), engine.stop()))
+        engine.at(2, lambda: seen.append(2))
+        engine.run()
+        assert seen == [1]
+        assert engine.pending() == 1
+
+    def test_cancellation(self):
+        engine = Engine()
+        seen = []
+        event = engine.at(5, lambda: seen.append("no"))
+        event.cancel()
+        engine.at(6, lambda: seen.append("yes"))
+        engine.run()
+        assert seen == ["yes"]
+
+    def test_idle_and_pending(self):
+        engine = Engine()
+        assert engine.idle()
+        event = engine.at(3, lambda: None)
+        assert engine.pending() == 1
+        event.cancel()
+        assert engine.idle()
+
+    def test_reentrancy_rejected(self):
+        engine = Engine()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        engine.at(1, reenter)
+        engine.run()
+
+    def test_events_dispatched_counter(self):
+        engine = Engine()
+        for t in range(7):
+            engine.at(t, lambda: None)
+        engine.run()
+        assert engine.events_dispatched == 7
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=50))
+    def test_same_schedule_same_order(self, times):
+        def run_once():
+            engine = Engine()
+            log = []
+            for index, t in enumerate(times):
+                engine.at(t, lambda i=index: log.append((engine.now, i)))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=30))
+    def test_dispatch_times_are_monotonic(self, times):
+        engine = Engine()
+        seen = []
+        for t in times:
+            engine.at(t, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == sorted(seen)

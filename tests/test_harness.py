@@ -1,0 +1,83 @@
+"""Harness plumbing: runner, report rendering, experiment registry."""
+
+import pytest
+
+from repro.config import Design
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import format_markdown, format_table, gmean
+from repro.harness.runner import RunSpec, build_config, run_spec
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in out
+
+    def test_format_table_with_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_markdown(self):
+        out = format_markdown(["a", "b"], [["x", 1.0]])
+        assert out.splitlines()[0] == "| a | b |"
+        assert "| x | 1.00 |" in out
+
+    def test_gmean(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+        assert gmean([2.0]) == pytest.approx(2.0)
+
+    def test_gmean_empty_is_nan(self):
+        import math
+        assert math.isnan(gmean([]))
+
+    def test_large_numbers_use_thousands(self):
+        out = format_table(["v"], [[123456.7]])
+        assert "123,457" in out
+
+
+class TestRunner:
+    def test_build_config_applies_spec(self):
+        spec = RunSpec(design=Design.ATOM, workload="hash", num_cores=8,
+                       latency_multiplier=5.0, channels=2)
+        cfg = build_config(spec)
+        assert cfg.design is Design.ATOM
+        assert cfg.cores.num_cores == 8
+        assert cfg.memory.latency_multiplier == 5.0
+        assert cfg.memory.channels_per_controller == 2
+
+    def test_with_design(self):
+        spec = RunSpec(design=Design.BASE, workload="hash")
+        other = spec.with_design(Design.REDO)
+        assert other.design is Design.REDO
+        assert other.workload == "hash"
+
+    def test_tiny_run_produces_measurements(self):
+        spec = RunSpec(
+            design=Design.ATOM_OPT, workload="hash", num_cores=4,
+            txns_per_thread=4, warmup_per_thread=1, initial_items=8,
+        )
+        result = run_spec(spec)
+        assert result.txns == 3 * 4
+        assert result.throughput > 0
+        assert result.cycles > 0
+        assert result.log_entries > 0
+
+    def test_redo_counts_word_entries(self):
+        spec = RunSpec(
+            design=Design.REDO, workload="hash", num_cores=4,
+            txns_per_thread=3, warmup_per_thread=1, initial_items=8,
+        )
+        result = run_spec(spec)
+        assert result.log_entries > 0
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        assert {"fig5a", "fig5b", "fig6", "table3", "fig7", "fig8",
+                "table4", "ablations"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

@@ -1,0 +1,89 @@
+"""NVM heap allocator."""
+
+import pytest
+
+from repro.common.errors import AllocationError
+from repro.runtime.heap import Heap
+
+
+class TestAllocation:
+    def test_basic_alloc(self):
+        heap = Heap(1024 * 1024)
+        addr = heap.alloc(64)
+        assert 0 <= addr < 1024 * 1024
+
+    def test_large_objects_line_aligned(self):
+        heap = Heap(1024 * 1024)
+        for size in (64, 100, 512, 4096):
+            assert heap.alloc(size) % 64 == 0
+
+    def test_small_objects_word_aligned(self):
+        heap = Heap(1024 * 1024)
+        assert heap.alloc(8) % 8 == 0
+
+    def test_explicit_alignment(self):
+        heap = Heap(1024 * 1024)
+        assert heap.alloc(24, align=64) % 64 == 0
+
+    def test_allocations_do_not_overlap(self):
+        heap = Heap(1024 * 1024)
+        spans = []
+        for _ in range(100):
+            addr = heap.alloc(96)
+            for other, size in spans:
+                assert addr + 96 <= other or other + size <= addr
+            spans.append((addr, 96))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            Heap(1024 * 1024).alloc(0)
+
+    def test_exhaustion_raises(self):
+        heap = Heap(64 * 1024, stagger_bytes=0)
+        with pytest.raises(AllocationError):
+            for _ in range(2000):
+                heap.alloc(64)
+
+
+class TestArenas:
+    def test_arenas_are_disjoint(self):
+        heap = Heap(1024 * 1024, arenas=4)
+        addrs = [heap.alloc(64, arena=a) for a in range(4)]
+        assert len(set(a // (1024 * 1024 // 4 // 2) for a in addrs)) >= 2
+
+    def test_arena_out_of_range(self):
+        with pytest.raises(AllocationError):
+            Heap(1024 * 1024, arenas=2).alloc(8, arena=5)
+
+    def test_staggering_spreads_start_pages(self):
+        heap = Heap(8 * 1024 * 1024, arenas=8, stagger_bytes=4096)
+        first_pages = {heap.alloc(64, arena=a) // 4096 % 4 for a in range(8)}
+        assert len(first_pages) >= 2, "arena heads must not all share a controller"
+
+
+class TestFreeList:
+    def test_freed_block_is_reused(self):
+        heap = Heap(1024 * 1024)
+        addr = heap.alloc(128)
+        heap.free(addr, 128)
+        assert heap.alloc(128) == addr
+
+    def test_free_list_is_per_size(self):
+        heap = Heap(1024 * 1024)
+        small = heap.alloc(64)
+        heap.free(small, 64)
+        big = heap.alloc(4096)
+        assert big != small
+
+    def test_allocated_accounting(self):
+        heap = Heap(1024 * 1024)
+        addr = heap.alloc(64)
+        assert heap.allocated == 64
+        heap.free(addr, 64)
+        assert heap.allocated == 0
+
+    def test_remaining_decreases(self):
+        heap = Heap(1024 * 1024)
+        before = heap.remaining()
+        heap.alloc(1024)
+        assert heap.remaining() <= before - 1024

@@ -1,0 +1,107 @@
+"""Two-image memory model: volatile versus durable semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.mem.image import MemoryImage
+
+
+class TestBasics:
+    def test_starts_zeroed(self):
+        image = MemoryImage(4096)
+        assert image.read(0, 16) == bytes(16)
+        assert image.durable_read(0, 16) == bytes(16)
+
+    def test_write_is_volatile_only(self):
+        image = MemoryImage(4096)
+        image.write(100, b"hello")
+        assert image.read(100, 5) == b"hello"
+        assert image.durable_read(100, 5) == bytes(5)
+
+    def test_persist_updates_durable(self):
+        image = MemoryImage(4096)
+        image.persist(64, b"x" * 64)
+        assert image.durable_read(64, 64) == b"x" * 64
+
+    def test_u64_roundtrip(self):
+        image = MemoryImage(4096)
+        image.write_u64(8, 0xDEADBEEF)
+        assert image.read_u64(8) == 0xDEADBEEF
+
+    def test_durable_read_u64(self):
+        image = MemoryImage(4096)
+        image.persist(0, (123).to_bytes(8, "little"))
+        assert image.durable_read_u64(0) == 123
+
+    def test_bounds_checked(self):
+        image = MemoryImage(128)
+        with pytest.raises(MemoryError_):
+            image.read(120, 16)
+        with pytest.raises(MemoryError_):
+            image.write(-1, b"x")
+        with pytest.raises(MemoryError_):
+            image.persist(128, b"x")
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(MemoryError_):
+            MemoryImage(100)
+
+
+class TestLineViews:
+    def test_volatile_line_snapshots_latest(self):
+        image = MemoryImage(4096)
+        image.write(70, b"\xAA")
+        line = image.volatile_line(70)
+        assert len(line) == 64
+        assert line[6] == 0xAA
+
+    def test_durable_line_is_nvm_contents(self):
+        image = MemoryImage(4096)
+        image.write(70, b"\xAA")
+        assert image.durable_line(70) == bytes(64)
+
+
+class TestCrashSemantics:
+    def test_crash_discards_unpersisted_writes(self):
+        image = MemoryImage(4096)
+        image.write(0, b"volatile!")
+        image.persist(64, b"durable!")
+        image.crash()
+        assert image.read(0, 9) == bytes(9)
+        assert image.read(64, 8) == b"durable!"
+
+    def test_sync_all_flushes_everything(self):
+        image = MemoryImage(4096)
+        image.write(0, b"setup")
+        image.sync_all()
+        assert image.durable_read(0, 5) == b"setup"
+
+    def test_persist_equals_volatile(self):
+        image = MemoryImage(4096)
+        image.write(0, b"ab")
+        assert not image.persist_equals_volatile(0, 2)
+        image.persist(0, b"ab")
+        assert image.persist_equals_volatile(0, 2)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4000),
+                  st.binary(min_size=1, max_size=64),
+                  st.booleans()),
+        max_size=30,
+    ))
+    def test_crash_preserves_exactly_the_persisted_state(self, ops):
+        """After a crash, every byte equals its last *persisted* value."""
+        image = MemoryImage(8192)
+        shadow_durable = bytearray(8192)
+        for addr, data, persisted in ops:
+            if addr + len(data) > 8192:
+                continue
+            image.write(addr, data)
+            if persisted:
+                image.persist(addr, data)
+                shadow_durable[addr:addr + len(data)] = data
+        image.crash()
+        assert image.read(0, 8192) == bytes(shadow_durable)
+        assert image.durable_read(0, 8192) == bytes(shadow_durable)

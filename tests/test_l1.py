@@ -1,0 +1,177 @@
+"""Private L1 cache: tags, LRU, log bit lifecycle, directory hooks."""
+
+from repro.coherence.l1 import L1Cache
+from repro.coherence.states import MESI
+from repro.common.stats import Stats
+from repro.config import CacheConfig
+
+
+class FakeL2:
+    """Records directory calls without any timing."""
+
+    def __init__(self):
+        self.calls = []
+
+    def get_shared(self, core, line, on_fill):
+        self.calls.append(("GetS", core, line))
+
+    def get_exclusive(self, core, line, atomic, on_fill):
+        self.calls.append(("GetX", core, line, atomic))
+
+    def writeback_dirty(self, core, line):
+        self.calls.append(("PutM", core, line))
+
+    def evict_clean(self, core, line):
+        self.calls.append(("PutS", core, line))
+
+
+def make_l1(ways=2, sets=4):
+    cfg = CacheConfig(size_bytes=ways * sets * 64, ways=ways, latency=3)
+    l1 = L1Cache(0, cfg, mshrs=4, stats=Stats().domain("l1"))
+    l1.l2 = FakeL2()
+    return l1
+
+
+def fill(l1, line, state=MESI.EXCLUSIVE, source_logged=False):
+    from repro.coherence.l1 import FillInfo
+    l1.mshrs.allocate(line, lambda info: None)
+    l1._fill(line, FillInfo(state, source_logged))
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        l1 = make_l1()
+        assert not l1.load_hit(0x40)
+        fill(l1, 0x40, MESI.SHARED)
+        assert l1.load_hit(0x40)
+
+    def test_store_probe_states(self):
+        l1 = make_l1()
+        assert l1.store_probe(0x40) is MESI.INVALID
+        fill(l1, 0x40, MESI.SHARED)
+        assert l1.store_probe(0x40) is MESI.SHARED
+
+    def test_ensure_writable_hit_in_e_upgrades_silently(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.EXCLUSIVE)
+        seen = []
+        l1.ensure_writable(0x40, False, lambda info: seen.append(info))
+        assert seen and seen[0].state is MESI.MODIFIED
+        assert l1.probe(0x40).state is MESI.MODIFIED
+        assert l1.l2.calls == []
+
+    def test_ensure_writable_miss_issues_getx(self):
+        l1 = make_l1()
+        l1.ensure_writable(0x40, True, lambda info: None)
+        assert ("GetX", 0, 0x40, True) in l1.l2.calls
+
+    def test_shared_store_issues_upgrade(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.SHARED)
+        l1.ensure_writable(0x40, False, lambda info: None)
+        assert ("GetX", 0, 0x40, False) in l1.l2.calls
+
+
+class TestEviction:
+    def test_lru_victim_selected(self):
+        l1 = make_l1(ways=2, sets=1)
+        fill(l1, 0 * 64, MESI.SHARED)
+        fill(l1, 1 * 64, MESI.SHARED)
+        l1.load_hit(0)              # touch line 0: line 64 becomes LRU
+        fill(l1, 2 * 64, MESI.SHARED)
+        assert l1.probe(0) is not None
+        assert l1.probe(64) is None
+
+    def test_dirty_eviction_writes_back(self):
+        l1 = make_l1(ways=1, sets=1)
+        fill(l1, 0, MESI.MODIFIED)
+        fill(l1, 64, MESI.SHARED)
+        assert ("PutM", 0, 0) in l1.l2.calls
+
+    def test_clean_eviction_is_silent_put(self):
+        l1 = make_l1(ways=1, sets=1)
+        fill(l1, 0, MESI.SHARED)
+        fill(l1, 64, MESI.SHARED)
+        assert ("PutS", 0, 0) in l1.l2.calls
+
+    def test_eviction_reports_line_lost(self):
+        l1 = make_l1(ways=1, sets=1)
+        lost = []
+        l1.on_line_lost = lost.append
+        fill(l1, 0, MESI.MODIFIED)
+        fill(l1, 64, MESI.SHARED)
+        assert lost == [0]
+
+
+class TestLogBit:
+    def test_log_bit_lifecycle(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.MODIFIED)
+        assert not l1.log_bit(0x40)
+        l1.set_log_bit(0x40)
+        assert l1.log_bit(0x40)
+        l1.clear_log_bit(0x40)
+        assert not l1.log_bit(0x40)
+
+    def test_source_logged_fill_pre_sets_bit(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.MODIFIED, source_logged=True)
+        assert l1.log_bit(0x40)
+
+    def test_log_bit_dies_with_eviction(self):
+        l1 = make_l1(ways=1, sets=1)
+        fill(l1, 0, MESI.MODIFIED)
+        l1.set_log_bit(0)
+        fill(l1, 64, MESI.SHARED)
+        assert not l1.log_bit(0)  # absent lines read as unlogged
+
+    def test_absent_line_operations_are_safe(self):
+        l1 = make_l1()
+        assert not l1.log_bit(0x1000)
+        l1.set_log_bit(0x1000)   # no-op
+        l1.clear_log_bit(0x1000)
+
+
+class TestRemoteActions:
+    def test_remote_invalidate_reports_dirty(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.MODIFIED)
+        assert l1.remote_invalidate(0x40) is True
+        assert l1.probe(0x40) is None
+
+    def test_remote_invalidate_clean(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.SHARED)
+        assert l1.remote_invalidate(0x40) is False
+
+    def test_remote_invalidate_absent(self):
+        l1 = make_l1()
+        assert l1.remote_invalidate(0x40) is False
+
+    def test_remote_downgrade(self):
+        l1 = make_l1()
+        fill(l1, 0x40, MESI.MODIFIED)
+        assert l1.remote_downgrade(0x40) is True
+        assert l1.probe(0x40).state is MESI.SHARED
+
+    def test_remote_invalidate_fires_line_lost(self):
+        l1 = make_l1()
+        lost = []
+        l1.on_line_lost = lost.append
+        fill(l1, 0x40, MESI.MODIFIED)
+        l1.remote_invalidate(0x40)
+        assert lost == [0x40]
+
+
+class TestMSHRIntegration:
+    def test_load_miss_merges(self):
+        l1 = make_l1()
+        done = []
+        l1.load_miss(0x40, lambda: done.append(1))
+        l1.load_miss(0x40, lambda: done.append(2))
+        # One GetS, two waiters.
+        gets = [c for c in l1.l2.calls if c[0] == "GetS"]
+        assert len(gets) == 1
+        from repro.coherence.l1 import FillInfo
+        l1._fill(0x40, FillInfo(MESI.SHARED))
+        assert done == [1, 2]

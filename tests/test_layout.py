@@ -1,0 +1,100 @@
+"""Physical address layout: interleaving, log regions, record math."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.config import LogConfig, MemoryConfig
+from repro.mem.layout import AddressLayout, RecordAddress
+
+
+def make_layout(data_mb: int = 4) -> AddressLayout:
+    return AddressLayout(data_mb * 1024 * 1024, MemoryConfig(), LogConfig())
+
+
+class TestDataSpace:
+    def test_page_interleaving(self):
+        layout = make_layout()
+        page = layout.interleave_bytes
+        assert layout.controller_of(0) == 0
+        assert layout.controller_of(page) == 1
+        assert layout.controller_of(2 * page) == 2
+        assert layout.controller_of(3 * page) == 3
+        assert layout.controller_of(4 * page) == 0
+
+    def test_same_page_same_controller(self):
+        layout = make_layout()
+        assert layout.controller_of(100) == layout.controller_of(4000)
+
+    def test_is_data_vs_is_log(self):
+        layout = make_layout()
+        assert layout.is_data(0)
+        assert not layout.is_log(0)
+        assert layout.is_log(layout.log_base)
+        assert not layout.is_data(layout.log_base)
+
+    def test_out_of_range_rejected(self):
+        layout = make_layout()
+        with pytest.raises(MemoryError_):
+            layout.controller_of(layout.total_bytes)
+
+
+class TestLogRegions:
+    def test_regions_are_disjoint_and_ordered(self):
+        layout = make_layout()
+        bases = [layout.log_region_base(c) for c in range(4)]
+        assert bases == sorted(bases)
+        for c in range(3):
+            assert bases[c + 1] - bases[c] == layout.log_region_bytes
+
+    def test_log_addresses_map_to_owner(self):
+        layout = make_layout()
+        for c in range(4):
+            assert layout.controller_of(layout.log_region_base(c)) == c
+            last = layout.log_region_base(c) + layout.log_region_bytes - 1
+            assert layout.controller_of(last) == c
+
+    def test_adr_block_precedes_buckets(self):
+        layout = make_layout()
+        assert layout.adr_base(0) == layout.log_region_base(0)
+        assert layout.bucket_base(0, 0) == (
+            layout.log_region_base(0) + layout.adr_block_bytes
+        )
+
+    def test_adr_block_is_line_aligned(self):
+        layout = make_layout()
+        assert layout.adr_block_bytes % 64 == 0
+
+
+class TestRecordMath:
+    def test_record_size_is_512(self):
+        layout = make_layout()
+        r0 = layout.record_base(RecordAddress(0, 0, 0))
+        r1 = layout.record_base(RecordAddress(0, 0, 1))
+        assert r1 - r0 == 512
+
+    def test_header_is_last_line(self):
+        layout = make_layout()
+        rec = RecordAddress(1, 2, 3)
+        header = layout.record_header_addr(rec)
+        assert header == layout.record_base(rec) + 7 * 64
+
+    def test_entry_slots(self):
+        layout = make_layout()
+        rec = RecordAddress(0, 0, 0)
+        for slot in range(7):
+            addr = layout.record_entry_addr(rec, slot)
+            assert addr == layout.record_base(rec) + slot * 64
+        with pytest.raises(MemoryError_):
+            layout.record_entry_addr(rec, 7)
+
+    def test_bucket_bounds_checked(self):
+        layout = make_layout()
+        with pytest.raises(MemoryError_):
+            layout.bucket_base(0, LogConfig().buckets_per_controller)
+
+    def test_records_stay_inside_their_bucket(self):
+        layout = make_layout()
+        cfg = LogConfig()
+        last = RecordAddress(0, 0, cfg.records_per_bucket - 1)
+        end = layout.record_header_addr(last) + 64
+        assert end <= layout.bucket_base(0, 1)

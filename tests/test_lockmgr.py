@@ -1,0 +1,93 @@
+"""Lock manager: mutual exclusion, FIFO fairness, timing."""
+
+import pytest
+
+from helpers import build_system
+from repro.common.errors import SimulationError
+
+
+def make_lockmgr():
+    system = build_system()
+    return system.engine, system.lockmgr
+
+
+class TestMutualExclusion:
+    def test_free_lock_granted(self):
+        engine, locks = make_lockmgr()
+        granted = []
+        locks.acquire(0, 77, lambda: granted.append(0))
+        engine.run(max_events=1000)
+        assert granted == [0]
+        assert locks.holder(77) == 0
+
+    def test_contended_lock_queues(self):
+        # Simultaneous requests race to the lock's home tile (the closer
+        # core arrives first); the loser queues and is granted on
+        # release — mutual exclusion throughout.
+        engine, locks = make_lockmgr()
+        granted = []
+        locks.acquire(0, 77, lambda: granted.append(0))
+        locks.acquire(1, 77, lambda: granted.append(1))
+        engine.run(max_events=1000)
+        assert len(granted) == 1
+        first = granted[0]
+        locks.release(first, 77)
+        engine.run(max_events=1000)
+        assert sorted(granted) == [0, 1]
+        assert locks.holder(77) == granted[1]
+
+    def test_queued_requests_grant_fifo(self):
+        engine, locks = make_lockmgr()
+        granted = []
+        for core in range(4):
+            locks.acquire(core, 5, lambda c=core: granted.append(c))
+        engine.run(max_events=1000)
+        queue_order = list(granted)
+        while len(granted) < 4:
+            locks.release(granted[-1], 5)
+            engine.run(max_events=1000)
+        # Whatever the arrival race decided, everyone is granted exactly
+        # once and queued waiters come out in arrival order.
+        assert sorted(granted) == [0, 1, 2, 3]
+        assert granted[: len(queue_order)] == queue_order
+
+    def test_release_by_non_holder_rejected(self):
+        engine, locks = make_lockmgr()
+        locks.acquire(0, 9, lambda: None)
+        engine.run(max_events=1000)
+        with pytest.raises(SimulationError):
+            locks.release(3, 9)
+
+    def test_independent_locks_do_not_interact(self):
+        engine, locks = make_lockmgr()
+        granted = []
+        locks.acquire(0, 1, lambda: granted.append("a"))
+        locks.acquire(1, 2, lambda: granted.append("b"))
+        engine.run(max_events=1000)
+        assert sorted(granted) == ["a", "b"]
+
+    def test_held_locks_listing(self):
+        engine, locks = make_lockmgr()
+        locks.acquire(2, 10, lambda: None)
+        locks.acquire(2, 11, lambda: None)
+        engine.run(max_events=1000)
+        assert sorted(locks.held_locks(2)) == [10, 11]
+
+
+class TestTiming:
+    def test_acquire_costs_a_round_trip(self):
+        engine, locks = make_lockmgr()
+        granted = []
+        locks.acquire(0, 77, lambda: granted.append(engine.now))
+        engine.run(max_events=1000)
+        assert granted[0] > 0
+
+    def test_wait_cycles_recorded(self):
+        engine, locks = make_lockmgr()
+        granted = []
+        locks.acquire(0, 77, lambda: granted.append(0))
+        locks.acquire(1, 77, lambda: granted.append(1))
+        engine.run(max_events=1000)
+        locks.release(granted[0], 77)
+        engine.run(max_events=1000)
+        assert locks.stats.get("lock_wait_cycles") > 0

@@ -1,0 +1,188 @@
+"""LogM module: collation, posting, gating, truncation, overflow."""
+
+import pytest
+
+from helpers import build_system
+from repro.common.errors import LogOverflowError
+from repro.common.units import CACHE_LINE_BYTES
+from repro.config import Design, LogConfig
+from repro.mem.layout import RecordAddress
+
+
+def fresh_logm(system, core=0, slot=0):
+    logm = system.controllers[0].logm
+    logm.begin(core, slot)
+    return logm
+
+
+def payload(tag: int) -> bytes:
+    return bytes([tag]) * CACHE_LINE_BYTES
+
+
+class TestAppend:
+    def test_posted_ack_fires_before_persist(self, system):
+        logm = fresh_logm(system)
+        events = []
+        logm.append(0, 0x1000, payload(1),
+                    on_locked=lambda: events.append(("locked",
+                                                     system.engine.now)))
+        assert events and events[0][0] == "locked"
+        assert events[0][1] == system.engine.now  # synchronous lock
+        assert logm.is_locked(0x1000)
+
+    def test_durable_ack_requires_header_persist(self, system):
+        logm = fresh_logm(system)
+        events = []
+        # Fill a whole record so the header goes out.
+        for i in range(7):
+            logm.append(0, 0x1000 + i * 64, payload(i),
+                        on_durable=lambda i=i: events.append(i))
+        assert not events  # nothing durable yet
+        system.engine.run(max_events=100_000)
+        assert events == list(range(7))
+
+    def test_lines_unlock_on_header_persist(self, system):
+        logm = fresh_logm(system)
+        for i in range(7):
+            logm.append(0, 0x1000 + i * 64, payload(i))
+        assert logm.is_locked(0x1000)
+        system.engine.run(max_events=100_000)
+        assert not logm.is_locked(0x1000)
+
+    def test_append_without_update_is_noop_ack(self, system):
+        logm = system.controllers[0].logm
+        acked = []
+        logm.append(9, 0x2000, payload(0), on_locked=lambda: acked.append(1))
+        assert acked == [1]
+        assert not logm.is_locked(0x2000)
+
+    def test_relog_same_line_counts_locks(self, system):
+        """A line logged twice stays locked until *both* entries persist."""
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(1))
+        logm.append(0, 0x1000, payload(2))
+        # Force both records' headers out by filling the record.
+        for i in range(1, 7):
+            logm.append(0, 0x8000 + i * 64, payload(i))
+        system.engine.run(max_events=200_000)
+        assert not logm.is_locked(0x1000)
+
+    def test_log_entries_land_in_log_region(self, system):
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(0xAB))
+        for i in range(1, 7):
+            logm.append(0, 0x9000 + i * 64, payload(i))
+        system.engine.run(max_events=200_000)
+        base = system.layout.record_entry_addr(RecordAddress(0, 0, 0), 0)
+        assert system.image.durable_read(base, 64) == payload(0xAB)
+
+
+class TestGate:
+    def test_unlocked_write_released_after_match_cycle(self, system):
+        logm = system.controllers[0].logm
+        released = []
+        logm.gate_data_write(0x4000, lambda: released.append(system.engine.now))
+        system.engine.run(max_events=1000)
+        assert released
+
+    def test_locked_write_waits_for_header(self, system):
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(1))
+        released = []
+        logm.gate_data_write(0x1000, lambda: released.append(1))
+        assert not released  # header not persisted yet
+        system.engine.run(max_events=100_000)
+        assert released == [1]
+
+    def test_gate_forces_early_header_flush(self, system):
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(1))  # record has 1 of 7 entries
+        logm.gate_data_write(0x1000, lambda: None)
+        system.engine.run(max_events=100_000)
+        assert logm.stats.get("early_header_flushes") >= 1
+
+
+class TestCommit:
+    def test_commit_truncates_and_acks(self, system):
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(1))
+        acked = []
+        logm.commit(0, lambda: acked.append(1))
+        system.engine.run(max_events=100_000)
+        assert acked == [1]
+        assert logm.slot_of(0) is None
+        assert not logm.aus[0].active()
+
+    def test_commit_notifies_truncation_hook(self, system):
+        logm = fresh_logm(system)
+        seen = []
+        logm.on_truncate = seen.append
+        logm.commit(0, lambda: None)
+        assert seen == [0]
+
+    def test_force_truncate_is_idempotent(self, system):
+        logm = fresh_logm(system)
+        logm.append(0, 0x1000, payload(1))
+        logm.force_truncate(0)
+        logm.force_truncate(0)
+        assert not logm.aus[0].active()
+
+
+class TestCollationModes:
+    def test_base_design_closes_per_entry(self):
+        system = build_system(design=Design.BASE)
+        logm = system.controllers[0].logm
+        assert not logm.cfg.collation
+        logm.begin(0, 0)
+        logm.append(0, 0x1000, payload(1))
+        system.engine.run(max_events=100_000)
+        # One entry => one closed record, header written immediately.
+        assert logm.stats.get("records_closed") == 1
+        assert logm.stats.get("headers_written") == 1
+
+    def test_collation_amortizes_headers(self, system):
+        logm = fresh_logm(system)
+        for i in range(7):
+            logm.append(0, 0x1000 + i * 64, payload(i))
+        system.engine.run(max_events=200_000)
+        assert logm.stats.get("headers_written") == 1
+        assert logm.stats.get("entries") == 7
+
+
+class TestOverflow:
+    def test_single_update_exhaustion_raises(self):
+        system = build_system()
+        logm = system.controllers[0].logm
+        logm.cfg = LogConfig(
+            buckets_per_controller=logm.cfg.buckets_per_controller,
+            records_per_bucket=logm.cfg.records_per_bucket,
+            aus_per_controller=logm.cfg.aus_per_controller,
+        )
+        logm.begin(0, 0)
+        capacity = (
+            logm.cfg.buckets_per_controller * logm.cfg.records_per_bucket
+            * logm.cfg.entries_per_record
+        )
+        with pytest.raises(LogOverflowError):
+            for i in range(capacity + 8):
+                logm.append(0, 0x10000 + i * 64, payload(i & 0xFF))
+
+    def test_waiters_retry_after_commit_frees_buckets(self, system):
+        logm = system.controllers[0].logm
+        buckets = logm.cfg.buckets_per_controller
+        per_bucket = logm.cfg.records_per_bucket * logm.cfg.entries_per_record
+        logm.begin(0, 0)
+        logm.begin(1, 1)
+        # Update 0 grabs all buckets bar one; update 1 takes the last.
+        for i in range((buckets - 1) * per_bucket):
+            logm.append(0, 0x100000 + i * 64, payload(i & 0xFF))
+        for i in range(per_bucket):
+            logm.append(1, 0x400000 + i * 64, payload(i & 0xFF))
+        # Update 1 now overflows; progress resumes once update 0 commits.
+        acked = []
+        logm.append(1, 0x500000, payload(1), on_locked=lambda: acked.append(1))
+        assert not acked
+        assert logm.stats.get("log_overflows") >= 1
+        logm.commit(0, lambda: None)
+        system.engine.run(max_events=500_000)
+        assert acked == [1]

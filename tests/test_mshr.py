@@ -1,0 +1,65 @@
+"""MSHR file: allocation, merging, capacity."""
+
+import pytest
+
+from repro.coherence.mshr import MSHRFile
+from repro.common.errors import CoherenceError
+
+
+class TestAllocation:
+    def test_allocate_and_complete(self):
+        mshrs = MSHRFile(4)
+        hits = []
+        assert mshrs.allocate(0x40, lambda: hits.append(1))
+        assert mshrs.outstanding(0x40)
+        waiters = mshrs.complete(0x40)
+        assert len(waiters) == 1
+        assert not mshrs.outstanding(0x40)
+
+    def test_double_allocate_rejected(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x40, lambda: None)
+        with pytest.raises(CoherenceError):
+            mshrs.allocate(0x40, lambda: None)
+
+    def test_merge_attaches_waiters(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x40, lambda: None)
+        mshrs.merge(0x40, lambda: None)
+        mshrs.merge(0x40, lambda: None)
+        assert len(mshrs.complete(0x40)) == 3
+
+    def test_merge_without_entry_rejected(self):
+        with pytest.raises(CoherenceError):
+            MSHRFile(4).merge(0x40, lambda: None)
+
+    def test_complete_without_entry_rejected(self):
+        with pytest.raises(CoherenceError):
+            MSHRFile(4).complete(0x40)
+
+
+class TestCapacity:
+    def test_full_rejects_allocation(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(0x00, lambda: None)
+        assert mshrs.allocate(0x40, lambda: None)
+        assert mshrs.full()
+        assert not mshrs.allocate(0x80, lambda: None)
+
+    def test_slot_waiter_woken_on_complete(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x00, lambda: None)
+        woken = []
+        mshrs.when_slot_free(lambda: woken.append(1))
+        mshrs.complete(0x00)
+        assert woken == [1]
+
+    def test_in_flight_count(self):
+        mshrs = MSHRFile(8)
+        for i in range(3):
+            mshrs.allocate(i * 64, lambda: None)
+        assert mshrs.in_flight() == 3
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CoherenceError):
+            MSHRFile(0)

@@ -1,0 +1,106 @@
+"""Mesh topology and network timing."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Stats
+from repro.config import NocConfig
+from repro.engine import Engine
+from repro.noc.mesh import Mesh
+from repro.noc.topology import Topology
+
+
+def make_mesh(num_tiles=32, rows=4, controllers=4, contention=True):
+    engine = Engine()
+    cfg = NocConfig(rows=rows)
+    topo = Topology(num_tiles, controllers, cfg)
+    mesh = Mesh(engine, topo, cfg, Stats().domain("mesh"),
+                model_contention=contention)
+    return engine, topo, mesh
+
+
+class TestTopology:
+    def test_paper_mesh_is_4x8(self):
+        _, topo, _ = make_mesh()
+        assert topo.rows == 4 and topo.cols == 8
+
+    def test_coordinates_roundtrip(self):
+        _, topo, _ = make_mesh()
+        for tile in range(32):
+            row, col = topo.tile_to_coord(tile)
+            assert topo.coord_to_tile(row, col) == tile
+
+    def test_manhattan_hops(self):
+        _, topo, _ = make_mesh()
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 7) == 7
+        assert topo.hops(0, 31) == 3 + 7  # corner to corner
+
+    def test_controllers_on_corners(self):
+        _, topo, _ = make_mesh()
+        corners = {topo.mc_tile(i) for i in range(4)}
+        assert corners == {0, 7, 24, 31}
+
+    def test_l2_home_interleaves_lines(self):
+        _, topo, _ = make_mesh()
+        assert topo.l2_home_tile(0) == 0
+        assert topo.l2_home_tile(64) == 1
+        assert topo.l2_home_tile(64 * 32) == 0
+
+    def test_tiles_must_tile_mesh(self):
+        with pytest.raises(ConfigError):
+            Topology(30, 4, NocConfig(rows=4))
+
+    def test_bad_tile_rejected(self):
+        _, topo, _ = make_mesh()
+        with pytest.raises(ConfigError):
+            topo.tile_to_coord(32)
+
+    def test_small_mesh_controller_fold(self):
+        # 2x2 mesh with 2 controllers: corners dedupe, placement works.
+        _, topo, _ = make_mesh(num_tiles=4, rows=2, controllers=2)
+        assert topo.mc_tile(0) != topo.mc_tile(1)
+
+
+class TestMeshTiming:
+    def test_flit_count(self):
+        _, _, mesh = make_mesh()
+        assert mesh.flits(0) == 1          # header-only
+        assert mesh.flits(8) == 1          # 8B payload + 8B header
+        assert mesh.flits(64) == 5         # line + header = 72B / 16
+
+    def test_latency_grows_with_distance(self):
+        _, topo, mesh = make_mesh()
+        near = mesh.latency(0, 1, 8)
+        far = mesh.latency(0, 31, 8)
+        assert far > near
+        assert far - near == (topo.hops(0, 31) - topo.hops(0, 1)) * 2
+
+    def test_send_delivers_at_latency(self):
+        engine, _, mesh = make_mesh(contention=False)
+        seen = []
+        mesh.send(0, 31, 64, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [mesh.latency(0, 31, 64)]
+
+    def test_injection_port_serializes_bursts(self):
+        engine, _, mesh = make_mesh(contention=True)
+        seen = []
+        for _ in range(3):
+            mesh.send(0, 1, 64, lambda: seen.append(engine.now))
+        engine.run()
+        deltas = [b - a for a, b in zip(seen, seen[1:])]
+        assert all(d == mesh.flits(64) for d in deltas)
+
+    def test_streamed_send_skips_injection_port(self):
+        engine, _, mesh = make_mesh(contention=True)
+        seen = []
+        for _ in range(3):
+            mesh.send_streamed(0, 1, 64, lambda: seen.append(engine.now))
+        engine.run()
+        assert len(set(seen)) == 1  # all delivered together
+
+    def test_request_response_is_sum(self):
+        _, _, mesh = make_mesh()
+        rt = mesh.request_response(0, 5, 8, 64)
+        assert rt == mesh.latency(0, 5, 8) + mesh.latency(5, 0, 64)

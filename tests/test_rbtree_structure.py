@@ -1,0 +1,79 @@
+"""Property-based red-black tree structure tests (functional driver).
+
+The rbtree workload's own verifier checks the red-black invariants; here
+hypothesis drives random insert/delete scripts and the verifier must
+hold after every batch — catching rebalancing bugs without a simulator
+in the loop.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import build_system
+from repro.runtime.driver import DirectDriver
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.base import WorkloadParams, payload_tag
+
+
+def make_workload(initial=0, seed=1):
+    system = build_system()
+    params = WorkloadParams(entry_bytes=512, txns_per_thread=1,
+                            threads=1, initial_items=initial, seed=seed)
+    workload = RBTreeWorkload(system, params)
+    driver = DirectDriver(system.image, durable=True)
+    workload.setup()
+    return workload, driver
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=60)),
+        min_size=1, max_size=120,
+    )
+)
+def test_random_scripts_keep_rb_invariants(script):
+    workload, driver = make_workload()
+    live: dict[int, int] = {}
+    for do_insert, key_seed in script:
+        key = key_seed * 64 + 1  # match the workload's key spacing
+        if do_insert and key not in live:
+            driver.run(workload._insert(0, key, 0))
+            live[key] = payload_tag(key, 0)
+            workload.golden[0][key] = live[key]
+        elif not do_insert and live:
+            victim = sorted(live)[key_seed % len(live)]
+            node = driver.run(workload._search(0, victim))
+            assert node
+            driver.run(workload._delete(0, node))
+            del live[victim]
+            del workload.golden[0][victim]
+    workload.verify_durable()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**16))
+def test_setup_population_is_valid(seed):
+    workload, _ = make_workload(initial=40, seed=seed)
+    workload.verify_durable()
+
+
+def test_search_miss_returns_zero():
+    workload, driver = make_workload(initial=5)
+    assert driver.run(workload._search(0, 999_999_937)) == 0
+
+
+def test_delete_root_repeatedly():
+    """Deleting the root every time exercises every fixup arm."""
+    workload, driver = make_workload()
+    keys = [k * 64 + 1 for k in range(1, 33)]
+    for key in keys:
+        driver.run(workload._insert(0, key, 0))
+        workload.golden[0][key] = payload_tag(key, 0)
+    reader = workload.reader()
+    for _ in range(len(keys)):
+        root = reader.load_u64(workload.roots[0])
+        key = reader.load_u64(root + 0)
+        driver.run(workload._delete(0, root))
+        del workload.golden[0][key]
+        workload.verify_durable()

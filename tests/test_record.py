@@ -1,0 +1,74 @@
+"""Log record format (LEC): header encode/decode, open-record register."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.atom.record import FLAG_VALID, OpenRecord, RecordHeader
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = RecordHeader(
+            addresses=[0x40, 0x80, 0xC0], count=3,
+            flags=FLAG_VALID, owner=5, seq=42,
+        )
+        line = header.encode()
+        assert len(line) == 64
+        back = RecordHeader.decode(line)
+        assert back.addresses == [0x40, 0x80, 0xC0]
+        assert back.count == 3
+        assert back.owner == 5
+        assert back.seq == 42
+        assert back.valid
+
+    def test_zero_line_is_invalid(self):
+        header = RecordHeader.decode(bytes(64))
+        assert not header.valid
+
+    def test_count_zero_is_invalid_even_with_flag(self):
+        header = RecordHeader(addresses=[], count=0, flags=FLAG_VALID,
+                              owner=0, seq=0)
+        assert not RecordHeader.decode(header.encode()).valid
+
+    def test_garbage_count_is_clamped(self):
+        line = bytearray(64)
+        line[56] = 200  # absurd count from stale data
+        header = RecordHeader.decode(bytes(line))
+        assert header.count <= 7
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40).map(
+            lambda a: a & ~63), min_size=1, max_size=7),
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_roundtrip_property(self, addresses, owner, seq):
+        header = RecordHeader(addresses=list(addresses),
+                              count=len(addresses), flags=FLAG_VALID,
+                              owner=owner, seq=seq)
+        back = RecordHeader.decode(header.encode())
+        assert back.addresses == list(addresses)
+        assert back.owner == owner and back.seq == seq and back.valid
+
+
+class TestOpenRecord:
+    def test_holds_tracks_locked_lines(self):
+        record = OpenRecord(bucket=0, record=0, owner=1, seq=7)
+        record.addresses.append(0x40)
+        assert record.holds(0x40)
+        assert not record.holds(0x80)
+
+    def test_header_materialization(self):
+        record = OpenRecord(bucket=2, record=3, owner=1, seq=9)
+        record.addresses += [0x40, 0x80]
+        header = record.header()
+        assert header.count == 2
+        assert header.seq == 9
+        assert header.valid
+
+    def test_all_data_persisted(self):
+        record = OpenRecord(bucket=0, record=0, owner=0, seq=0)
+        record.addresses += [0x40, 0x80]
+        assert not record.all_data_persisted()
+        record.data_persisted = 2
+        assert record.all_data_persisted()

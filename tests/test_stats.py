@@ -1,0 +1,64 @@
+"""Statistics registry."""
+
+from repro.common.stats import Stats
+
+
+class TestStatDomain:
+    def test_add_creates_at_zero(self):
+        stats = Stats()
+        dom = stats.domain("core0")
+        dom.add("hits")
+        dom.add("hits", 4)
+        assert dom.get("hits") == 5
+
+    def test_get_default(self):
+        dom = Stats().domain("x")
+        assert dom.get("missing") == 0
+        assert dom.get("missing", 7) == 7
+
+    def test_put_overwrites(self):
+        dom = Stats().domain("x")
+        dom.add("v", 3)
+        dom.put("v", 1)
+        assert dom.get("v") == 1
+
+    def test_peak_keeps_max(self):
+        dom = Stats().domain("x")
+        dom.peak("depth", 3)
+        dom.peak("depth", 1)
+        dom.peak("depth", 9)
+        assert dom.get("depth") == 9
+
+    def test_contains(self):
+        dom = Stats().domain("x")
+        assert "c" not in dom
+        dom.add("c")
+        assert "c" in dom
+
+
+class TestStatsRegistry:
+    def test_domain_is_cached(self):
+        stats = Stats()
+        assert stats.domain("a") is stats.domain("a")
+
+    def test_total_with_prefix(self):
+        stats = Stats()
+        stats.domain("core0").add("sq_full_cycles", 10)
+        stats.domain("core1").add("sq_full_cycles", 5)
+        stats.domain("l2").add("sq_full_cycles", 100)  # excluded
+        assert stats.total("sq_full_cycles", prefix="core") == 15
+
+    def test_reset_zeroes_all(self):
+        stats = Stats()
+        stats.domain("a").add("x", 3)
+        stats.domain("b").add("y", 4)
+        stats.reset()
+        assert stats.domain("a").get("x") == 0
+        assert stats.domain("b").get("y") == 0
+
+    def test_as_dict_snapshot(self):
+        stats = Stats()
+        stats.domain("a").add("x", 1)
+        snap = stats.as_dict()
+        stats.domain("a").add("x", 1)
+        assert snap == {"a": {"x": 1}}

@@ -1,0 +1,75 @@
+"""Store queue: occupancy, ordering, drain, backpressure."""
+
+from repro.common.stats import Stats
+from repro.cpu.store_queue import StoreEntry, StoreQueue
+from repro.engine import Engine
+
+
+def make_sq(capacity=8, drain_delay=5):
+    engine = Engine()
+    retired = []
+
+    def execute(entry, on_retired):
+        engine.after(drain_delay, on_retired)
+
+    sq = StoreQueue(engine, capacity, execute, Stats().domain("sq"))
+    return engine, sq, retired
+
+
+class TestOccupancy:
+    def test_slots_counted_in_words(self):
+        _, sq, _ = make_sq(capacity=8)
+        assert StoreEntry(addr=0, size=8).slots == 1
+        assert StoreEntry(addr=0, size=64).slots == 8
+        assert StoreEntry(addr=0, size=1).slots == 1
+
+    def test_push_until_full(self):
+        _, sq, _ = make_sq(capacity=2)
+        assert sq.try_push(StoreEntry(addr=0, size=8))
+        assert sq.try_push(StoreEntry(addr=8, size=8))
+        assert not sq.try_push(StoreEntry(addr=16, size=8))
+
+    def test_wide_entry_fills_queue(self):
+        _, sq, _ = make_sq(capacity=8)
+        assert sq.try_push(StoreEntry(addr=0, size=64))
+        assert not sq.try_push(StoreEntry(addr=64, size=8))
+
+
+class TestDrain:
+    def test_stores_retire_in_order(self):
+        engine, sq, _ = make_sq(capacity=16, drain_delay=3)
+        entries = [StoreEntry(addr=i * 8, size=8) for i in range(4)]
+        for entry in entries:
+            sq.try_push(entry)
+        engine.run()
+        assert sq.empty()
+        assert sq.stats.get("stores_retired") == 4
+
+    def test_space_waiter_woken(self):
+        engine, sq, _ = make_sq(capacity=1, drain_delay=3)
+        sq.try_push(StoreEntry(addr=0, size=8))
+        woken = []
+        sq.when_space(lambda: woken.append(engine.now))
+        engine.run()
+        assert woken and woken[0] >= 3
+
+    def test_when_empty_immediate_if_empty(self):
+        engine, sq, _ = make_sq()
+        fired = []
+        sq.when_empty(lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_when_empty_waits_for_drain(self):
+        engine, sq, _ = make_sq(capacity=4, drain_delay=7)
+        sq.try_push(StoreEntry(addr=0, size=8))
+        fired = []
+        sq.when_empty(lambda: fired.append(engine.now))
+        assert not fired
+        engine.run()
+        assert fired and fired[0] >= 7
+
+    def test_store_latency_accounted(self):
+        engine, sq, _ = make_sq(capacity=4, drain_delay=10)
+        sq.try_push(StoreEntry(addr=0, size=8))
+        engine.run()
+        assert sq.stats.get("store_latency_cycles") >= 10

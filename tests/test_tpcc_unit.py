@@ -1,0 +1,120 @@
+"""TPC-C substrate units: key packing, schema population, new-order."""
+
+import random
+
+from helpers import build_system
+from repro.runtime.api import ImageReader
+from repro.runtime.driver import DirectDriver
+from repro.workloads.tpcc import schema as tpcc_schema
+from repro.workloads.tpcc.neworder import (
+    execute,
+    generate_spec,
+    stock_lock_ids,
+)
+from repro.workloads.tpcc.schema import TpccScale, TpccTables
+
+
+def make_tables(items=20, customers=5):
+    system = build_system(data_bytes=8 * 1024 * 1024)
+    scale = TpccScale(items=items, customers_per_district=customers)
+    tables = TpccTables(system.heap, scale, order=8)
+    driver = DirectDriver(system.image, durable=True)
+    driver.run(tables.create_all())
+    driver.run(tables.populate(random.Random(1)))
+    return system, tables, driver
+
+
+class TestKeyPacking:
+    def test_keys_are_injective(self):
+        tables = TpccTables.__new__(TpccTables)  # key fns are static
+        seen = set()
+        for w in (1, 2):
+            for d in range(1, 11):
+                for o in (3001, 3002):
+                    for n in range(1, 16):
+                        key = tables.key_order_line(w, d, o, n)
+                        assert key not in seen
+                        seen.add(key)
+
+    def test_stock_key(self):
+        tables = TpccTables.__new__(TpccTables)
+        assert tables.key_stock(1, 5) != tables.key_stock(2, 5)
+
+
+class TestPopulation:
+    def test_district_rows_initialized(self):
+        system, tables, driver = make_tables()
+        for d in range(1, 11):
+            row = driver.run(tables.district.get(tables.key_wd(1, d)))
+            assert row is not None
+            next_o_id = driver.run(
+                __import__("repro.runtime.api", fromlist=["PMem"])
+                .PMem.load_u64(row + tpcc_schema.D_NEXT_O_ID)
+            )
+            assert next_o_id == 3001
+
+    def test_items_and_stock_populated(self):
+        system, tables, driver = make_tables(items=15)
+        for i in (1, 7, 15):
+            assert driver.run(tables.item.get(i)) is not None
+            assert driver.run(tables.stock.get(tables.key_stock(1, i)))
+
+    def test_rows_are_line_aligned(self):
+        system, tables, driver = make_tables()
+        row = driver.run(tables.warehouse.get(1))
+        assert row % 64 == 0
+
+
+class TestNewOrder:
+    def test_spec_generation_in_bounds(self):
+        scale = TpccScale(items=20, customers_per_district=5)
+        rng = random.Random(3)
+        for _ in range(50):
+            spec = generate_spec(rng, terminal=0, scale=scale)
+            assert 1 <= spec.d_id <= 10
+            assert 1 <= spec.c_id <= 5
+            assert 5 <= len(spec.lines) <= 15
+            assert all(1 <= i <= 20 for i, _ in spec.lines)
+
+    def test_stock_locks_sorted_unique(self):
+        scale = TpccScale(items=20)
+        spec = generate_spec(random.Random(5), 0, scale)
+        locks = stock_lock_ids(TpccTables.__new__(TpccTables), spec)
+        assert locks == sorted(set(locks))
+
+    def test_execute_increments_next_o_id(self):
+        system, tables, driver = make_tables()
+        scale = tables.scale
+        spec = generate_spec(random.Random(7), 0, scale)
+        o_id = driver.run(execute(tables, spec))
+        assert o_id == 3001
+        o_id2 = driver.run(execute(tables, spec))
+        assert o_id2 == 3002
+
+    def test_execute_inserts_all_rows(self):
+        system, tables, driver = make_tables()
+        spec = generate_spec(random.Random(7), 0, tables.scale)
+        o_id = driver.run(execute(tables, spec))
+        d_key = tables.key_wd(spec.w_id, spec.d_id)
+        reader = ImageReader(system.image)
+        orders = tables.orders[d_key].walk_durable(reader)
+        lines = tables.order_line[d_key].walk_durable(reader)
+        o_key = tables.key_order(spec.w_id, spec.d_id, o_id)
+        assert o_key in orders
+        assert len(lines) == len(spec.lines)
+
+    def test_stock_quantity_updated(self):
+        system, tables, driver = make_tables()
+        from repro.runtime.api import PMem
+        spec = generate_spec(random.Random(7), 0, tables.scale)
+        i_id, qty = spec.lines[0]
+        s_row = driver.run(tables.stock.get(tables.key_stock(spec.w_id, i_id)))
+        before = driver.run(PMem.load_u64(s_row + tpcc_schema.S_QUANTITY))
+        driver.run(execute(tables, spec))
+        after = driver.run(PMem.load_u64(s_row + tpcc_schema.S_QUANTITY))
+        assert after != before
+
+    def test_paper_scale_factors(self):
+        paper = TpccScale.paper()
+        assert paper.items == 100_000
+        assert paper.customers_per_district == 3000

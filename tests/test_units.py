@@ -1,0 +1,77 @@
+"""Address-math helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import units
+
+
+class TestLineMath:
+    def test_line_of(self):
+        assert units.line_of(0) == 0
+        assert units.line_of(63) == 0
+        assert units.line_of(64) == 64
+        assert units.line_of(130) == 128
+
+    def test_line_offset(self):
+        assert units.line_offset(64) == 0
+        assert units.line_offset(100) == 36
+
+    def test_line_index(self):
+        assert units.line_index(0) == 0
+        assert units.line_index(640) == 10
+
+    def test_align_up(self):
+        assert units.align_up(0, 64) == 0
+        assert units.align_up(1, 64) == 64
+        assert units.align_up(64, 64) == 64
+        assert units.align_up(65, 8) == 72
+
+    def test_lines_spanned(self):
+        assert units.lines_spanned(0, 0) == 0
+        assert units.lines_spanned(0, 64) == 1
+        assert units.lines_spanned(60, 8) == 2
+        assert units.lines_spanned(0, 512) == 8
+
+
+class TestSplitByLine:
+    def test_single_chunk(self):
+        assert units.split_by_line(8, 8) == [(8, 8)]
+
+    def test_straddle(self):
+        assert units.split_by_line(60, 8) == [(60, 4), (64, 4)]
+
+    def test_full_payload(self):
+        chunks = units.split_by_line(128, 512)
+        assert len(chunks) == 8
+        assert all(size == 64 for _, size in chunks)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=5_000))
+    def test_chunks_cover_range_exactly(self, addr, size):
+        chunks = units.split_by_line(addr, size)
+        assert sum(s for _, s in chunks) == size
+        assert chunks[0][0] == addr
+        cursor = addr
+        for a, s in chunks:
+            assert a == cursor
+            assert units.line_of(a) == units.line_of(a + s - 1)
+            cursor += s
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=5_000))
+    def test_chunk_count_matches_lines_spanned(self, addr, size):
+        assert len(units.split_by_line(addr, size)) == units.lines_spanned(
+            addr, size
+        )
+
+
+class TestThroughput:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(2_000_000_000) == 1.0
+
+    def test_throughput(self):
+        assert units.throughput_per_second(10, 2_000_000_000) == 10.0
+
+    def test_zero_cycles_is_zero(self):
+        assert units.throughput_per_second(10, 0) == 0.0

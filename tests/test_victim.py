@@ -1,0 +1,55 @@
+"""REDO victim cache."""
+
+from repro.coherence.victim import VictimCache
+from repro.common.stats import Stats
+
+
+def make_victim(capacity=None):
+    return VictimCache(capacity, Stats().domain("victim"))
+
+
+class TestParking:
+    def test_park_and_hold(self):
+        victim = make_victim()
+        assert victim.park(0x40, txn_id=1) == []
+        assert victim.holds(0x40)
+        assert victim.occupancy() == 1
+
+    def test_repark_updates_txn(self):
+        victim = make_victim()
+        victim.park(0x40, txn_id=1)
+        victim.park(0x40, txn_id=2)
+        assert victim.occupancy() == 1
+        assert victim.release_txn(1) == []
+        assert victim.release_txn(2) == [0x40]
+
+    def test_release_frees_only_matching_txn(self):
+        victim = make_victim()
+        victim.park(0x00, 1)
+        victim.park(0x40, 2)
+        victim.park(0x80, 1)
+        freed = victim.release_txn(1)
+        assert sorted(freed) == [0x00, 0x80]
+        assert victim.holds(0x40)
+
+    def test_infinite_capacity_never_spills(self):
+        victim = make_victim(capacity=None)
+        spilled = []
+        for i in range(1000):
+            spilled += victim.park(i * 64, txn_id=i)
+        assert spilled == []
+        assert victim.occupancy() == 1000
+
+    def test_finite_capacity_spills_fifo(self):
+        victim = make_victim(capacity=2)
+        victim.park(0x00, 1)
+        victim.park(0x40, 1)
+        spilled = victim.park(0x80, 1)
+        assert spilled == [0x00]
+        assert not victim.holds(0x00)
+
+    def test_drop_all_on_crash(self):
+        victim = make_victim()
+        victim.park(0x40, 1)
+        victim.drop_all()
+        assert victim.occupancy() == 0

@@ -1,0 +1,87 @@
+"""Integration: every workload under the full timing simulator."""
+
+import pytest
+
+from helpers import build_system
+from repro.config import Design
+from repro.workloads import make_workload
+
+ALL = ["hash", "queue", "rbtree", "btree", "sdg", "sps"]
+
+
+def simulate(name, design=Design.ATOM_OPT, **kw):
+    system = build_system(design=design)
+    workload = make_workload(
+        name, system,
+        entry_bytes=kw.pop("entry_bytes", 512),
+        txns_per_thread=kw.pop("txns_per_thread", 6),
+        initial_items=kw.pop("initial_items", 10),
+        threads=kw.pop("threads", 4),
+        seed=kw.pop("seed", 3),
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+    end = system.run(max_cycles=50_000_000)
+    assert system.all_done(), f"{name} did not finish"
+    return system, workload, end
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_workload_completes_and_verifies(name):
+    system, workload, _ = simulate(name)
+    assert workload.commits == 4 * 6
+    system.crash()
+    system.recover()
+    workload.verify_durable()
+
+@pytest.mark.parametrize("name", ["hash", "rbtree"])
+def test_invariant_checks_exercised(name):
+    system, workload, _ = simulate(name)
+    assert system.invariant_checker.checks > 0
+    system.invariant_checker.assert_clean()
+
+
+@pytest.mark.parametrize("design", list(Design))
+def test_rbtree_all_designs(design):
+    system, workload, _ = simulate("rbtree", design=design)
+    assert workload.commits == 24
+
+
+def test_timing_is_deterministic():
+    ends = {simulate("hash", seed=11)[2] for _ in range(2)}
+    assert len(ends) == 1
+
+
+def test_throughput_ordering_holds_on_small_system():
+    """The headline ordering reproduces even on the 4-core test machine."""
+    cycles = {}
+    for design in (Design.BASE, Design.ATOM_OPT, Design.NON_ATOMIC):
+        _, _, end = simulate("hash", design=design, txns_per_thread=8)
+        cycles[design] = end
+    assert cycles[Design.BASE] > cycles[Design.ATOM_OPT]
+    assert cycles[Design.ATOM_OPT] > cycles[Design.NON_ATOMIC]
+
+
+def test_tpcc_completes_and_verifies():
+    system = build_system(design=Design.ATOM_OPT,
+                          data_bytes=8 * 1024 * 1024)
+    workload = make_workload("tpcc", system, txns_per_thread=3, threads=4)
+    workload.setup()
+    system.start_threads(workload.threads())
+    system.run(max_cycles=100_000_000)
+    assert system.all_done()
+    system.crash()
+    system.recover()
+    workload.verify_durable()
+
+
+def test_tpcc_mid_crash():
+    system = build_system(design=Design.ATOM_OPT,
+                          data_bytes=8 * 1024 * 1024)
+    workload = make_workload("tpcc", system, txns_per_thread=3, threads=4)
+    workload.setup()
+    system.start_threads(workload.threads())
+    system.crash_at(60_000)
+    system.run(max_cycles=100_000_000)
+    system.recover()
+    workload.verify_durable()
