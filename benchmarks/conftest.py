@@ -5,15 +5,41 @@ for a suite that regenerates every figure in a few minutes; use 1.0+ for
 tighter numbers).  Each benchmark runs its experiment exactly once — the
 interesting output is the paper-versus-measured table it prints, plus
 shape assertions.
+
+Every experiment submits its simulation points through one
+session-scoped :class:`~repro.harness.campaign.Campaign`:
+
+* ``REPRO_BENCH_JOBS``      worker processes (default 1, 0 = per CPU);
+* ``REPRO_BENCH_NO_CACHE``  set to disable the on-disk result cache
+  (by default cached points make a re-run of the suite near-instant);
+* ``REPRO_CACHE_DIR``       cache location (default
+  ``~/.cache/repro-campaign``).
+
+Machines themselves are built through :mod:`repro.harness.testbed` /
+:func:`repro.harness.runner.build_config` — the same single builder path
+the unit-test suite uses, so benchmark and test configs cannot drift.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from bench_util import bench_scale
 
+from repro.harness.cache import ResultCache
+from repro.harness.campaign import Campaign
+
 
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def campaign() -> Campaign:
+    """The campaign every benchmark submits its points through."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = None if os.environ.get("REPRO_BENCH_NO_CACHE") else ResultCache()
+    return Campaign(jobs=jobs, cache=cache)

@@ -15,8 +15,8 @@ from bench_util import run_once
 from repro.harness.experiments import ablations
 
 
-def test_ablations(benchmark, scale):
-    result = run_once(benchmark, ablations, scale)
+def test_ablations(benchmark, scale, campaign):
+    result = run_once(benchmark, ablations, scale, campaign=campaign)
     print()
     print(result.render())
 

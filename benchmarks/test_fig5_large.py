@@ -10,8 +10,8 @@ from bench_util import run_once
 from repro.harness.experiments import fig5
 
 
-def test_fig5_large(benchmark, scale):
-    result = run_once(benchmark, fig5, "large", scale)
+def test_fig5_large(benchmark, scale, campaign):
+    result = run_once(benchmark, fig5, "large", scale, campaign=campaign)
     print()
     print(result.render())
 

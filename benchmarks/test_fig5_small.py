@@ -10,8 +10,8 @@ from bench_util import run_once
 from repro.harness.experiments import fig5
 
 
-def test_fig5_small(benchmark, scale):
-    result = run_once(benchmark, fig5, "small", scale)
+def test_fig5_small(benchmark, scale, campaign):
+    result = run_once(benchmark, fig5, "small", scale, campaign=campaign)
     print()
     print(result.render())
 

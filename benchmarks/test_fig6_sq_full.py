@@ -11,8 +11,8 @@ from bench_util import run_once
 from repro.harness.experiments import fig6
 
 
-def test_fig6_sq_full(benchmark, scale):
-    result = run_once(benchmark, fig6, scale)
+def test_fig6_sq_full(benchmark, scale, campaign):
+    result = run_once(benchmark, fig6, scale, campaign=campaign)
     print()
     print(result.render())
 

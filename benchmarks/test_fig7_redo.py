@@ -12,8 +12,8 @@ from bench_util import run_once
 from repro.harness.experiments import fig7
 
 
-def test_fig7_redo(benchmark, scale):
-    result = run_once(benchmark, fig7, scale)
+def test_fig7_redo(benchmark, scale, campaign):
+    result = run_once(benchmark, fig7, scale, campaign=campaign)
     print()
     print(result.render())
 

@@ -17,8 +17,8 @@ from bench_util import run_once
 from repro.harness.experiments import fig8
 
 
-def test_fig8_latency_sensitivity(benchmark, scale):
-    result = run_once(benchmark, fig8, scale)
+def test_fig8_latency_sensitivity(benchmark, scale, campaign):
+    result = run_once(benchmark, fig8, scale, campaign=campaign)
     print()
     print(result.render())
 

@@ -11,8 +11,8 @@ from bench_util import run_once
 from repro.harness.experiments import table3
 
 
-def test_table3_source_logging(benchmark, scale):
-    result = run_once(benchmark, table3, scale)
+def test_table3_source_logging(benchmark, scale, campaign):
+    result = run_once(benchmark, table3, scale, campaign=campaign)
     print()
     print(result.render())
 

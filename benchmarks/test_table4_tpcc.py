@@ -16,8 +16,8 @@ from bench_util import run_once
 from repro.harness.experiments import table4
 
 
-def test_table4_tpcc(benchmark, scale):
-    result = run_once(benchmark, table4, max(1.0, scale))
+def test_table4_tpcc(benchmark, scale, campaign):
+    result = run_once(benchmark, table4, max(1.0, scale), campaign=campaign)
     print()
     print(result.render())
 

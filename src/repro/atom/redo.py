@@ -28,7 +28,7 @@ DESIGN.md's fidelity notes).
 from __future__ import annotations
 
 import struct
-from collections import defaultdict
+from collections import defaultdict, deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -82,8 +82,20 @@ class RedoManager:
         self._durable_commits: dict[int, list[tuple[int, bytes]]] = {}
         self._commit_order: list[int] = []
         self._applied: set[int] = set()
-        #: line -> last transaction that wrote it (victim-cache parking).
-        self._line_txn: dict[int, int] = {}
+        #: line -> transactions with words on it that are not yet
+        #: applied in place.  A dirty eviction must park while *any*
+        #: writer is pending — checking only the last writer would let a
+        #: line carrying an uncommitted transaction's bytes reach the
+        #: NVM array once a later (applied) transaction touched it.
+        self._line_txns: dict[int, set[int]] = {}
+        #: line -> queued backend applies, reserved at *commit* time so
+        #: one line's applies happen in commit order even though log
+        #: read-backs complete out of order.  Each apply is a
+        #: read-modify-write over the durable line, so an out-of-order
+        #: or overlapping pair would persist a stale snapshot and
+        #: clobber the other transaction's words — a lost update the
+        #: exhaustive crash sweep catches.
+        self._line_apply_q: dict[int, deque] = {}
         #: Per-(controller, core) circular log cursors.
         self._cursors: dict[tuple[int, int], int] = {}
         num_cores = system.config.cores.num_cores
@@ -110,7 +122,7 @@ class RedoManager:
             return
         for addr, value in words:
             txn.words.append((addr, value))
-            self._line_txn[line_of(addr)] = txn.txn_id
+            self._line_txns.setdefault(line_of(addr), set()).add(txn.txn_id)
             mc_id = self.layout.controller_of(addr)
             buf = txn.wc_buffers[mc_id]
             buf.append((addr, value))
@@ -218,14 +230,31 @@ class RedoManager:
     def _backend_apply(self, txn: _TxnState) -> None:
         """Read the log back, then write the new values in place.
 
-        The reads and writes ride the normal channel queues, so they
-        contend with demand traffic — the effect behind Figure 7.
+        Called at the durability point, i.e. in commit order: the
+        transaction's per-line apply slots are reserved *now*, so each
+        line's read-modify-writes happen in commit order.  The log
+        read-backs (which complete out of order between transactions)
+        merely mark the slots ready to issue.  Reads and writes ride
+        the normal channel queues, so they contend with demand traffic
+        — the effect behind Figure 7.
         """
-        engaged = sorted(txn.log_lines)
+        by_line: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
+        for addr, value in txn.words:
+            by_line[line_of(addr)].append((addr, value))
+        if not by_line:
+            self._mark_applied(txn)
+            return
+        entry = {"txn": txn, "ready": False, "writes_left": len(by_line)}
+        for line_addr, words in by_line.items():
+            queue = self._line_apply_q.setdefault(line_addr, deque())
+            queue.append({"words": words, "entry": entry, "issued": False})
+
         pending = {"reads": 0}
 
         def all_reads_done() -> None:
-            self._apply_in_place(txn)
+            entry["ready"] = True
+            for line_addr in by_line:
+                self._pump_line(line_addr)
 
         def one_read_done(_payload: bytes) -> None:
             pending["reads"] -= 1
@@ -233,7 +262,7 @@ class RedoManager:
                 all_reads_done()
 
         total = 0
-        for mc_id in engaged:
+        for mc_id in sorted(txn.log_lines):
             mc = self.controllers[mc_id]
             lines = txn.log_lines[mc_id]
             total += lines
@@ -243,55 +272,69 @@ class RedoManager:
                 self.dom.add("log_line_reads")
                 mc.read_log_line(addr + i * CACHE_LINE_BYTES, one_read_done)
         if total == 0:
-            self._apply_in_place(txn)
+            all_reads_done()
 
-    def _apply_in_place(self, txn: _TxnState) -> None:
-        """Persist the logged values line by line (data-channel writes)."""
-        by_line: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
-        for addr, value in txn.words:
-            by_line[line_of(addr)].append((addr, value))
-        pending = {"writes": len(by_line)}
-        if not pending["writes"]:
-            self._mark_applied(txn)
+    def _pump_line(self, line_addr: int) -> None:
+        """Issue the line's next apply if it is ready and not in flight."""
+        queue = self._line_apply_q.get(line_addr)
+        if not queue:
             return
+        head = queue[0]
+        if head["issued"] or not head["entry"]["ready"]:
+            return
+        head["issued"] = True
+        mc = self.controllers[self.layout.controller_of(line_addr)]
+        payload = bytearray(self.image.durable_line(line_addr))
+        for addr, value in head["words"]:
+            off = addr - line_addr
+            payload[off : off + len(value)] = value
+        self.dom.add("in_place_writes")
 
-        def one_write_done() -> None:
-            pending["writes"] -= 1
-            if pending["writes"] == 0:
-                self._mark_applied(txn)
+        def done() -> None:
+            live = self._line_apply_q.get(line_addr)
+            if not live or live[0] is not head:
+                return  # crash dropped the queue mid-flight
+            live.popleft()
+            if live:
+                self._pump_line(line_addr)
+            else:
+                del self._line_apply_q[line_addr]
+            entry = head["entry"]
+            entry["writes_left"] -= 1
+            if entry["writes_left"] == 0:
+                self._mark_applied(entry["txn"])
 
-        for line_addr, words in by_line.items():
-            mc = self.controllers[self.layout.controller_of(line_addr)]
-            payload = bytearray(self.image.durable_line(line_addr))
-            for addr, value in words:
-                off = addr - line_addr
-                payload[off : off + len(value)] = value
-            self.dom.add("in_place_writes")
-            mc.write_data_line(line_addr, bytes(payload),
-                               on_persist=one_write_done)
+        mc.write_data_line(line_addr, bytes(payload), on_persist=done)
 
     def _mark_applied(self, txn: _TxnState) -> None:
         self._applied.add(txn.txn_id)
         self.dom.add("applied")
+        for line_addr in [
+            l for l, txns in self._line_txns.items() if txn.txn_id in txns
+        ]:
+            pending = self._line_txns[line_addr]
+            pending.discard(txn.txn_id)
+            if not pending:
+                del self._line_txns[line_addr]
         for mc in self.controllers:
             if mc.victim_cache is not None:
-                mc.victim_cache.release_txn(txn.txn_id)
-        for line_addr in [
-            l for l, t in self._line_txn.items() if t == txn.txn_id
-        ]:
-            del self._line_txn[line_addr]
+                for line_addr in mc.victim_cache.release_txn(txn.txn_id):
+                    # Other writers still pending: the line stays parked.
+                    still = self._line_txns.get(line_addr)
+                    if still:
+                        mc.victim_cache.park(line_addr, min(still))
 
     # -- victim-cache parking hook (wired to SharedL2) ------------------------------------
 
     def park_dirty_eviction(self, line_addr: int) -> bool:
         """Park a dirty eviction whose transaction is not applied yet."""
-        txn_id = self._line_txn.get(line_addr)
-        if txn_id is None or txn_id in self._applied:
+        pending = self._line_txns.get(line_addr)
+        if not pending:
             return False
         mc = self.controllers[self.layout.controller_of(line_addr)]
         if mc.victim_cache is None:
             return False
-        mc.victim_cache.park(line_addr, txn_id)
+        mc.victim_cache.park(line_addr, min(pending))
         return True
 
     # -- crash / recovery ------------------------------------------------------------------
@@ -299,20 +342,30 @@ class RedoManager:
     def crash(self) -> None:
         """Power failure: volatile WC buffers and victim cache vanish."""
         self._active.clear()
-        self._line_txn.clear()
+        self._line_txns.clear()
+        self._line_apply_q.clear()
         for mc in self.controllers:
             if mc.victim_cache is not None:
                 mc.victim_cache.drop_all()
 
     def recover(self) -> int:
-        """Redo-apply committed-but-unapplied transactions.
+        """Redo-apply the committed log beyond the truncated prefix.
 
-        Returns the number of transactions replayed.
+        Backend applies complete in log-read order, not commit order, so
+        ``_applied`` can hold a *later* transaction while an earlier one
+        is still pending — and the log can only be truncated up to the
+        first unapplied transaction.  Recovery therefore replays every
+        committed transaction past that prefix, in commit order; replay
+        is idempotent, and re-running an already-applied later
+        transaction restores any of its words an earlier replay just
+        overwrote.  Returns the number of transactions replayed.
         """
+        prefix = 0
+        while (prefix < len(self._commit_order)
+               and self._commit_order[prefix] in self._applied):
+            prefix += 1
         replayed = 0
-        for txn_id in self._commit_order:
-            if txn_id in self._applied:
-                continue
+        for txn_id in self._commit_order[prefix:]:
             for addr, value in self._durable_commits[txn_id]:
                 self.image.persist(addr, value)
             self._applied.add(txn_id)

@@ -1,6 +1,24 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
 
+Simulation points are submitted through the campaign layer
+(:mod:`repro.harness.campaign`): a multiprocessing fan-out plus a
+content-addressed on-disk result cache (:mod:`repro.harness.cache`).
+See ``python -m repro.harness --help`` for the CLI.
+"""
+
+from repro.harness.cache import ResultCache
+from repro.harness.campaign import Campaign, CrashSpec, crash_grid, crash_sweep
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.runner import RunSpec, run_spec
 
-__all__ = ["EXPERIMENTS", "RunSpec", "run_experiment", "run_spec"]
+__all__ = [
+    "EXPERIMENTS",
+    "Campaign",
+    "CrashSpec",
+    "ResultCache",
+    "RunSpec",
+    "crash_grid",
+    "crash_sweep",
+    "run_experiment",
+    "run_spec",
+]

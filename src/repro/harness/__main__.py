@@ -4,7 +4,26 @@ Usage::
 
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
+    python -m repro.harness --all --jobs 8          # parallel campaign
+    python -m repro.harness --all --seeds 3         # mean over 3 seeds
+    python -m repro.harness --all --no-cache        # force recomputation
+    python -m repro.harness --crash-sweep --jobs 8  # differential sweep
+    python -m repro.harness --wipe-cache            # clear cached results
     python -m repro.harness --all --markdown > results.md
+
+Every simulation point goes through the campaign layer
+(:mod:`repro.harness.campaign`): ``--jobs N`` fans points out over N
+worker processes, and completed points are memoised in a
+content-addressed cache under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-campaign``) keyed by the spec *and* a hash of the
+simulator source, so a warm re-run of any experiment is near-instant
+while any code change transparently invalidates stale results.
+
+``--crash-sweep`` replaces the figure experiments with an exhaustive
+(design × workload × crash-cycle × seed) grid; each point crashes a
+machine mid-run, recovers, and differential-checks the durable image
+against the golden model.  The exit code is the number of divergent
+points, capped at 255 (0 = every crash recovered consistently).
 """
 
 from __future__ import annotations
@@ -13,8 +32,29 @@ import argparse
 import sys
 import time
 
+from repro.config import Design
+from repro.harness.cache import ResultCache
+from repro.harness.campaign import (
+    CRASH_DESIGNS, CRASH_WORKLOADS, Campaign, crash_grid, crash_sweep,
+)
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import format_markdown
+
+
+def _parse_grid(text: str) -> range:
+    """``start:stop:step`` -> inclusive-stop range of crash cycles."""
+    try:
+        start, stop, step = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected start:stop:step, got {text!r}"
+        ) from None
+    if step <= 0 or start > stop:
+        # An empty grid would make the sweep vacuously pass.
+        raise argparse.ArgumentTypeError(
+            f"grid {text!r} is empty: need start <= stop and step > 0"
+        )
+    return range(start, stop + 1, step)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,14 +73,78 @@ def main(argv: list[str] | None = None) -> int:
                         help="transaction-count scale factor (default 1.0)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown tables")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seeds per point, reported as the mean "
+                             "(default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-campaign)")
+    parser.add_argument("--wipe-cache", action="store_true",
+                        help="delete all cached results, then continue "
+                             "(or exit if nothing else was requested)")
+    parser.add_argument("--crash-sweep", action="store_true",
+                        help="run the exhaustive differential crash matrix "
+                             "instead of figure experiments")
+    parser.add_argument("--workloads", default=",".join(CRASH_WORKLOADS),
+                        help="crash-sweep workloads (comma-separated)")
+    parser.add_argument("--designs",
+                        default=",".join(d.value for d in CRASH_DESIGNS),
+                        help="crash-sweep designs (comma-separated)")
+    parser.add_argument("--crash-grid", type=_parse_grid,
+                        default=range(2_000, 30_001, 4_000),
+                        help="crash cycles as start:stop:step "
+                             "(default 2000:30000:4000)")
+    parser.add_argument("--crash-seeds", default="7",
+                        help="crash-sweep seeds (comma-separated)")
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.wipe_cache:
+        wiped = (cache if cache is not None
+                 else ResultCache(args.cache_dir)).wipe()
+        print(f"wiped {wiped} cached results")
+        if not (args.all or args.experiment or args.crash_sweep):
+            return 0
+    campaign = Campaign(jobs=args.jobs, seeds=args.seeds, cache=cache)
+
+    if args.crash_sweep:
+        try:
+            designs = [Design(d) for d in args.designs.split(",") if d]
+        except ValueError:
+            parser.error(
+                f"--designs must be drawn from "
+                f"{','.join(d.value for d in Design)}"
+            )
+        specs = crash_grid(
+            designs=designs,
+            workloads=[w for w in args.workloads.split(",") if w],
+            crash_cycles=args.crash_grid,
+            seeds=[int(s) for s in args.crash_seeds.split(",") if s],
+        )
+        start = time.time()
+        sweep = crash_sweep(campaign, specs)
+        print(sweep.render())
+        print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
+              f"{cache.hits if cache is not None else 0} cached)")
+        # Exit status: number of divergent points, capped so a large
+        # failure count can never wrap to 0 through the 8-bit exit code.
+        return min(len(sweep.failures), 255)
 
     names = sorted(EXPERIMENTS) if args.all else args.experiment
     if not names:
-        parser.error("pass --all or at least one --experiment")
+        parser.error("pass --all, at least one --experiment, "
+                     "--crash-sweep, or --wipe-cache")
     for name in names:
         start = time.time()
-        result = run_experiment(name, scale=args.scale)
+        result = run_experiment(name, scale=args.scale, campaign=campaign)
         elapsed = time.time() - start
         if args.markdown:
             print(f"### {result.name}\n")

@@ -1,0 +1,141 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A campaign point is fully determined by its spec (every machine and
+workload knob, including the seed) and by the simulator code itself —
+runs are bit-for-bit deterministic (see ``tests/test_determinism.py``),
+so a result computed once can be replayed from disk forever.  The cache
+key is therefore a SHA-256 over:
+
+* the canonicalised spec (dataclass fields, enums by value, dicts with
+  sorted keys), and
+* a **code fingerprint**: a hash of every ``repro`` source file, so any
+  change to the simulator invalidates all cached results at once.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-campaign``) as ``<key[:2]>/<key>.json``; writes are
+atomic (temp file + rename) so concurrent workers never observe a torn
+entry, and corrupt entries read as misses and are removed.  Wipe the
+cache with ``python -m repro.harness --wipe-cache`` or by deleting the
+directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-campaign``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-campaign"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file (cache-invalidation salt)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def canonicalize(value: object) -> object:
+    """Reduce a spec value to deterministic JSON-encodable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def spec_key(spec: object, kind: str = "run") -> str:
+    """Stable content hash of ``(kind, spec, simulator code)``."""
+    payload = {
+        "kind": kind,
+        "code": code_fingerprint(),
+        "spec": canonicalize(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of content-addressed JSON result payloads."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Fetch a payload; corrupt or absent entries read as misses."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a payload atomically (rename, never a partial file)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def wipe(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def count(self) -> int:
+        """Number of stored entries.  (Deliberately not ``__len__``:
+        an empty cache must never be falsy where ``cache is not None``
+        decides whether caching is enabled.)"""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

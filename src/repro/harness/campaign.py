@@ -1,0 +1,437 @@
+"""Parallel simulation campaigns with a content-addressed result cache.
+
+A *campaign* is a batch of independent simulation points — the unit the
+whole evaluation is made of (figures 5–8, tables III–IV, the crash
+matrix).  This module fans those points out across a multiprocessing
+worker pool, memoises every completed point in an on-disk
+:class:`~repro.harness.cache.ResultCache`, and supports running each
+point at several seeds with mean/CI aggregation.  Because runs are
+bit-for-bit deterministic (the contract ``tests/test_determinism.py``
+enforces), a parallel campaign produces exactly the serial results, and
+a warm cache replays an entire experiment in milliseconds.
+
+Three layers use it:
+
+* ``python -m repro.harness`` (``--jobs/--seeds/--no-cache`` flags),
+* :mod:`repro.harness.experiments` (every experiment submits its points
+  as one batch), and
+* the benchmark suite (session-scoped ``campaign`` fixture).
+
+The **crash sweep** turns the sampled hypothesis crash tests into an
+exhaustive grid: every (design × workload × crash-cycle × seed) point
+runs a scaled-down machine, cuts power, recovers, and differential-
+checks the durable image against the golden model replayed over exactly
+the committed transactions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import os
+import traceback
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ReproError, SimulationError, WorkloadError
+from repro.config import Design
+from repro.harness.cache import ResultCache, spec_key
+from repro.harness.report import format_table, mean_ci
+from repro.harness.runner import RunResult, RunSpec, run_spec
+
+
+class CampaignError(ReproError):
+    """A worker process failed while executing a campaign point."""
+
+
+# -- serialisation ------------------------------------------------------------
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """JSON-encodable payload for one :class:`RunResult`."""
+    spec = dataclasses.asdict(result.spec)
+    spec["design"] = result.spec.design.value
+    return {
+        "spec": spec,
+        "cycles": result.cycles,
+        "txns": result.txns,
+        "throughput": result.throughput,
+        "sq_full_cycles": result.sq_full_cycles,
+        "log_entries": result.log_entries,
+        "source_logged": result.source_logged,
+        "log_writes": result.log_writes,
+        "stats": result.stats,
+    }
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    spec_d = dict(payload["spec"])
+    spec_d["design"] = Design(spec_d["design"])
+    return RunResult(
+        spec=RunSpec(**spec_d),
+        cycles=payload["cycles"],
+        txns=payload["txns"],
+        throughput=payload["throughput"],
+        sq_full_cycles=payload["sq_full_cycles"],
+        log_entries=payload["log_entries"],
+        source_logged=payload["source_logged"],
+        log_writes=payload["log_writes"],
+        stats=payload["stats"],
+    )
+
+
+# -- worker entry points ------------------------------------------------------
+#
+# Pool targets must be importable top-level functions.  They return
+# ("ok", payload) / ("err", message) tuples instead of raising so that a
+# crashing worker surfaces a readable CampaignError in the parent rather
+# than an unpicklable exception or a hung pool.
+
+
+def _execute_run(spec: RunSpec) -> RunResult:
+    """Run one simulation point (also the determinism-test target)."""
+    return run_spec(spec)
+
+
+def _run_worker(spec: RunSpec) -> tuple:
+    try:
+        return ("ok", result_to_dict(_execute_run(spec)))
+    except BaseException as exc:  # noqa: BLE001 — reported in the parent
+        return ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+def _crash_worker(spec: "CrashSpec") -> tuple:
+    try:
+        return ("ok", _crash_outcome_dict(execute_crash_point(spec)))
+    except BaseException as exc:  # noqa: BLE001
+        return ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+# -- seed replication ---------------------------------------------------------
+
+
+@dataclass
+class ReplicatedResult:
+    """One spec run at N seeds, with mean/CI summary statistics."""
+
+    spec: RunSpec
+    results: list[RunResult]
+
+    @property
+    def seeds(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_mean(self) -> float:
+        return mean_ci([r.throughput for r in self.results])[0]
+
+    @property
+    def throughput_ci(self) -> float:
+        return mean_ci([r.throughput for r in self.results])[1]
+
+    def metric(self, fn) -> tuple[float, float]:
+        """(mean, CI half-width) of ``fn(result)`` across the seeds."""
+        return mean_ci([fn(r) for r in self.results])
+
+
+def aggregate_results(results: Sequence[RunResult]) -> RunResult:
+    """Mean-aggregate seed replicas into one representative result.
+
+    Counter fields become rounded means; the per-seed throughput spread
+    is preserved under ``stats["campaign"]`` so reports can surface the
+    confidence interval.
+    """
+    if len(results) == 1:
+        return results[0]
+    tp_mean, tp_ci = mean_ci([r.throughput for r in results])
+
+    def imean(fn) -> int:
+        return round(sum(fn(r) for r in results) / len(results))
+
+    return RunResult(
+        spec=results[0].spec,
+        cycles=imean(lambda r: r.cycles),
+        txns=imean(lambda r: r.txns),
+        throughput=tp_mean,
+        sq_full_cycles=imean(lambda r: r.sq_full_cycles),
+        log_entries=imean(lambda r: r.log_entries),
+        source_logged=imean(lambda r: r.source_logged),
+        log_writes=imean(lambda r: r.log_writes),
+        stats={"campaign": {
+            "seeds": len(results),
+            "throughput_mean": tp_mean,
+            "throughput_ci": tp_ci,
+            "throughputs": [r.throughput for r in results],
+        }},
+    )
+
+
+# -- the campaign itself ------------------------------------------------------
+
+
+class Campaign:
+    """A worker pool + result cache for batches of simulation points.
+
+    ``jobs``:  worker processes (1 = run inline in this process;
+               0 = one per CPU).
+    ``seeds``: replicas per point; each spec runs at seeds
+               ``spec.seed .. spec.seed + seeds - 1`` and ``run()``
+               returns the mean-aggregated result per point.
+    ``cache``: a :class:`ResultCache`, or ``None`` to disable caching.
+    """
+
+    def __init__(self, jobs: int = 1, seeds: int = 1,
+                 cache: ResultCache | None = None):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        if seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.seeds = seeds
+        self.cache = cache
+        #: Points computed by workers (cache misses) this session.
+        self.computed = 0
+
+    # -- generic cached fan-out ----------------------------------------------
+
+    def _map(self, specs: Sequence, worker, from_dict, kind: str) -> list:
+        """Resolve each spec via cache or worker pool; order-preserving."""
+        keys = [
+            spec_key(s, kind=kind) if self.cache is not None else None
+            for s in specs
+        ]
+        out: list = [None] * len(specs)
+        pending: dict[int, object] = {}
+        resolved_keys: dict[str, object] = {}
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if key is not None:
+                if key in resolved_keys:
+                    out[i] = resolved_keys[key]
+                    continue
+                payload = self.cache.get(key)
+                if payload is not None:
+                    out[i] = from_dict(payload)
+                    resolved_keys[key] = out[i]
+                    continue
+            pending[i] = spec
+
+        if pending:
+            # Identical points in one batch compute once: duplicates
+            # alias the first occurrence's reply.
+            primary: dict[str, int] = {}
+            todo_indices: list[int] = []
+            alias: dict[int, int] = {}
+            for i in pending:
+                key = keys[i]
+                if key is not None and key in primary:
+                    alias[i] = primary[key]
+                    continue
+                if key is not None:
+                    primary[key] = i
+                todo_indices.append(i)
+            replies = dict(zip(
+                todo_indices,
+                self._dispatch([pending[i] for i in todo_indices], worker),
+            ))
+            for i, (status, payload) in replies.items():
+                if status != "ok":
+                    raise CampaignError(
+                        f"campaign worker failed on point:\n{payload}"
+                    )
+                self.computed += 1
+                if keys[i] is not None:
+                    self.cache.put(keys[i], payload)
+                out[i] = from_dict(payload)
+            for i, src in alias.items():
+                out[i] = out[src]
+        return out
+
+    def _dispatch(self, specs: list, worker) -> list[tuple]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [worker(s) for s in specs]
+        procs = min(self.jobs, len(specs))
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=procs) as pool:
+            return pool.map(worker, specs, chunksize=1)
+
+    # -- simulation points ----------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Run a batch of points; returns results in submission order.
+
+        With ``seeds > 1`` every spec is expanded into seed replicas
+        (all sharing the pool and the cache) and the aggregated result
+        is returned per original spec.
+        """
+        specs = list(specs)
+        expanded: list[RunSpec] = [
+            replace(spec, seed=spec.seed + k)
+            for spec in specs
+            for k in range(self.seeds)
+        ]
+        flat = self._map(expanded, _run_worker, result_from_dict, "run")
+        return [
+            aggregate_results(flat[i * self.seeds:(i + 1) * self.seeds])
+            for i in range(len(specs))
+        ]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    def run_replicated(self, spec: RunSpec,
+                       seeds: int | None = None) -> ReplicatedResult:
+        """Run ``spec`` at N consecutive seeds; keep per-seed results."""
+        n = seeds if seeds is not None else max(2, self.seeds)
+        points = [replace(spec, seed=spec.seed + k) for k in range(n)]
+        flat = self._map(points, _run_worker, result_from_dict, "run")
+        return ReplicatedResult(spec=spec, results=flat)
+
+    # -- crash sweep ----------------------------------------------------------
+
+    def run_crash(self, specs: Sequence["CrashSpec"]) -> list["CrashOutcome"]:
+        """Differential-check a batch of crash points (cached, pooled)."""
+        return self._map(list(specs), _crash_worker,
+                         _crash_outcome_from_dict, "crash")
+
+
+# -- crash sweep --------------------------------------------------------------
+
+
+@dataclass
+class CrashSpec:
+    """One point of the exhaustive crash matrix."""
+
+    design: Design
+    workload: str
+    crash_cycle: int
+    seed: int = 7
+    entry_bytes: int = 512
+    threads: int = 4
+    txns_per_thread: int = 8
+    initial_items: int = 12
+    num_cores: int = 4
+    workload_kw: dict = field(default_factory=dict)
+
+
+@dataclass
+class CrashOutcome:
+    """Differential-check verdict for one crash point."""
+
+    spec: CrashSpec
+    ok: bool
+    commits: int = 0
+    updates_rolled_back: int = 0
+    error: str = ""
+
+
+def _crash_outcome_dict(outcome: CrashOutcome) -> dict:
+    payload = dataclasses.asdict(outcome)
+    payload["spec"]["design"] = outcome.spec.design.value
+    return payload
+
+
+def _crash_outcome_from_dict(payload: dict) -> CrashOutcome:
+    spec_d = dict(payload["spec"])
+    spec_d["design"] = Design(spec_d["design"])
+    return CrashOutcome(
+        spec=CrashSpec(**spec_d),
+        ok=payload["ok"],
+        commits=payload["commits"],
+        updates_rolled_back=payload["updates_rolled_back"],
+        error=payload["error"],
+    )
+
+
+def execute_crash_point(spec: CrashSpec) -> CrashOutcome:
+    """Run one crash point through the shared testbed path and check it.
+
+    A failed differential check (or a modelled-hardware deadlock) is an
+    *outcome*, not an infrastructure error — it is recorded with
+    ``ok=False`` so a sweep reports every divergence instead of dying on
+    the first one.
+    """
+    from repro.harness.testbed import crash_run
+
+    try:
+        system, workload, report = crash_run(
+            spec.workload, spec.design, spec.crash_cycle, seed=spec.seed,
+            entry_bytes=spec.entry_bytes, threads=spec.threads,
+            txns_per_thread=spec.txns_per_thread,
+            initial_items=spec.initial_items, num_cores=spec.num_cores,
+            **spec.workload_kw,
+        )
+    except (WorkloadError, SimulationError) as exc:
+        return CrashOutcome(spec=spec, ok=False,
+                            error=f"{type(exc).__name__}: {exc}")
+    return CrashOutcome(
+        spec=spec, ok=True, commits=workload.commits,
+        updates_rolled_back=getattr(report, "updates_rolled_back", 0),
+    )
+
+
+#: Designs with a recovery story (the crash sweep's default axis).
+CRASH_DESIGNS = [Design.BASE, Design.ATOM, Design.ATOM_OPT, Design.REDO]
+CRASH_WORKLOADS = ["hash", "queue", "rbtree", "btree", "sdg", "sps"]
+
+
+def crash_grid(
+    designs: Iterable[Design] = CRASH_DESIGNS,
+    workloads: Iterable[str] = CRASH_WORKLOADS,
+    crash_cycles: Iterable[int] = range(2_000, 30_001, 4_000),
+    seeds: Iterable[int] = (7,),
+) -> list[CrashSpec]:
+    """Enumerate the (design × workload × crash-cycle × seed) grid."""
+    return [
+        CrashSpec(design=d, workload=w, crash_cycle=c, seed=s)
+        for d, w, c, s in itertools.product(
+            designs, workloads, crash_cycles, seeds
+        )
+    ]
+
+
+@dataclass
+class CrashSweepResult:
+    """Outcome of one exhaustive crash sweep."""
+
+    outcomes: list[CrashOutcome]
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def render(self) -> str:
+        """Per-(design, workload) pass/fail summary table."""
+        cells: dict[tuple[str, str], list[CrashOutcome]] = {}
+        for o in self.outcomes:
+            cells.setdefault(
+                (o.spec.design.value, o.spec.workload), []
+            ).append(o)
+        rows = [
+            [design, workload, f"{sum(o.ok for o in group)}/{len(group)}",
+             sum(o.commits for o in group),
+             sum(o.updates_rolled_back for o in group)]
+            for (design, workload), group in sorted(cells.items())
+        ]
+        out = format_table(
+            ["design", "workload", "points ok", "commits", "rolled back"],
+            rows,
+            title=f"== Crash sweep: {len(self.outcomes)} points, "
+                  f"{len(self.failures)} failures ==",
+        )
+        for bad in self.failures:
+            out += (f"\nFAIL {bad.spec.design.value}/{bad.spec.workload}"
+                    f"@{bad.spec.crash_cycle} seed={bad.spec.seed}: "
+                    f"{bad.error}")
+        return out
+
+
+def crash_sweep(campaign: Campaign,
+                specs: Sequence[CrashSpec] | None = None) -> CrashSweepResult:
+    """Run the full differential crash matrix through a campaign."""
+    if specs is None:
+        specs = crash_grid()
+    return CrashSweepResult(outcomes=campaign.run_crash(specs))

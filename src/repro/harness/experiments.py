@@ -1,10 +1,18 @@
 """Experiment definitions: one entry per table/figure of the paper.
 
-Each experiment function runs the needed simulation points and returns
-an :class:`ExperimentResult` holding measured rows, the paper's reported
-values, and a rendered report.  ``run_experiment(name)`` is the public
-entry point; the benchmark suite and the EXPERIMENTS.md generator both
-go through it.
+Each experiment function enumerates the simulation points it needs,
+submits them **as one batch** to a :class:`~repro.harness.campaign.Campaign`
+(worker-pool fan-out plus the content-addressed result cache), and
+returns an :class:`ExperimentResult` holding measured rows, the paper's
+reported values, and a rendered report.  ``run_experiment(name)`` is the
+public entry point; the CLI, the benchmark suite and the EXPERIMENTS.md
+generator all go through it.
+
+Passing no campaign runs the points serially and uncached — exactly the
+old single-process behaviour.  ``python -m repro.harness`` constructs a
+campaign from its ``--jobs/--seeds/--no-cache`` flags; determinism (see
+``tests/test_determinism.py``) guarantees the parallel and serial paths
+produce identical numbers.
 
 Scale note: simulation points default to a reduced transaction count per
 thread (the machine itself is the full Table-I configuration) so the
@@ -14,12 +22,13 @@ raised via the ``scale`` parameter for tighter confidence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import Design
 from repro.harness import paper_data
+from repro.harness.campaign import Campaign
 from repro.harness.report import format_table, gmean
-from repro.harness.runner import RunResult, RunSpec, run_spec
+from repro.harness.runner import RunResult, RunSpec
 
 #: The benchmarks shown in Figures 6 and 7 (the paper omits sdg there).
 FIG67_BENCHMARKS = ["btree", "hash", "queue", "rbtree", "sps"]
@@ -67,22 +76,32 @@ def _micro_spec(workload: str, size: str, scale: float) -> RunSpec:
     )
 
 
+def _batch(campaign: Campaign | None,
+           points: list[tuple]) -> dict[tuple, RunResult]:
+    """Run ``[(key..., spec), ...]`` as one campaign batch -> key map."""
+    campaign = campaign or Campaign()
+    results = campaign.run([point[-1] for point in points])
+    return {point[:-1]: res for point, res in zip(points, results)}
+
+
 # -- Figure 5: transaction throughput, four designs ----------------------------
 
 
-def fig5(size: str, scale: float = 1.0) -> ExperimentResult:
+def fig5(size: str, scale: float = 1.0,
+         campaign: Campaign | None = None) -> ExperimentResult:
     """Figure 5(a)/(b): normalized transaction throughput."""
+    results = _batch(campaign, [
+        (bench, d, _micro_spec(bench, size, scale).with_design(d))
+        for bench in ALL_BENCHMARKS
+        for d in UNDO_DESIGNS
+    ])
     rows = []
     ratios: dict[str, dict[str, float]] = {d.value: {} for d in UNDO_DESIGNS}
     for bench in ALL_BENCHMARKS:
-        base_spec = _micro_spec(bench, size, scale)
-        results = {
-            d: run_spec(base_spec.with_design(d)) for d in UNDO_DESIGNS
-        }
-        base_tp = results[Design.BASE].throughput
+        base_tp = results[bench, Design.BASE].throughput
         row = [bench]
         for d in UNDO_DESIGNS:
-            norm = results[d].throughput / base_tp if base_tp else 0.0
+            norm = results[bench, d].throughput / base_tp if base_tp else 0.0
             ratios[d.value][bench] = norm
             row.append(norm)
         rows.append(row)
@@ -121,23 +140,26 @@ def fig5(size: str, scale: float = 1.0) -> ExperimentResult:
 # -- Figure 6: store-queue-full cycles ---------------------------------------------
 
 
-def fig6(scale: float = 1.0) -> ExperimentResult:
+def fig6(scale: float = 1.0,
+         campaign: Campaign | None = None) -> ExperimentResult:
     """Figure 6: SQ-full cycles normalized to BASE (small datasets)."""
+    designs = [Design.BASE, Design.ATOM_OPT, Design.NON_ATOMIC]
+    results = _batch(campaign, [
+        (bench, d, _micro_spec(bench, "small", scale).with_design(d))
+        for bench in FIG67_BENCHMARKS
+        for d in designs
+    ])
     rows = []
     per_design: dict[str, dict[str, float]] = {
         "atom-opt": {}, "non-atomic": {},
     }
     for bench in FIG67_BENCHMARKS:
-        spec = _micro_spec(bench, "small", scale)
-        base = run_spec(spec.with_design(Design.BASE))
-        opt = run_spec(spec.with_design(Design.ATOM_OPT))
-        na = run_spec(spec.with_design(Design.NON_ATOMIC))
-        denom = max(1, base.sq_full_cycles)
+        denom = max(1, results[bench, Design.BASE].sq_full_cycles)
         row = [
             bench,
             1.0,
-            opt.sq_full_cycles / denom,
-            na.sq_full_cycles / denom,
+            results[bench, Design.ATOM_OPT].sq_full_cycles / denom,
+            results[bench, Design.NON_ATOMIC].sq_full_cycles / denom,
         ]
         per_design["atom-opt"][bench] = row[2]
         per_design["non-atomic"][bench] = row[3]
@@ -167,16 +189,22 @@ def fig6(scale: float = 1.0) -> ExperimentResult:
 # -- Table III: source-logged percentage ----------------------------------------------
 
 
-def table3(scale: float = 1.0) -> ExperimentResult:
+def table3(scale: float = 1.0,
+           campaign: Campaign | None = None) -> ExperimentResult:
     """Table III: % of log entries source-logged (ATOM-OPT)."""
+    results = _batch(campaign, [
+        (bench, size, _micro_spec(bench, size, scale))
+        for bench in ALL_BENCHMARKS
+        for size in ("small", "large")
+    ])
     rows = []
     measured: dict[str, float] = {}
     for bench in ALL_BENCHMARKS:
         row = [bench]
         for size in ("small", "large"):
-            res = run_spec(_micro_spec(bench, size, scale))
-            row.append(res.source_log_pct)
-            measured[f"{bench}_{size}"] = res.source_log_pct
+            pct = results[bench, size].source_log_pct
+            row.append(pct)
+            measured[f"{bench}_{size}"] = pct
         rows.append(row)
     paper = {
         f"{b}_{s}": paper_data.TABLE3_SOURCE_LOG_PCT[s][b]
@@ -200,7 +228,8 @@ def table3(scale: float = 1.0) -> ExperimentResult:
 # -- Figure 7: REDO comparison ----------------------------------------------------------
 
 
-def fig7(scale: float = 1.0) -> ExperimentResult:
+def fig7(scale: float = 1.0,
+         campaign: Campaign | None = None) -> ExperimentResult:
     """Figure 7: REDO vs ATOM-OPT, one and two channels (small)."""
     configs = [
         ("atom-opt", Design.ATOM_OPT, 1),
@@ -208,26 +237,28 @@ def fig7(scale: float = 1.0) -> ExperimentResult:
         ("redo", Design.REDO, 1),
         ("redo-2c", Design.REDO, 2),
     ]
+    results = _batch(campaign, [
+        (bench, name,
+         replace(_micro_spec(bench, "small", scale),
+                 design=design, channels=channels))
+        for bench in FIG67_BENCHMARKS
+        for name, design, channels in configs
+    ])
     rows = []
     ratios: dict[str, dict[str, float]] = {name: {} for name, _, _ in configs}
     entry_ratio: list[float] = []
     for bench in FIG67_BENCHMARKS:
-        spec = _micro_spec(bench, "small", scale)
-        results = {}
-        for name, design, channels in configs:
-            point = RunSpec(**{**spec.__dict__, "design": design,
-                               "channels": channels})
-            results[name] = run_spec(point)
-        denom = results["atom-opt"].throughput or 1.0
+        denom = results[bench, "atom-opt"].throughput or 1.0
         row = [bench]
         for name, _, _ in configs:
-            norm = results[name].throughput / denom
+            norm = results[bench, name].throughput / denom
             ratios[name][bench] = norm
             row.append(norm)
         rows.append(row)
-        if results["atom-opt"].log_entries:
+        if results[bench, "atom-opt"].log_entries:
             entry_ratio.append(
-                results["redo"].log_entries / results["atom-opt"].log_entries
+                results[bench, "redo"].log_entries
+                / results[bench, "atom-opt"].log_entries
             )
     summary = ["gmean"] + [
         gmean(list(ratios[name].values())) for name, _, _ in configs
@@ -257,19 +288,22 @@ def fig7(scale: float = 1.0) -> ExperimentResult:
 # -- Figure 8: memory-latency sensitivity ---------------------------------------------------
 
 
-def fig8(scale: float = 1.0) -> ExperimentResult:
+def fig8(scale: float = 1.0,
+         campaign: Campaign | None = None) -> ExperimentResult:
     """Figure 8: rbtree throughput vs NVM latency (ATOM-OPT vs REDO)."""
     multipliers = [1, 5, 10, 20, 40]
+    results = _batch(campaign, [
+        (mult, design,
+         replace(_micro_spec("rbtree", "small", scale),
+                 design=design, latency_multiplier=float(mult)))
+        for mult in multipliers
+        for design in (Design.ATOM_OPT, Design.REDO)
+    ])
     rows = []
     measured: dict[str, float] = {}
     for mult in multipliers:
-        spec = _micro_spec("rbtree", "small", scale)
-        opt = run_spec(RunSpec(**{**spec.__dict__,
-                                  "design": Design.ATOM_OPT,
-                                  "latency_multiplier": float(mult)}))
-        redo = run_spec(RunSpec(**{**spec.__dict__,
-                                   "design": Design.REDO,
-                                   "latency_multiplier": float(mult)}))
+        opt = results[mult, Design.ATOM_OPT]
+        redo = results[mult, Design.REDO]
         rows.append([f"{mult}x", opt.throughput, redo.throughput,
                      opt.throughput / max(1e-9, redo.throughput)])
         measured[f"opt_{mult}x"] = opt.throughput
@@ -290,20 +324,24 @@ def fig8(scale: float = 1.0) -> ExperimentResult:
 # -- Table IV: TPC-C -----------------------------------------------------------------------------
 
 
-def table4(scale: float = 1.0) -> ExperimentResult:
+def table4(scale: float = 1.0,
+           campaign: Campaign | None = None) -> ExperimentResult:
     """Table IV: TPC-C new-order throughput normalized to BASE."""
     designs = [Design.BASE, Design.ATOM, Design.ATOM_OPT, Design.REDO]
     txns = max(4, round(6 * scale))
-    results: dict[str, RunResult] = {}
-    for design in designs:
-        spec = RunSpec(
+    results_by_key = _batch(campaign, [
+        (design, RunSpec(
             design=design,
             workload="tpcc",
             txns_per_thread=txns,
             warmup_per_thread=max(1, txns // 4),
             num_cores=32,
-        )
-        results[design.value] = run_spec(spec)
+        ))
+        for design in designs
+    ])
+    results: dict[str, RunResult] = {
+        design.value: res for (design,), res in results_by_key.items()
+    }
     base_tp = results["base"].throughput or 1.0
     measured = {
         name: res.throughput / base_tp for name, res in results.items()
@@ -335,55 +373,35 @@ def table4(scale: float = 1.0) -> ExperimentResult:
 # -- Ablations (design choices called out in DESIGN.md) ---------------------------------------------
 
 
-def ablations(scale: float = 1.0) -> ExperimentResult:
+def ablations(scale: float = 1.0,
+              campaign: Campaign | None = None) -> ExperimentResult:
     """Design-choice ablations on rbtree/small.
 
     * LEC on/off — log write requests per entry (section IV-C's 57%).
     * posted log on/off — throughput effect of III-C alone.
     * log/data co-location on/off — posting requires co-location.
+
+    Each variant is an ordinary campaign point: the ablation knob rides
+    in ``RunSpec.log_overrides`` so results cache and parallelise like
+    everything else.
     """
-    from repro.harness.runner import build_config
-    from repro.runtime.system import System
-    from repro.workloads import make_workload
-
     spec = _micro_spec("rbtree", "small", scale)
-
-    def run_with(design: Design, **log_overrides) -> RunResult:
-        point = spec.with_design(design)
-        cfg = build_config(point)
-        for key, value in log_overrides.items():
-            setattr(cfg.log, key, value)
-        system = System(cfg)
-        workload = make_workload(
-            point.workload, system, entry_bytes=point.entry_bytes,
-            txns_per_thread=point.txns_per_thread,
-            initial_items=point.initial_items, seed=point.seed,
-        )
-        workload.setup()
-        system.start_threads(workload.threads())
-        end = system.run(max_cycles=point.max_cycles)
-        stats = system.stats
-        entries = stats.total("entries", prefix="logm") or 1
-        writes = sum(
-            stats.domain(f"mc{mc.mc_id}").get("log_writes")
-            for mc in system.controllers
-        )
-        txns = stats.total("txns_committed", prefix="core")
-        from repro.common.units import throughput_per_second
-        return RunResult(
-            spec=point, cycles=end, txns=int(txns),
-            throughput=throughput_per_second(int(txns), end),
-            sq_full_cycles=int(stats.total("sq_full_cycles", prefix="core")),
-            log_entries=int(entries), source_logged=0,
-            log_writes=int(writes), stats={},
-        )
-
-    lec_on = run_with(Design.ATOM)
-    lec_off = run_with(Design.ATOM, collation=False)
-    posted = run_with(Design.ATOM)
-    unposted = run_with(Design.BASE)
-    coloc = run_with(Design.ATOM)
-    no_coloc = run_with(Design.ATOM, colocate=False)
+    variants = {
+        "lec_on": spec.with_design(Design.ATOM),
+        "lec_off": replace(spec, design=Design.ATOM,
+                           log_overrides={"collation": False}),
+        "unposted": spec.with_design(Design.BASE),
+        "no_coloc": replace(spec, design=Design.ATOM,
+                            log_overrides={"colocate": False}),
+    }
+    results = _batch(campaign, [
+        (name, point) for name, point in variants.items()
+    ])
+    lec_on = results["lec_on",]
+    lec_off = results["lec_off",]
+    posted = coloc = lec_on
+    unposted = results["unposted",]
+    no_coloc = results["no_coloc",]
 
     wpe_on = lec_on.log_writes / max(1, lec_on.log_entries)
     wpe_off = lec_off.log_writes / max(1, lec_off.log_entries)
@@ -410,8 +428,8 @@ def ablations(scale: float = 1.0) -> ExperimentResult:
 
 
 EXPERIMENTS = {
-    "fig5a": lambda scale=1.0: fig5("small", scale),
-    "fig5b": lambda scale=1.0: fig5("large", scale),
+    "fig5a": lambda scale=1.0, campaign=None: fig5("small", scale, campaign),
+    "fig5b": lambda scale=1.0, campaign=None: fig5("large", scale, campaign),
     "fig6": fig6,
     "table3": table3,
     "fig7": fig7,
@@ -421,11 +439,16 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
-    """Run one registered experiment by name (see EXPERIMENTS)."""
+def run_experiment(name: str, scale: float = 1.0,
+                   campaign: Campaign | None = None) -> ExperimentResult:
+    """Run one registered experiment by name (see EXPERIMENTS).
+
+    ``campaign`` carries the worker pool and result cache; omitting it
+    runs the points serially and uncached.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r} (known: {known})")
-    return fn(scale)
+    return fn(scale, campaign)

@@ -56,3 +56,20 @@ def gmean(values: Sequence[float]) -> float:
     if not vals:
         return float("nan")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Mean and CI half-width of seed replicas (campaign ``--seeds``).
+
+    Returns ``(mean, z * stderr)`` using the sample standard deviation;
+    ``(nan, nan)`` for an empty sequence and a zero half-width for a
+    single value.
+    """
+    vals = list(values)
+    if not vals:
+        return (float("nan"), float("nan"))
+    mean = sum(vals) / len(vals)
+    if len(vals) == 1:
+        return (mean, 0.0)
+    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    return (mean, z * math.sqrt(var / len(vals)))

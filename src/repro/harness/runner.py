@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.common.errors import ConfigError
 from repro.common.units import throughput_per_second
 from repro.config import Design, SystemConfig
 from repro.runtime.system import System
@@ -36,10 +37,17 @@ class RunSpec:
     channels: int = 1
     #: Optional extra workload kwargs (e.g. TPC-C scale).
     workload_kw: dict = field(default_factory=dict)
+    #: Overrides applied to ``cfg.log`` after building (ablation knobs
+    #: such as ``collation``/``colocate`` — lets ablations run through
+    #: the same campaign/cache path as every other point).
+    log_overrides: dict = field(default_factory=dict)
     max_cycles: int = 500_000_000
 
     def with_design(self, design: Design) -> "RunSpec":
         return replace(self, design=design)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        return replace(self, seed=seed)
 
 
 @dataclass
@@ -74,6 +82,10 @@ def build_config(spec: RunSpec) -> SystemConfig:
     cfg.seed = spec.seed
     if spec.num_cores < 32:
         cfg.noc.rows = 2 if spec.num_cores % 2 == 0 else 1
+    for key, value in spec.log_overrides.items():
+        if not hasattr(cfg.log, key):
+            raise ConfigError(f"unknown log override {key!r}")
+        setattr(cfg.log, key, value)
     return cfg.validate()
 
 

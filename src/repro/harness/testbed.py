@@ -1,0 +1,71 @@
+"""The one canonical builder for scaled-down simulated machines.
+
+Both the unit-test suite (``tests/helpers.py``) and the benchmark
+fixtures (``benchmarks/conftest.py``) import these helpers, so the
+machine a test exercises and the machine a benchmark smoke-checks can
+never silently drift apart.  The campaign layer's crash sweep
+(:mod:`repro.harness.campaign`) drives :func:`crash_run` as well — the
+same code path the crash-matrix tests use.
+"""
+
+from __future__ import annotations
+
+from repro.config import Design, SystemConfig
+from repro.runtime.system import System
+
+
+def small_config(design: Design = Design.ATOM_OPT, num_cores: int = 4,
+                 **kw) -> SystemConfig:
+    """A 4-core scaled-down machine with invariant checking enabled."""
+    cfg = SystemConfig.scaled_down(design=design, num_cores=num_cores, **kw)
+    cfg.debug.check_invariants = True
+    return cfg
+
+
+def build_system(design: Design = Design.ATOM_OPT, num_cores: int = 4,
+                 **kw) -> System:
+    """Build a small system ready for tests."""
+    return System(small_config(design, num_cores, **kw))
+
+
+def run_workload_to_completion(system, workload, max_cycles=50_000_000):
+    """Setup + run a workload; returns the finish cycle."""
+    workload.setup()
+    system.start_threads(workload.threads())
+    return system.run(max_cycles=max_cycles)
+
+
+def crash_run(name: str, design: Design, crash_cycle: int | None, *,
+              entry_bytes: int = 512, seed: int = 7, threads: int = 4,
+              txns_per_thread: int = 8, initial_items: int = 12,
+              num_cores: int = 4, max_cycles: int = 30_000_000, **kw):
+    """Run a workload, crash it, recover, and differential-check.
+
+    Builds a scaled-down machine, runs ``threads`` worker threads, cuts
+    power at ``crash_cycle`` (or after completion when ``None``), runs
+    recovery, and verifies the durable image against the golden model
+    replayed over exactly the committed transactions.  Raises
+    :class:`~repro.common.errors.WorkloadError` on any divergence.
+
+    Returns ``(system, workload, recovery_report)``.
+    """
+    from repro.workloads import make_workload
+
+    system = build_system(design=design, num_cores=num_cores)
+    workload = make_workload(
+        name, system, entry_bytes=entry_bytes,
+        txns_per_thread=txns_per_thread, initial_items=initial_items,
+        threads=threads, seed=seed, **kw,
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+    if crash_cycle is not None:
+        system.crash_at(crash_cycle)
+    system.run(max_cycles=max_cycles)
+    if not system.crashed:
+        # Either no crash was requested, or every thread finished before
+        # the scheduled cycle: cut power now (nothing rolls back).
+        system.crash()
+    report = system.recover()
+    workload.verify_durable()
+    return system, workload, report

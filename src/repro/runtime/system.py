@@ -278,6 +278,11 @@ class System:
         """Schedule a crash at an absolute cycle (before running)."""
         self.engine.at(cycle, self.crash)
 
+    @property
+    def crashed(self) -> bool:
+        """True once :meth:`crash` has run (power was cut)."""
+        return self._crashed
+
     def recover(self) -> recovery_mod.RecoveryReport:
         """Run the post-crash recovery routine on the durable image."""
         if self.config.design is Design.REDO:

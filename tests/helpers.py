@@ -1,27 +1,23 @@
-"""Shared helpers for the test suite (importable as ``helpers``)."""
+"""Shared helpers for the test suite (importable as ``helpers``).
+
+The actual builders live in :mod:`repro.harness.testbed` so that the
+benchmark fixtures and the campaign crash sweep construct machines
+through the very same code path as the unit tests — configs cannot
+silently drift between the suites.
+"""
 
 from __future__ import annotations
 
-from repro.config import Design, SystemConfig
-from repro.runtime.system import System
+from repro.harness.testbed import (  # noqa: F401 — re-exported
+    build_system,
+    crash_run,
+    run_workload_to_completion,
+    small_config,
+)
 
-
-def small_config(design: Design = Design.ATOM_OPT, num_cores: int = 4,
-                 **kw) -> SystemConfig:
-    """A 4-core scaled-down machine with invariant checking enabled."""
-    cfg = SystemConfig.scaled_down(design=design, num_cores=num_cores, **kw)
-    cfg.debug.check_invariants = True
-    return cfg
-
-
-def build_system(design: Design = Design.ATOM_OPT, num_cores: int = 4,
-                 **kw) -> System:
-    """Build a small system ready for tests."""
-    return System(small_config(design, num_cores, **kw))
-
-
-def run_workload_to_completion(system, workload, max_cycles=50_000_000):
-    """Setup + run a workload; returns the finish cycle."""
-    workload.setup()
-    system.start_threads(workload.threads())
-    return system.run(max_cycles=max_cycles)
+__all__ = [
+    "build_system",
+    "crash_run",
+    "run_workload_to_completion",
+    "small_config",
+]

@@ -1,0 +1,209 @@
+"""Campaign layer: cache behaviour, pool fan-out, seeds, crash sweep."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import Design
+from repro.harness.cache import ResultCache, canonicalize, spec_key
+from repro.harness.campaign import (
+    Campaign,
+    CampaignError,
+    CrashSpec,
+    aggregate_results,
+    crash_grid,
+    crash_sweep,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.harness.experiments import run_experiment
+from repro.harness.runner import RunSpec, run_spec
+
+TINY = RunSpec(
+    design=Design.ATOM_OPT, workload="hash", num_cores=4,
+    txns_per_thread=4, warmup_per_thread=1, initial_items=8,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestSpecKey:
+    def test_stable_across_calls(self):
+        assert spec_key(TINY) == spec_key(TINY)
+
+    def test_any_field_change_changes_the_key(self):
+        baseline = spec_key(TINY)
+        variants = [
+            TINY.with_design(Design.BASE),
+            TINY.with_seed(99),
+            RunSpec(**{**TINY.__dict__, "txns_per_thread": 5}),
+            RunSpec(**{**TINY.__dict__, "workload_kw": {"compute_cycles": 9}}),
+            RunSpec(**{**TINY.__dict__, "log_overrides": {"collation": False}}),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert baseline not in keys
+        assert len(keys) == len(variants)
+
+    def test_kind_separates_run_and_crash_namespaces(self):
+        assert spec_key(TINY, kind="run") != spec_key(TINY, kind="crash")
+
+    def test_canonicalize_sorts_dicts_and_unwraps_enums(self):
+        assert canonicalize({"b": 2, "a": Design.REDO}) == \
+            {"a": "redo", "b": 2}
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+
+class TestResultCache:
+    def test_get_miss_then_put_then_hit(self, cache):
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"x": 1})
+        assert cache.get("ab" * 32) == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, cache):
+        key = "cd" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_wipe(self, cache):
+        cache.put("ab" * 32, {"x": 1})
+        cache.put("cd" * 32, {"y": 2})
+        assert cache.wipe() == 2
+        assert cache.count() == 0
+
+
+class TestCampaignCache:
+    def test_miss_then_hit_returns_identical_result(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        cold = campaign.run_one(TINY)
+        assert campaign.computed == 1
+        warm = campaign.run_one(TINY)
+        assert campaign.computed == 1  # no recomputation
+        assert cache.hits == 1
+        assert result_to_dict(cold) == result_to_dict(warm)
+
+    def test_spec_change_invalidates(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        campaign.run_one(TINY)
+        campaign.run_one(RunSpec(**{**TINY.__dict__, "txns_per_thread": 5}))
+        assert campaign.computed == 2
+
+    def test_duplicate_specs_in_one_batch_compute_once(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        a, b = campaign.run([TINY, TINY])
+        assert campaign.computed == 1
+        assert result_to_dict(a) == result_to_dict(b)
+
+    def test_warm_rerun_is_fast(self, cache):
+        """Acceptance: a warm-cache re-run takes <10% of the cold run."""
+        campaign = Campaign(jobs=1, cache=cache)
+        start = time.perf_counter()
+        campaign.run_one(TINY)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        campaign.run_one(TINY)
+        warm = time.perf_counter() - start
+        assert warm < 0.1 * cold
+
+    def test_result_round_trip(self):
+        result = run_spec(TINY)
+        assert result_to_dict(result_from_dict(result_to_dict(result))) \
+            == result_to_dict(result)
+
+
+class TestCampaignPool:
+    def test_worker_failure_propagates_not_hangs(self):
+        campaign = Campaign(jobs=2, cache=None)
+        with pytest.raises(CampaignError, match="unknown workload"):
+            campaign.run([TINY, RunSpec(design=Design.ATOM_OPT,
+                                        workload="no-such-workload")])
+
+    def test_inline_failure_propagates_too(self):
+        campaign = Campaign(jobs=1, cache=None)
+        with pytest.raises(CampaignError):
+            campaign.run([RunSpec(design=Design.ATOM_OPT,
+                                  workload="no-such-workload")])
+
+    def test_pool_matches_serial_on_one_experiment(self):
+        """Acceptance: --jobs N produces the serial path's exact values."""
+        serial = run_experiment("fig8", scale=0.2,
+                                campaign=Campaign(jobs=1, cache=None))
+        parallel = run_experiment("fig8", scale=0.2,
+                                  campaign=Campaign(jobs=4, cache=None))
+        assert serial.measured == parallel.measured
+        assert serial.rows == parallel.rows
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Campaign(jobs=-1)
+        with pytest.raises(ValueError):
+            Campaign(seeds=0)
+
+
+class TestSeeds:
+    def test_run_replicated_distinct_seeds(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        rep = campaign.run_replicated(TINY, seeds=3)
+        assert rep.seeds == 3
+        assert {r.spec.seed for r in rep.results} == \
+            {TINY.seed, TINY.seed + 1, TINY.seed + 2}
+        mean, ci = rep.metric(lambda r: r.throughput)
+        assert mean == pytest.approx(rep.throughput_mean)
+        assert ci >= 0.0
+
+    def test_seeds_aggregation_annotates_stats(self, cache):
+        campaign = Campaign(jobs=1, seeds=2, cache=cache)
+        result = campaign.run_one(TINY)
+        assert result.stats["campaign"]["seeds"] == 2
+        assert len(result.stats["campaign"]["throughputs"]) == 2
+
+    def test_aggregate_single_result_is_identity(self):
+        result = run_spec(TINY)
+        assert aggregate_results([result]) is result
+
+
+class TestCrashSweep:
+    def test_grid_enumerates_full_product(self):
+        specs = crash_grid(designs=[Design.ATOM], workloads=["hash", "sps"],
+                           crash_cycles=[1000, 2000], seeds=[1, 2, 3])
+        assert len(specs) == 1 * 2 * 2 * 3
+
+    def test_small_sweep_all_points_consistent(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        specs = crash_grid(
+            designs=[Design.ATOM_OPT, Design.REDO],
+            workloads=["hash"],
+            crash_cycles=[6_000, 14_000],
+        )
+        sweep = crash_sweep(campaign, specs)
+        assert sweep.failures == []
+        assert len(sweep.outcomes) == 4
+        assert "0 failures" in sweep.render()
+
+    def test_sweep_outcomes_cache(self, cache):
+        campaign = Campaign(jobs=1, cache=cache)
+        specs = [CrashSpec(design=Design.ATOM_OPT, workload="hash",
+                           crash_cycle=8_000)]
+        campaign.run_crash(specs)
+        computed = campaign.computed
+        again = campaign.run_crash(specs)
+        assert campaign.computed == computed
+        assert again[0].ok
+
+    def test_crash_cycle_beyond_completion_rolls_back_nothing(self):
+        campaign = Campaign(jobs=1, cache=None)
+        outcome = campaign.run_crash([
+            CrashSpec(design=Design.ATOM_OPT, workload="hash",
+                      crash_cycle=25_000_000)
+        ])[0]
+        assert outcome.ok
+        assert outcome.commits == 4 * 8
+        assert outcome.updates_rolled_back == 0

@@ -11,30 +11,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from helpers import build_system
+from helpers import crash_run
 from repro.config import Design
-from repro.workloads import make_workload
 
 WORKLOADS = ["hash", "queue", "rbtree", "btree", "sdg", "sps"]
 UNDO = [Design.BASE, Design.ATOM, Design.ATOM_OPT]
-
-
-def crash_run(name, design, crash_cycle, *, entry_bytes=512, seed=7, **kw):
-    system = build_system(design=design)
-    workload = make_workload(
-        name, system, entry_bytes=entry_bytes, txns_per_thread=8,
-        initial_items=12, threads=4, seed=seed, **kw,
-    )
-    workload.setup()
-    system.start_threads(workload.threads())
-    if crash_cycle is not None:
-        system.crash_at(crash_cycle)
-    system.run(max_cycles=30_000_000)
-    if crash_cycle is None:
-        system.crash()
-    report = system.recover()
-    workload.verify_durable()
-    return system, workload, report
 
 
 class TestCrashMatrix:
