@@ -59,6 +59,12 @@ class DesignPolicy:
         self.layout = system.layout
         self.controllers = system.controllers
         self.stats = system.stats.domain("policy")
+        #: Tile each controller attaches to (cached; core/tile is
+        #: an identity map — one core per tile).
+        self._mc_tile = [
+            self.topology.mc_tile(mc.mc_id) for mc in system.controllers
+        ]
+        self._l1_latency = system.config.hierarchy.l1.latency
 
     # -- store drain -------------------------------------------------------------
 
@@ -69,20 +75,20 @@ class DesignPolicy:
     # -- atomic region hooks -------------------------------------------------------
 
     def atomic_begin(self, core, on_ready: Callable[[], None]) -> None:
-        self.engine.after(1, on_ready)
+        self.engine.post(1, on_ready)
 
     def atomic_end(self, core, info, on_done: Callable[[], None]) -> None:
         """Close the region; the policy must call ``core.notify_commit``
         (directly or via the system's truncation tracker) exactly once,
         at the design's durability point."""
         core.notify_commit(info)
-        self.engine.after(1, on_done)
+        self.engine.post(1, on_done)
 
     # -- shared helpers ---------------------------------------------------------------
 
     def _finish_store(self, core, on_retired: Callable[[], None]) -> None:
         """Complete the L1 write and retire after the L1 access latency."""
-        self.engine.after(core.l1.cfg.latency, on_retired)
+        self.engine.post(self._l1_latency, on_retired)
 
     def _log_controller(self, core, line: int):
         """The controller a log entry is routed to.
@@ -122,7 +128,7 @@ class _UndoPolicyBase(DesignPolicy):
             core.aus_slot = slot
             for mc in self.controllers:
                 mc.logm.begin(core.core_id, slot)
-            self.engine.after(1, on_ready)
+            self.engine.post(1, on_ready)
 
         self.system.aus_allocator.acquire(core.core_id, granted)
 
@@ -137,7 +143,7 @@ class _UndoPolicyBase(DesignPolicy):
             core.core_id, info, len(self.controllers)
         )
         remaining = {"count": len(self.controllers)}
-        core_tile = self.topology.core_tile(core.core_id)
+        core_tile = core.core_id
 
         def one_done() -> None:
             remaining["count"] -= 1
@@ -147,7 +153,7 @@ class _UndoPolicyBase(DesignPolicy):
                 on_done()
 
         for mc in self.controllers:
-            mc_tile = self.topology.mc_tile(mc.mc_id)
+            mc_tile = self._mc_tile[mc.mc_id]
 
             def deliver(mc=mc, mc_tile=mc_tile) -> None:
                 mc.logm.commit(
@@ -179,8 +185,8 @@ class _UndoPolicyBase(DesignPolicy):
             )
         line = line_of(entry.addr)
         mc = self._log_controller(core, line)
-        core_tile = self.topology.core_tile(core.core_id)
-        mc_tile = self.topology.mc_tile(mc.mc_id)
+        core_tile = core.core_id
+        mc_tile = self._mc_tile[mc.mc_id]
 
         def ack() -> None:
             self.mesh.send(mc_tile, core_tile, CTRL_BYTES, complete)
@@ -275,7 +281,7 @@ class RedoPolicy(DesignPolicy):
 
     def atomic_begin(self, core, on_ready) -> None:
         self.system.redo.begin(core.core_id, core.txn_id)
-        self.engine.after(1, on_ready)
+        self.engine.post(1, on_ready)
 
     def atomic_end(self, core, info, on_done) -> None:
         self.system.redo.commit(core.core_id, info, on_done)

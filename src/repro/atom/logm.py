@@ -61,12 +61,23 @@ class LogManager:
         self.layout = layout
         self.cfg = cfg
         self.stats = stats.domain(f"logm{mc.mc_id}")
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._add_entries = self.stats.counter("entries")
+        self._add_source_logged = self.stats.counter("source_logged")
+        self._add_records_closed = self.stats.counter("records_closed")
+        self._add_headers_written = self.stats.counter("headers_written")
         self.supports_source_logging = source_logging
         self.aus = [
             AusState(slot, cfg.buckets_per_controller)
             for slot in range(cfg.aus_per_controller)
         ]
         self.buckets = BucketAllocator(cfg)
+        #: Entries collated per record (constant per design config).
+        self._close_thresh = (
+            cfg.entries_per_record if cfg.collation and cfg.colocate else 1
+        )
+        #: Byte offset of the header line within a record.
+        self._header_offset = cfg.entries_per_record * CACHE_LINE_BYTES
         #: Locked line -> number of in-flight (non-durable) undo entries.
         #: A line may be logged more than once in one update (the log bit
         #: dies with an eviction), so locks are counted, not boolean.
@@ -116,7 +127,7 @@ class LogManager:
             self._retry_overflow_waiters()
         if self.on_truncate is not None:
             self.on_truncate(core)
-        self.engine.after(1, on_done)
+        self.engine.post(1, on_done)
 
     def force_truncate(self, core: int) -> None:
         """Crash-window truncation completion (no callbacks, idempotent).
@@ -139,7 +150,7 @@ class LogManager:
         for addr in record.addresses:
             self._release_gate(addr)
         for fn in record.on_durable:
-            self.engine.after(0, fn)
+            self.engine.post(0, fn)
 
     # -- entry append (the log write path) ------------------------------------------
 
@@ -167,7 +178,7 @@ class LogManager:
             if on_locked:
                 on_locked()
             if on_durable:
-                self.engine.after(0, on_durable)
+                self.engine.post(0, on_durable)
             return
         state = self.aus[slot]
         record = self._open_record_with_space(state)
@@ -182,13 +193,13 @@ class LogManager:
             )
             self._check_overflow_progress()
             return
-        line_addr = line_of(data_addr)
-        slot_index = record.entries
+        line_addr = data_addr & ~(CACHE_LINE_BYTES - 1)
+        slot_index = len(record.addresses)
         record.addresses.append(line_addr)
         self._locks[line_addr] = self._locks.get(line_addr, 0) + 1
         durable_at_data = None
         if on_durable is not None:
-            if self._close_threshold() == 1:
+            if self._close_thresh == 1:
                 # Uncollated mode (BASE / no co-location): the ack fires
                 # when the entry's data line persists — the header
                 # follows in FIFO order and the data-write gate, not the
@@ -196,14 +207,14 @@ class LogManager:
                 durable_at_data = on_durable
             else:
                 record.on_durable.append(on_durable)
-        self.stats.add("entries")
+        self._add_entries()
         if source:
-            self.stats.add("source_logged")
+            self._add_source_logged()
         if on_locked is not None:
             on_locked()
-        # Write the entry's data line into the log region.
-        rec_addr = RecordAddress(self.mc.mc_id, record.bucket, record.record)
-        entry_addr = self.layout.record_entry_addr(rec_addr, slot_index)
+        # Write the entry's data line into the log region (the record's
+        # base address was computed once at open).
+        entry_addr = record.base_addr + slot_index * CACHE_LINE_BYTES
 
         def data_persisted() -> None:
             self._entry_data_persisted(state, record)
@@ -211,7 +222,7 @@ class LogManager:
                 durable_at_data()
 
         self.mc.write_log_line(entry_addr, payload, on_persist=data_persisted)
-        if record.entries >= self._close_threshold():
+        if len(record.addresses) >= self._close_thresh:
             self._close_record(state, record)
 
     def _close_threshold(self) -> int:
@@ -220,17 +231,16 @@ class LogManager:
         Collation requires co-location: without it the data-write gate
         at the data's controller cannot force this controller's header
         out, so open records could linger forever — every entry closes
-        its own record instead.
+        its own record instead.  Constant per config, cached as
+        ``_close_thresh`` for the append fast path.
         """
-        if self.cfg.collation and self.cfg.colocate:
-            return self.cfg.entries_per_record
-        return 1
+        return self._close_thresh
 
     def _open_record_with_space(self, state: AusState) -> OpenRecord | None:
         """Current open record, opening a fresh one when needed."""
         record = state.open_record
         if record is not None and not record.closing:
-            if record.entries < self._close_threshold():
+            if len(record.addresses) < self._close_thresh:
                 return record
         if record is not None and not record.closing:
             # Shouldn't happen (closed at threshold), but stay safe.
@@ -255,6 +265,9 @@ class LogManager:
             owner=state.slot,
             seq=seq,
         )
+        record.base_addr = self.layout.record_base(
+            RecordAddress(self.mc.mc_id, record.bucket, record.record)
+        )
         state.open_record = record
         return record
 
@@ -276,15 +289,14 @@ class LogManager:
         if record.closing:
             return
         record.closing = True
-        self.stats.add("records_closed")
+        self._add_records_closed()
         # Detach so new appends open a fresh record; the closing record
         # lives on in the gate bookkeeping until its header persists.
         if state.open_record is record:
             state.open_record = None
             state.current_record += 1
-        rec_addr = RecordAddress(self.mc.mc_id, record.bucket, record.record)
-        header_addr = self.layout.record_header_addr(rec_addr)
-        self.stats.add("headers_written")
+        header_addr = record.base_addr + self._header_offset
+        self._add_headers_written()
         self.mc.write_log_line(
             header_addr,
             record.header().encode(),
@@ -312,9 +324,9 @@ class LogManager:
         match the header is flushed early (closing the record), exactly
         as described in section IV-C.
         """
-        line_addr = line_of(addr)
+        line_addr = addr & ~(CACHE_LINE_BYTES - 1)
         if line_addr not in self._locks:
-            self.engine.after(self.cfg_match_cycles(), release)
+            self.engine.post(self.cfg_match_cycles(), release)
             return
         self.stats.add("gated_data_writes")
         self._gate_waiters.setdefault(line_addr, []).append(release)
@@ -347,7 +359,7 @@ class LogManager:
             return
         delay = self.cfg_match_cycles()
         for fn in waiters:
-            self.engine.after(delay, fn)
+            self.engine.post(delay, fn)
 
     # -- source logging (section III-D) ------------------------------------------------
 
@@ -368,7 +380,7 @@ class LogManager:
     def _retry_overflow_waiters(self) -> None:
         waiters, self._overflow_waiters = self._overflow_waiters, deque()
         for fn in waiters:
-            self.engine.after(self.cfg.os_overflow_cycles, fn)
+            self.engine.post(self.cfg.os_overflow_cycles, fn)
 
     def _check_overflow_progress(self) -> None:
         """Raise when an overflow can never be satisfied.

@@ -68,7 +68,7 @@ class RecordHeader:
                    owner=owner, seq=seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenRecord:
     """The record header *register* plus in-flight entry bookkeeping.
 
@@ -83,6 +83,9 @@ class OpenRecord:
     owner: int
     seq: int
     addresses: list[int] = field(default_factory=list)
+    #: Physical base address of the record (cached by LogM when the
+    #: record is opened, so the append path does no address math).
+    base_addr: int = -1
     data_persisted: int = 0
     #: Callbacks to run when the record's header persists (BASE acks,
     #: gated data writes).

@@ -98,6 +98,22 @@ class RedoManager:
         self._line_apply_q: dict[int, deque] = {}
         #: Per-(controller, core) circular log cursors.
         self._cursors: dict[tuple[int, int], int] = {}
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._add_entries = self.dom.counter("entries")
+        self._add_wcb_stalls = self.dom.counter("wcb_stalls")
+        self._add_log_line_writes = self.dom.counter("log_line_writes")
+        #: Data-space interleave constants (inlined controller_of for the
+        #: per-word append path; redo words are always data addresses).
+        self._interleave = self.layout.interleave_bytes
+        self._num_ctl = self.layout.num_controllers
+        #: Per-controller base of the redo log slice (bucket 0).
+        self._log_slice_base = [
+            self.layout.bucket_base(mc_id, 0)
+            for mc_id in range(self._num_ctl)
+        ]
+        self._mc_tile = [
+            self.topology.mc_tile(mc_id) for mc_id in range(self._num_ctl)
+        ]
         num_cores = system.config.cores.num_cores
         self._slice_bytes = (
             system.config.log.region_bytes // max(1, num_cores)
@@ -120,19 +136,29 @@ class RedoManager:
         if txn is None:
             on_done()
             return
+        txn_words = txn.words
+        line_txns = self._line_txns
+        wc_buffers = txn.wc_buffers
+        txn_id = txn.txn_id
+        add_entry = self._add_entries
         for addr, value in words:
-            txn.words.append((addr, value))
-            self._line_txns.setdefault(line_of(addr), set()).add(txn.txn_id)
-            mc_id = self.layout.controller_of(addr)
-            buf = txn.wc_buffers[mc_id]
+            txn_words.append((addr, value))
+            line = addr & ~(CACHE_LINE_BYTES - 1)
+            writers = line_txns.get(line)
+            if writers is None:
+                line_txns[line] = {txn_id}
+            else:
+                writers.add(txn_id)
+            mc_id = (addr // self._interleave) % self._num_ctl
+            buf = wc_buffers[mc_id]
             buf.append((addr, value))
-            self.dom.add("entries")
+            add_entry()
             if len(buf) >= self.entries_per_line:
                 self._flush_wc(core, txn, mc_id)
         if max(self._outstanding.values(), default=0) <= self.wcb_capacity:
             on_done()
         else:
-            self.dom.add("wcb_stalls")
+            self._add_wcb_stalls()
             self._wcb_waiters.append(on_done)
 
     def _flush_wc(self, core: int, txn: _TxnState, mc_id: int) -> None:
@@ -145,9 +171,9 @@ class RedoManager:
         txn.log_lines[mc_id] += 1
         addr = self._next_log_addr(mc_id, core)
         mc = self.controllers[mc_id]
-        core_tile = self.topology.core_tile(core)
-        mc_tile = self.topology.mc_tile(mc_id)
-        self.dom.add("log_line_writes")
+        core_tile = core
+        mc_tile = self._mc_tile[mc_id]
+        self._add_log_line_writes()
         self._outstanding[mc_id] += 1
         self.mesh.send_streamed(
             core_tile, mc_tile, CACHE_LINE_BYTES,
@@ -165,7 +191,7 @@ class RedoManager:
         ):
             waiters, self._wcb_waiters = self._wcb_waiters, []
             for fn in waiters:
-                self.engine.after(0, fn)
+                self.engine.post(0, fn)
 
     def _encode_line(self, buf) -> bytes:
         parts = []
@@ -178,7 +204,7 @@ class RedoManager:
     def _next_log_addr(self, mc_id: int, core: int) -> int:
         key = (mc_id, core)
         offset = self._cursors.get(key, 0)
-        base = self.layout.bucket_base(mc_id, 0) + core * self._slice_bytes
+        base = self._log_slice_base[mc_id] + core * self._slice_bytes
         addr = base + offset
         self._cursors[key] = (offset + CACHE_LINE_BYTES) % max(
             CACHE_LINE_BYTES, self._slice_bytes
@@ -190,7 +216,7 @@ class RedoManager:
         txn = self._active.pop(core, None)
         if txn is None:
             self.system.cores[core].notify_commit(info)
-            self.engine.after(1, on_done)
+            self.engine.post(1, on_done)
             return
         for mc_id in list(txn.wc_buffers):
             self._flush_wc(core, txn, mc_id)

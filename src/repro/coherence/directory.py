@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from repro.coherence.l1 import FillInfo, L1Cache
 from repro.coherence.states import MESI
 from repro.common.stats import Stats
-from repro.common.units import CACHE_LINE_BYTES, line_index
+from repro.common.units import (CACHE_LINE_BYTES, CACHE_LINE_SHIFT,
+                                line_index)
 from repro.config import CacheConfig
 from repro.engine import Engine
 from repro.mem.controller import MemoryController
@@ -40,7 +41,7 @@ CTRL_BYTES = 8
 DATA_BYTES = CACHE_LINE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class L2Line:
     """Directory + tag entry for one L2-resident line."""
 
@@ -75,9 +76,17 @@ class SharedL2:
         self.layout = layout
         self.controllers = controllers
         self.stats = stats.domain("l2")
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._add_hits = self.stats.counter("hits")
+        self._add_misses = self.stats.counter("misses")
+        self._add_owner_forwards = self.stats.counter("owner_forwards")
+        self._add_owner_invals = self.stats.counter("owner_invalidations")
+        self._add_sharer_invals = self.stats.counter("sharer_invalidations")
+        self._add_l1_writebacks = self.stats.counter("l1_writebacks")
         self.num_banks = topology.num_tiles
+        self._num_sets = tile_cfg.num_sets
         self._bank_sets: list[list[dict[int, L2Line]]] = [
-            [dict() for _ in range(tile_cfg.num_sets)] for _ in range(self.num_banks)
+            [dict() for _ in range(self._num_sets)] for _ in range(self.num_banks)
         ]
         self._use_clock = 0
         self._l1s: list[L1Cache] = []
@@ -88,6 +97,22 @@ class SharedL2:
         #: True when the dirty eviction was parked in the victim cache
         #: instead of being written to NVM.
         self.park_dirty_eviction: Callable[[int], bool] | None = None
+        # -- precomputed timing tables --------------------------------------
+        # The directory charges only two message payload classes (8 B
+        # control, 64 B data); both latency tables are materialized once
+        # so protocol transactions do pure table reads.  Core/tile is an
+        # identity map and stays that way (one core per tile).
+        tiles = range(topology.num_tiles)
+        self._ctrl_lat = [
+            [mesh.latency(s_, d, CTRL_BYTES) for d in tiles] for s_ in tiles
+        ]
+        self._data_lat = [
+            [mesh.latency(s_, d, DATA_BYTES) for d in tiles] for s_ in tiles
+        ]
+        self._mc_tile = [
+            topology.mc_tile(mc.mc_id) for mc in controllers
+        ]
+        self._l2_lat = tile_cfg.latency
 
     def attach_l1s(self, l1s: list[L1Cache]) -> None:
         """Wire up the private caches (called once by the system builder)."""
@@ -98,14 +123,19 @@ class SharedL2:
     # -- tag store ------------------------------------------------------------
 
     def _locate(self, line: int) -> tuple[int, dict[int, L2Line]]:
-        bank = line_index(line) % self.num_banks
-        set_idx = (line_index(line) // self.num_banks) % self.cfg.num_sets
+        index = line_index(line)
+        bank = index % self.num_banks
+        set_idx = (index // self.num_banks) % self._num_sets
         return bank, self._bank_sets[bank][set_idx]
 
     def probe(self, line: int) -> L2Line | None:
         """Directory lookup without LRU side effects."""
-        _, target = self._locate(line)
-        return target.get(line)
+        # Inlined _locate/line_index: this runs on every protocol step.
+        index = line >> CACHE_LINE_SHIFT
+        bank = index % self.num_banks
+        return self._bank_sets[bank][
+            (index // self.num_banks) % self._num_sets
+        ].get(line)
 
     def _touch(self, entry: L2Line) -> None:
         self._use_clock += 1
@@ -138,7 +168,7 @@ class SharedL2:
         if entry.waiters:
             fn = entry.waiters.popleft()
             entry.busy = True
-            self.engine.after(0, fn)
+            self.engine.post(0, fn)
 
     # -- GetS ------------------------------------------------------------------
 
@@ -146,33 +176,44 @@ class SharedL2:
         self, core: int, line: int, on_fill: Callable[[FillInfo], None]
     ) -> None:
         """A load miss from ``core``'s L1 (Figure: GetS)."""
-        self._with_line(line, lambda: self._do_get_shared(core, line, on_fill))
+        # _with_line inlined: the non-busy case is the common one and
+        # skips a closure allocation.
+        entry = self.probe(line)
+        if entry is not None:
+            if entry.busy:
+                entry.waiters.append(
+                    lambda: self._do_get_shared(core, line, on_fill)
+                )
+                return
+            entry.busy = True
+        self._do_get_shared(core, line, on_fill)
 
     def _do_get_shared(self, core, line, on_fill) -> None:
-        req_tile = self.topology.core_tile(core)
-        home = self.home_tile(line)
+        req_tile = core
+        home = (line >> CACHE_LINE_SHIFT) % self.num_banks
         entry = self.probe(line)
-        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        req_lat = self._ctrl_lat[req_tile][home]
         if entry is not None:
-            self.stats.add("hits")
-            self._touch(entry)
+            self._add_hits()
+            self._use_clock += 1
+            entry.last_use = self._use_clock
             extra = 0
             if entry.owner is not None and entry.owner != core:
                 # Forward to the M/E owner; it downgrades and surrenders
                 # dirty data to the bank (3-hop miss).
-                owner_tile = self.topology.core_tile(entry.owner)
-                extra = self.mesh.latency(home, owner_tile, CTRL_BYTES)
+                owner_tile = entry.owner
+                extra = self._ctrl_lat[home][owner_tile]
                 dirty = self._l1s[entry.owner].remote_downgrade(line)
                 if dirty:
                     entry.dirty = True
                 entry.sharers.add(entry.owner)
                 entry.owner = None
-                self.stats.add("owner_forwards")
-                data_lat = self.mesh.latency(owner_tile, req_tile, DATA_BYTES)
+                self._add_owner_forwards()
+                data_lat = self._data_lat[owner_tile][req_tile]
             else:
-                data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+                data_lat = self._data_lat[home][req_tile]
             entry.sharers.add(core)
-            total = req_lat + self.cfg.latency + extra + data_lat
+            total = req_lat + self._l2_lat + extra + data_lat
             self._complete(line, total, on_fill, FillInfo(MESI.SHARED))
             return
         # L2 miss: fetch from memory, requester gets Exclusive.
@@ -182,12 +223,12 @@ class SharedL2:
             )
             return
         self._pending_fetch[line] = []
-        self.stats.add("misses")
+        self._add_misses()
         mc = self.controllers[self.layout.controller_of(line)]
-        mc_tile = self.topology.mc_tile(mc.mc_id)
-        to_mc = self.mesh.latency(home, mc_tile, CTRL_BYTES)
-        from_mc = self.mesh.latency(mc_tile, home, DATA_BYTES)
-        data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+        mc_tile = self._mc_tile[mc.mc_id]
+        to_mc = self._ctrl_lat[home][mc_tile]
+        from_mc = self._data_lat[mc_tile][home]
+        data_lat = self._data_lat[home][req_tile]
 
         def fetched(_payload: bytes, _source_logged: bool) -> None:
             new = self._insert(line)
@@ -196,8 +237,8 @@ class SharedL2:
             total = from_mc + data_lat
             self._complete(line, total, on_fill, FillInfo(MESI.EXCLUSIVE))
 
-        self.engine.after(
-            req_lat + self.cfg.latency + to_mc,
+        self.engine.post(
+            req_lat + self._l2_lat + to_mc,
             lambda: mc.fetch_line(line, fetched),
         )
 
@@ -211,43 +252,49 @@ class SharedL2:
         on_fill: Callable[[FillInfo], None],
     ) -> None:
         """A store miss/upgrade from ``core``'s L1 (Figure: GetX)."""
-        self._with_line(
-            line, lambda: self._do_get_exclusive(core, line, atomic, on_fill)
-        )
+        entry = self.probe(line)
+        if entry is not None:
+            if entry.busy:
+                entry.waiters.append(
+                    lambda: self._do_get_exclusive(core, line, atomic, on_fill)
+                )
+                return
+            entry.busy = True
+        self._do_get_exclusive(core, line, atomic, on_fill)
 
     def _do_get_exclusive(self, core, line, atomic, on_fill) -> None:
-        req_tile = self.topology.core_tile(core)
-        home = self.home_tile(line)
+        req_tile = core
+        home = (line >> CACHE_LINE_SHIFT) % self.num_banks
         entry = self.probe(line)
-        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        req_lat = self._ctrl_lat[req_tile][home]
         if entry is not None:
-            self.stats.add("hits")
-            self._touch(entry)
+            self._add_hits()
+            self._use_clock += 1
+            entry.last_use = self._use_clock
             extra = 0
             if entry.owner is not None and entry.owner != core:
-                owner_tile = self.topology.core_tile(entry.owner)
-                extra = self.mesh.latency(home, owner_tile, CTRL_BYTES)
+                owner_tile = entry.owner
+                extra = self._ctrl_lat[home][owner_tile]
                 dirty = self._l1s[entry.owner].remote_invalidate(line)
                 if dirty:
                     entry.dirty = True
-                self.stats.add("owner_invalidations")
+                self._add_owner_invals()
             elif entry.sharers - {core}:
                 # Invalidate every other sharer; latency is the worst
                 # round trip (invalidations fan out in parallel).
                 worst = 0
+                ctrl_from_home = self._ctrl_lat[home]
                 for sharer in sorted(entry.sharers - {core}):
-                    tile = self.topology.core_tile(sharer)
-                    worst = max(
-                        worst,
-                        self.mesh.request_response(home, tile, CTRL_BYTES, CTRL_BYTES),
-                    )
+                    trip = ctrl_from_home[sharer] + self._ctrl_lat[sharer][home]
+                    if trip > worst:
+                        worst = trip
                     self._l1s[sharer].remote_invalidate(line)
-                    self.stats.add("sharer_invalidations")
+                    self._add_sharer_invals()
                 extra = worst
             entry.owner = core
             entry.sharers = set()
-            data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
-            total = req_lat + self.cfg.latency + extra + data_lat
+            data_lat = self._data_lat[home][req_tile]
+            total = req_lat + self._l2_lat + extra + data_lat
             self._complete(line, total, on_fill, FillInfo(MESI.MODIFIED))
             return
         # L2 miss: fetch-exclusive from memory.  This is the source-logging
@@ -258,12 +305,12 @@ class SharedL2:
             )
             return
         self._pending_fetch[line] = []
-        self.stats.add("misses")
+        self._add_misses()
         mc = self.controllers[self.layout.controller_of(line)]
-        mc_tile = self.topology.mc_tile(mc.mc_id)
-        to_mc = self.mesh.latency(home, mc_tile, CTRL_BYTES)
-        from_mc = self.mesh.latency(mc_tile, home, DATA_BYTES)
-        data_lat = self.mesh.latency(home, req_tile, DATA_BYTES)
+        mc_tile = self._mc_tile[mc.mc_id]
+        to_mc = self._ctrl_lat[home][mc_tile]
+        from_mc = self._data_lat[mc_tile][home]
+        data_lat = self._data_lat[home][req_tile]
 
         def fetched(_payload: bytes, source_logged: bool) -> None:
             new = self._insert(line)
@@ -274,8 +321,8 @@ class SharedL2:
                 line, total, on_fill, FillInfo(MESI.MODIFIED, source_logged)
             )
 
-        self.engine.after(
-            req_lat + self.cfg.latency + to_mc,
+        self.engine.post(
+            req_lat + self._l2_lat + to_mc,
             lambda: mc.fetch_line(
                 line, fetched, exclusive=True,
                 atomic_core=core if atomic else None,
@@ -287,7 +334,7 @@ class SharedL2:
             self._release(line)
             on_fill(info)
 
-        self.engine.after(delay, finish)
+        self.engine.post(delay, finish)
 
     # -- evictions and writebacks ----------------------------------------------------
 
@@ -299,10 +346,10 @@ class SharedL2:
             if entry.owner == core:
                 entry.owner = None
             entry.sharers.discard(core)
-        self.stats.add("l1_writebacks")
-        home = self.home_tile(line)
+        self._add_l1_writebacks()
+        home = (line >> CACHE_LINE_SHIFT) % self.num_banks
         # Timing-only message; metadata was updated synchronously.
-        self.mesh.send(self.topology.core_tile(core), home, DATA_BYTES, lambda: None)
+        self.mesh.send(core, home, DATA_BYTES, lambda: None)
 
     def evict_clean(self, core: int, line: int) -> None:
         """An L1 silently dropped a clean (E/S) line."""
@@ -344,12 +391,12 @@ class SharedL2:
         if self.park_dirty_eviction is not None and self.park_dirty_eviction(line):
             self.stats.add("parked_evictions")
             if on_persist is not None:
-                self.engine.after(1, on_persist)
+                self.engine.post(1, on_persist)
             return
         self.stats.add("memory_writebacks")
         mc = self.controllers[self.layout.controller_of(line)]
-        mc_tile = self.topology.mc_tile(mc.mc_id)
-        home = self.home_tile(line)
+        mc_tile = self._mc_tile[mc.mc_id]
+        home = (line >> CACHE_LINE_SHIFT) % self.num_banks
         payload = self.image.volatile_line(line)
         self.mesh.send(
             home, mc_tile, DATA_BYTES,
@@ -369,9 +416,9 @@ class SharedL2:
         self._with_line(line, lambda: self._do_flush(core, line, on_done))
 
     def _do_flush(self, core, line, on_done) -> None:
-        req_tile = self.topology.core_tile(core)
-        home = self.home_tile(line)
-        req_lat = self.mesh.latency(req_tile, home, CTRL_BYTES)
+        req_tile = core
+        home = (line >> CACHE_LINE_SHIFT) % self.num_banks
+        req_lat = self._ctrl_lat[req_tile][home]
         entry = self.probe(line)
         acquired = entry is not None
         dirty = False
@@ -379,10 +426,9 @@ class SharedL2:
         if entry is not None:
             self._touch(entry)
             if entry.owner is not None:
-                owner_tile = self.topology.core_tile(entry.owner)
-                extra = self.mesh.request_response(
-                    home, owner_tile, CTRL_BYTES, DATA_BYTES
-                )
+                owner_tile = entry.owner
+                extra = (self._ctrl_lat[home][owner_tile]
+                         + self._data_lat[owner_tile][home])
                 if self._l1s[entry.owner].remote_downgrade(line):
                     entry.dirty = True
                 entry.sharers.add(entry.owner)
@@ -391,33 +437,35 @@ class SharedL2:
             if dirty:
                 entry.dirty = False
         if not dirty:
-            ack = self.mesh.latency(home, req_tile, CTRL_BYTES)
+            ack = self._ctrl_lat[home][req_tile]
             self._complete_flush(
-                line, req_lat + self.cfg.latency + extra + ack, on_done, acquired
+                line, req_lat + self._l2_lat + extra + ack, on_done, acquired
             )
             return
         self.stats.add("flushes")
 
         def persisted() -> None:
-            for l1 in self._l1s:
-                l1.clear_log_bit(line)
-            ack = self.mesh.latency(
-                self.topology.mc_tile(
-                    self.controllers[self.layout.controller_of(line)].mc_id
-                ),
-                req_tile,
-                CTRL_BYTES,
-            )
+            # Inclusion means only L1s in the directory entry can hold
+            # the line; clearing the log bit elsewhere is a no-op, so
+            # skip the probe storm over every cache.
+            holder = self.probe(line)
+            if holder is not None:
+                if holder.owner is not None:
+                    self._l1s[holder.owner].clear_log_bit(line)
+                for sharer in holder.sharers:
+                    self._l1s[sharer].clear_log_bit(line)
+            mc_id = self.controllers[self.layout.controller_of(line)].mc_id
+            ack = self._ctrl_lat[self._mc_tile[mc_id]][req_tile]
 
             def finish() -> None:
                 if acquired:
                     self._release(line)
                 on_done()
 
-            self.engine.after(ack, finish)
+            self.engine.post(ack, finish)
 
-        self.engine.after(
-            req_lat + self.cfg.latency + extra,
+        self.engine.post(
+            req_lat + self._l2_lat + extra,
             lambda: self._write_line_to_memory(line, persisted),
         )
 
@@ -427,7 +475,7 @@ class SharedL2:
                 self._release(line)
             on_done()
 
-        self.engine.after(delay, finish)
+        self.engine.post(delay, finish)
 
     def resident_lines(self) -> list[int]:
         """All L2-resident line addresses (test aid)."""

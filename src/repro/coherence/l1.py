@@ -22,11 +22,11 @@ from dataclasses import dataclass
 from repro.coherence.mshr import MSHRFile
 from repro.coherence.states import MESI
 from repro.common.stats import StatDomain
-from repro.common.units import line_index
+from repro.common.units import CACHE_LINE_SHIFT, line_index
 from repro.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class L1Line:
     """Tag-store entry for one resident line."""
 
@@ -36,7 +36,7 @@ class L1Line:
     last_use: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FillInfo:
     """What the directory tells the L1 about a completed miss."""
 
@@ -62,6 +62,14 @@ class L1Cache:
         self.num_sets = cfg.num_sets
         self.ways = cfg.ways
         self._sets: list[dict[int, L1Line]] = [dict() for _ in range(self.num_sets)]
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._add_load_hits = stats.counter("load_hits")
+        self._add_load_misses = stats.counter("load_misses")
+        self._add_store_hits = stats.counter("store_hits")
+        self._add_store_misses = stats.counter("store_misses")
+        self._add_store_upgrades = stats.counter("store_upgrades")
+        self._add_mshr_merges = stats.counter("mshr_merges")
+        self._add_mshr_stalls = stats.counter("mshr_stalls")
         self.mshrs = MSHRFile(mshrs)
         self._use_clock = 0
         #: Set by the system builder: the shared L2 / directory.
@@ -77,7 +85,8 @@ class L1Cache:
 
     def probe(self, line: int) -> L1Line | None:
         """Look up a line without touching LRU state."""
-        return self._set_of(line).get(line)
+        # Inlined _set_of/line_index: this runs for every load/store.
+        return self._sets[(line >> CACHE_LINE_SHIFT) % self.num_sets].get(line)
 
     def _touch(self, entry: L1Line) -> None:
         self._use_clock += 1
@@ -86,13 +95,21 @@ class L1Cache:
     # -- load path ------------------------------------------------------------
 
     def load_hit(self, line: int) -> bool:
-        """Synchronous load lookup; True on hit (any readable state)."""
-        entry = self.probe(line)
+        """Synchronous load lookup; True on hit (any readable state).
+
+        MIRRORED twice for speed: Core._run's inline Load block and
+        Core._do_load's fast path replicate this logic verbatim — a
+        semantic change here must be applied to all three copies (the
+        golden net in tests/test_kernel_golden.py is the backstop).
+        """
+        # probe/_touch inlined: this is the single hottest L1 entry point.
+        entry = self._sets[(line >> CACHE_LINE_SHIFT) % self.num_sets].get(line)
         if entry is not None and entry.state.readable:
-            self._touch(entry)
-            self.stats.add("load_hits")
+            self._use_clock += 1
+            entry.last_use = self._use_clock
+            self._add_load_hits()
             return True
-        self.stats.add("load_misses")
+        self._add_load_misses()
         return False
 
     def load_miss(self, line: int, on_done: Callable[[], None]) -> None:
@@ -103,11 +120,11 @@ class L1Cache:
         full) and issues a GetS.
         """
         if self.mshrs.outstanding(line):
-            self.stats.add("mshr_merges")
+            self._add_mshr_merges()
             self.mshrs.merge(line, lambda info: on_done())
             return
         if not self.mshrs.allocate(line, lambda info: on_done()):
-            self.stats.add("mshr_stalls")
+            self._add_mshr_stalls()
             self.mshrs.when_slot_free(lambda: self.load_miss(line, on_done))
             return
         self.l2.get_shared(
@@ -133,25 +150,29 @@ class L1Cache:
         as coming from inside an atomic update so the controller can
         source-log a fill served from NVM.
         """
-        entry = self.probe(line)
+        entry = self._sets[(line >> CACHE_LINE_SHIFT) % self.num_sets].get(line)
         if entry is not None and entry.state.writable:
             if entry.state is MESI.EXCLUSIVE:
                 entry.state = MESI.MODIFIED
-            self._touch(entry)
-            self.stats.add("store_hits")
+            self._use_clock += 1
+            entry.last_use = self._use_clock
+            self._add_store_hits()
             on_ready(FillInfo(MESI.MODIFIED, source_logged=False))
             return
-        self.stats.add("store_misses" if entry is None else "store_upgrades")
+        if entry is None:
+            self._add_store_misses()
+        else:
+            self._add_store_upgrades()
         if self.mshrs.outstanding(line):
             # A load miss to the line is in flight; retry once it fills —
             # the line will land in S/E and take the upgrade path.
-            self.stats.add("mshr_merges")
+            self._add_mshr_merges()
             self.mshrs.merge(
                 line, lambda info: self.ensure_writable(line, atomic, on_ready)
             )
             return
         if not self.mshrs.allocate(line, on_ready):
-            self.stats.add("mshr_stalls")
+            self._add_mshr_stalls()
             self.mshrs.when_slot_free(
                 lambda: self.ensure_writable(line, atomic, on_ready)
             )

@@ -6,19 +6,21 @@ from enum import Enum
 
 
 class MESI(Enum):
-    """Stable states of a line in a private L1 cache."""
+    """Stable states of a line in a private L1 cache.
+
+    ``writable``/``readable`` are plain member attributes (computed once
+    at class creation): the L1 consults them on every load/store probe,
+    so they must not cost a property call.
+    """
 
     MODIFIED = "M"
     EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def writable(self) -> bool:
-        """True if a store may complete without a coherence transaction."""
-        return self in (MESI.MODIFIED, MESI.EXCLUSIVE)
-
-    @property
-    def readable(self) -> bool:
-        """True if a load may complete without a coherence transaction."""
-        return self is not MESI.INVALID
+    def __init__(self, code: str):
+        self._value_ = code
+        #: True if a store may complete without a coherence transaction.
+        self.writable = code in ("M", "E")
+        #: True if a load may complete without a coherence transaction.
+        self.readable = code != "I"

@@ -55,8 +55,13 @@ def split_by_line(addr: int, size: int) -> list[tuple[int, int]]:
     executed as one store-queue entry per line-resident chunk, mirroring
     how a memcpy compiles to a sequence of word stores.
     """
-    chunks: list[tuple[int, int]] = []
     end = addr + size
+    # Fast path: the whole range lives in one line (the common case for
+    # word-sized loads/stores).
+    boundary = (addr | (CACHE_LINE_BYTES - 1)) + 1
+    if end <= boundary and size > 0:
+        return [(addr, size)]
+    chunks: list[tuple[int, int]] = []
     while addr < end:
         boundary = line_of(addr) + CACHE_LINE_BYTES
         take = min(end, boundary) - addr

@@ -33,9 +33,11 @@ Transaction-side bookkeeping done here (the LogI module's core half):
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from functools import partial
 
 from repro.common.stats import Stats
-from repro.common.units import WORD_BYTES, line_of, split_by_line
+from repro.common.units import (CACHE_LINE_BYTES, CACHE_LINE_SHIFT,
+                                WORD_BYTES, line_of, split_by_line)
 from repro.config import CoreConfig
 from repro.cpu import ops
 from repro.cpu.lockmgr import LockManager
@@ -70,6 +72,7 @@ class Core:
         self.policy = policy
         self.lockmgr = lockmgr
         self.stats = stats.domain(f"core{core_id}")
+        self._add_sq_full = self.stats.counter("sq_full_cycles")
         self._gen: Generator | None = None
         self._t = 0  # local clock (>= engine.now, bounded skew)
         self.done = False
@@ -85,10 +88,17 @@ class Core:
         self.txn_id: int | None = None
         self._txn_counter = 0
 
+        self._l1_latency = l1.cfg.latency
+        self._issue_cycles = cfg.issue_cycles
+        self._capture_undo = policy.capture_undo
+        self._capture_redo = policy.capture_redo
         self.sq = StoreQueue(
             engine,
             cfg.store_queue_size,
-            self._drain_store,
+            # The policy is fixed for the system's lifetime; handing the
+            # bound method straight to the drainer skips a delegation
+            # frame per store (see _drain_store).
+            partial(policy.execute_store, self),
             self.stats,
         )
         l1.on_line_lost = self._line_lost
@@ -99,7 +109,7 @@ class Core:
         """Begin executing a workload thread generator."""
         self._gen = thread
         self._t = self.engine.now
-        self.engine.after(0, lambda: self._run(None))
+        self.engine.post(0, lambda: self._run(None))
 
     def _line_lost(self, line: int) -> None:
         """L1 line evicted/invalidated: its log bit (if any) is gone."""
@@ -108,19 +118,58 @@ class Core:
     # -- main execution loop -----------------------------------------------------
 
     def _run(self, send_value) -> None:
-        self._t = max(self._t, self.engine.now)
-        horizon = self.engine.now + self.cfg.max_inline_cycles
+        now = self.engine.now
+        if self._t < now:
+            self._t = now
+        horizon = now + self.cfg.max_inline_cycles
+        gen_send = self._gen.send
+        dispatch = self._dispatch
+        # The two dominant ops — single-line L1-hit loads and computes —
+        # are handled inline (mirroring _do_load's fast path and
+        # _dispatch's Compute case exactly); everything else dispatches.
+        l1 = self.l1
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        add_load_hit = l1._add_load_hits
+        image_read = self.image.read
+        l1_lat = self._l1_latency
         while True:
             if self._t > horizon:
                 value = send_value
-                self.engine.at(self._t, lambda: self._run(value))
+                self.engine.post_at(self._t, lambda: self._run(value))
                 return
             try:
-                op = self._gen.send(send_value)
+                op = gen_send(send_value)
             except StopIteration:
                 self._finish()
                 return
-            send_value = self._dispatch(op)
+            cls = op.__class__
+            if cls is ops.Load:
+                addr = op.addr
+                size = op.size
+                if size > 0 and (addr >> CACHE_LINE_SHIFT) == (
+                        (addr + size - 1) >> CACHE_LINE_SHIFT):
+                    line = addr & ~(CACHE_LINE_BYTES - 1)
+                    entry = l1_sets[
+                        (line >> CACHE_LINE_SHIFT) % l1_nsets
+                    ].get(line)
+                    if entry is not None and entry.state.readable:
+                        l1._use_clock += 1
+                        entry.last_use = l1._use_clock
+                        add_load_hit()
+                        self._t += l1_lat
+                        words = size // WORD_BYTES - 1
+                        if words > 0:
+                            self._t += words
+                        send_value = image_read(addr, size)
+                        continue
+                send_value = self._do_load(op)
+            elif cls is ops.Compute:
+                self._t += op.cycles
+                send_value = None
+                continue
+            else:
+                send_value = dispatch(op)
             if send_value is _SUSPEND:
                 return
 
@@ -137,22 +186,25 @@ class Core:
     # -- op dispatch -------------------------------------------------------------
 
     def _dispatch(self, op):
-        if isinstance(op, ops.Compute):
+        # Exact-type checks: ops are final __slots__ classes, and this
+        # dispatcher runs once per workload micro-op.
+        cls = op.__class__
+        if cls is ops.Compute:
             self._t += op.cycles
             return None
-        if isinstance(op, ops.Load):
+        if cls is ops.Load:
             return self._do_load(op)
-        if isinstance(op, ops.Store):
+        if cls is ops.Store:
             return self._do_store(op)
-        if isinstance(op, ops.AtomicBegin):
+        if cls is ops.AtomicBegin:
             return self._do_atomic_begin()
-        if isinstance(op, ops.AtomicEnd):
+        if cls is ops.AtomicEnd:
             return self._do_atomic_end(op)
-        if isinstance(op, ops.Lock):
+        if cls is ops.Lock:
             return self._do_lock(op)
-        if isinstance(op, ops.Unlock):
+        if cls is ops.Unlock:
             return self._do_unlock(op)
-        if isinstance(op, ops.Flush):
+        if cls is ops.Flush:
             # Order after earlier stores: a line still in the store queue
             # has not reached the cache, so the flush must drain first.
             self.sq.when_empty(
@@ -165,12 +217,32 @@ class Core:
     # -- loads ------------------------------------------------------------------------
 
     def _do_load(self, op: ops.Load):
+        addr = op.addr
+        size = op.size
+        # Fast path: the load lives in one line (word loads dominate).
+        # Mirrors L1Cache.load_hit + the inline block in _run — keep
+        # all three in sync.
+        if size > 0 and (addr >> CACHE_LINE_SHIFT) == (
+                (addr + size - 1) >> CACHE_LINE_SHIFT):
+            line = addr & ~(CACHE_LINE_BYTES - 1)
+            if self.l1.load_hit(line):
+                self._t += self._l1_latency
+                words = size // WORD_BYTES - 1
+                if words > 0:
+                    self._t += words
+                return self.image.read(addr, size)
+            self.l1.load_miss(
+                line, lambda o=op: self._load_continue([], o)
+            )
+            return _SUSPEND
         chunks = split_by_line(op.addr, op.size)
         for index, (addr, size) in enumerate(chunks):
             line = line_of(addr)
             if self.l1.load_hit(line):
-                self._t += self.l1.cfg.latency
-                self._t += max(0, size // WORD_BYTES - 1)
+                self._t += self._l1_latency
+                words = size // WORD_BYTES - 1
+                if words > 0:
+                    self._t += words
                 continue
             # Miss: suspend, then continue with the remaining chunks.
             rest = chunks[index + 1:]
@@ -185,7 +257,7 @@ class Core:
         for index, (addr, size) in enumerate(chunks):
             line = line_of(addr)
             if self.l1.load_hit(line):
-                self._t += self.l1.cfg.latency
+                self._t += self._l1_latency
                 continue
             rest = chunks[index + 1:]
             self.l1.load_miss(
@@ -197,7 +269,44 @@ class Core:
     # -- stores -----------------------------------------------------------------------
 
     def _do_store(self, op: ops.Store):
-        entries = self._make_entries(op, len(op.data))
+        data = op.data
+        total = len(data)
+        addr = op.addr
+        # Fast path: single-line chunk (word stores dominate).  Mirrors
+        # _make_entries/_issue_entries exactly: undo payload snapshots
+        # *before* the functional write, issue cycles charged before the
+        # SQ push.
+        if total > 0 and (addr >> CACHE_LINE_SHIFT) == (
+                (addr + total - 1) >> CACHE_LINE_SHIFT):
+            atomic = self.atomic_depth > 0
+            needs_log = False
+            undo = None
+            redo_words: tuple = ()
+            if atomic:
+                line = addr & ~(CACHE_LINE_BYTES - 1)
+                if self._capture_undo and line not in self.txn_logged:
+                    needs_log = True
+                    undo = self.image.volatile_line(line)
+                    self.txn_logged.add(line)
+                if self._capture_redo:
+                    redo_words = tuple(
+                        (addr + w_off, data[w_off:w_off + WORD_BYTES])
+                        for w_off in range(0, total, WORD_BYTES)
+                    )
+                self.txn_write_lines.add(line)
+            entry = StoreEntry(addr=addr, size=total, needs_log=needs_log,
+                               undo_payload=undo, redo_words=redo_words,
+                               atomic=atomic)
+            self.image.write(addr, data)
+            self._t += entry.slots * self._issue_cycles
+            if self.sq.try_push(entry):
+                return None
+            stall_start = self._t
+            self.sq.when_space(
+                lambda e=[entry], s=stall_start: self._retry_issue(e, 0, s)
+            )
+            return _SUSPEND
+        entries = self._make_entries(op, total)
         # Apply functionally at issue: program order is preserved for this
         # thread, and undo payloads were snapshotted first.
         self.image.write(op.addr, op.data)
@@ -259,7 +368,7 @@ class Core:
 
     def _retry_issue(self, entries, index, stall_start) -> None:
         self._t = max(self._t, self.engine.now, stall_start)
-        self.stats.add("sq_full_cycles", self._t - stall_start)
+        self._add_sq_full(self._t - stall_start)
         result = self._issue_entries_resumed(entries, index)
         if result is not _SUSPEND:
             self._run(None)
@@ -280,7 +389,11 @@ class Core:
         return None
 
     def _drain_store(self, entry: StoreEntry, on_retired: Callable[[], None]) -> None:
-        """SQ head execution: delegated to the active design policy."""
+        """SQ head execution: delegated to the active design policy.
+
+        Kept for tests/introspection; the store queue holds a pre-bound
+        ``partial(policy.execute_store, self)`` for the hot path.
+        """
         self.policy.execute_store(self, entry, on_retired)
 
     # -- atomic regions -----------------------------------------------------------------

@@ -28,7 +28,7 @@ from repro.noc.topology import Topology
 CTRL_BYTES = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockState:
     holder: int | None = None
     waiters: deque = field(default_factory=deque)
@@ -78,7 +78,7 @@ class LockManager:
                 self.stats.add("contended_acquires")
                 state.waiters.append((core, on_grant, request_time))
 
-        self.engine.after(trip, arrive)
+        self.engine.post(trip, arrive)
 
     def release(self, core: int, lock_id: int) -> None:
         """Release ``lock_id``; the oldest waiter is granted next."""
@@ -101,7 +101,7 @@ class LockManager:
             else:
                 state.holder = None
 
-        self.engine.after(trip, arrive)
+        self.engine.post(trip, arrive)
 
     def holder(self, lock_id: int) -> int | None:
         """Current holder of ``lock_id`` (None if free)."""

@@ -6,6 +6,10 @@ generator.  The ISA extension of paper section III-A appears here as
 :class:`AtomicBegin` / :class:`AtomicEnd` — the only two primitives the
 ATOM programming model adds; logging is invisible to the program.
 
+Ops are plain ``__slots__`` classes rather than dataclasses: a workload
+yields one op object per simulated memory access, so construction cost is
+on the simulator's hottest path (hundreds of thousands per run).
+
 Ops:
 
 ========================  =====================================================
@@ -23,18 +27,20 @@ Ops:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class Load:
     """Read ``size`` bytes at ``addr``; yields the bytes back."""
 
-    addr: int
-    size: int
+    __slots__ = ("addr", "size")
+
+    def __init__(self, addr: int, size: int):
+        self.addr = addr
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Load(addr={self.addr:#x}, size={self.size})"
 
 
-@dataclass(frozen=True)
 class Store:
     """Write ``data`` at ``addr``.
 
@@ -43,23 +49,37 @@ class Store:
     memcpy compiles into.
     """
 
-    addr: int
-    data: bytes
+    __slots__ = ("addr", "data")
+
+    def __init__(self, addr: int, data: bytes):
+        self.addr = addr
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Store(addr={self.addr:#x}, bytes={len(self.data)})"
 
 
-@dataclass(frozen=True)
 class Compute:
     """Spend ``cycles`` of pure computation."""
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Compute({self.cycles})"
 
 
-@dataclass(frozen=True)
 class AtomicBegin:
     """Start an atomically durable region (``Atomic_Begin``)."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return "AtomicBegin()"
+
+
 class AtomicEnd:
     """End the region (``Atomic_End``).
 
@@ -69,25 +89,46 @@ class AtomicEnd:
     checks.
     """
 
-    info: object = None
+    __slots__ = ("info",)
+
+    def __init__(self, info: object = None):
+        self.info = info
+
+    def __repr__(self) -> str:
+        return f"AtomicEnd(info={self.info!r})"
 
 
-@dataclass(frozen=True)
 class Flush:
     """Explicitly write the line containing ``addr`` back to NVM."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Flush(addr={self.addr:#x})"
 
 
-@dataclass(frozen=True)
 class Lock:
     """Acquire a software lock (isolation is software's job)."""
 
-    lock_id: int
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"Lock({self.lock_id})"
 
 
-@dataclass(frozen=True)
 class Unlock:
     """Release a software lock."""
 
-    lock_id: int
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"Unlock({self.lock_id})"

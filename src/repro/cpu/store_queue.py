@@ -29,7 +29,7 @@ from repro.common.units import WORD_BYTES
 from repro.engine import Engine
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreEntry:
     """One line-resident chunk of a program store."""
 
@@ -46,11 +46,12 @@ class StoreEntry:
     #: Issued inside an atomic region?
     atomic: bool = False
     issue_time: int = 0
+    #: SQ word slots this chunk occupies (computed once at creation; the
+    #: issue and retire paths both read it repeatedly).
+    slots: int = field(init=False)
 
-    @property
-    def slots(self) -> int:
-        """SQ word slots this chunk occupies."""
-        return max(1, (self.size + WORD_BYTES - 1) // WORD_BYTES)
+    def __post_init__(self) -> None:
+        self.slots = max(1, (self.size + WORD_BYTES - 1) // WORD_BYTES)
 
 
 class StoreQueue:
@@ -68,6 +69,10 @@ class StoreQueue:
         self._execute = execute
         self.stats = stats
         self._entries: deque[StoreEntry] = deque()
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._peak_slots = stats.peaker("sq_peak_slots")
+        self._add_retired = stats.counter("stores_retired")
+        self._add_latency = stats.counter("store_latency_cycles")
         self._used_slots = 0
         self._draining = False
         self._space_waiters: deque[Callable[[], None]] = deque()
@@ -82,7 +87,7 @@ class StoreQueue:
         entry.issue_time = self.engine.now
         self._entries.append(entry)
         self._used_slots += entry.slots
-        self.stats.peak("sq_peak_slots", self._used_slots)
+        self._peak_slots(self._used_slots)
         self._start_drain()
         return True
 
@@ -110,7 +115,7 @@ class StoreQueue:
         if self._draining or not self._entries:
             return
         self._draining = True
-        self.engine.after(0, self._drain_head)
+        self.engine.post(0, self._drain_head)
 
     def _drain_head(self) -> None:
         if not self._entries:
@@ -124,17 +129,19 @@ class StoreQueue:
         popped = self._entries.popleft()
         assert popped is entry, "stores must retire in order"
         self._used_slots -= entry.slots
-        self.stats.add("stores_retired")
-        self.stats.add("store_latency_cycles", self.engine.now - entry.issue_time)
+        self._add_retired()
+        self._add_latency(self.engine.now - entry.issue_time)
         while self._space_waiters and self._used_slots < self.capacity:
-            self.engine.after(0, self._space_waiters.popleft())
+            self.engine.post(0, self._space_waiters.popleft())
         if self._entries:
-            self.engine.after(0, self._drain_head)
+            self.engine.post(0, self._drain_head)
         else:
             self._draining = False
             self._notify_empty()
 
     def _notify_empty(self) -> None:
+        if not self._empty_waiters:
+            return
         waiters, self._empty_waiters = self._empty_waiters, []
         for fn in waiters:
             fn()

@@ -7,8 +7,22 @@ same configuration and seed are bit-for-bit reproducible — a property the
 crash-injection tests rely on (they re-run a workload and crash it at a
 chosen cycle).
 
-Events can be cancelled; cancellation is O(1) (the heap entry is marked
-dead and skipped at pop time).
+Ordering invariant
+------------------
+Heap entries are plain ``(time, seq, fn, handle)`` tuples.  ``seq`` is a
+monotonically increasing insertion counter that is unique per entry, so
+heap ordering is decided entirely by the C-level tuple comparison on
+``(time, seq)`` — events at equal times dispatch in insertion order, and
+the comparison never reaches ``fn``/``handle``.  Every scheduling path
+(``at``, ``after``, ``post``, ``post_at``) draws from the same ``seq``
+counter, which is what makes interleaved use of the fast and handle
+paths deterministic.
+
+Cancellation is O(1): the :class:`Event` handle is tombstoned (its
+``cancelled`` flag set, the live-event counter decremented) and the heap
+entry is skipped when it surfaces at pop time.  The live counter also
+makes ``pending()``/``idle()`` O(1) — the simulation main loop checks
+``idle()`` every time ``run`` returns.
 """
 
 from __future__ import annotations
@@ -20,24 +34,34 @@ from repro.common.errors import SimulationError
 
 
 class Event:
-    """Handle to a scheduled callback; supports cancellation."""
+    """Handle to a scheduled callback; supports O(1) cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "_engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: int, seq: int, fn: Callable[[], None],
+                 engine: "Engine | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        #: Owning engine while the event is still queued; dropped at
+        #: dispatch or cancellation so a late ``cancel()`` cannot
+        #: corrupt the live-event counter.
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        """Prevent the callback from running (idempotent).
 
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        The heap entry stays in place as a tombstone and is discarded
+        when it reaches the top, so cancellation itself is O(1).
+        """
+        if self.cancelled:
+            return
+        self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine._live -= 1
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -49,8 +73,12 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[Event] = []
+        #: Min-heap of (time, seq, fn, handle-or-None) tuples.
+        self._queue: list[tuple] = []
         self._seq = 0
+        #: Live (non-cancelled, undispatched) events — kept O(1) so the
+        #: per-iteration idle check in ``System.run`` is free.
+        self._live = 0
         self._dispatched = 0
         self._running = False
         self._stop_requested = False
@@ -63,9 +91,11 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time}, now is {self.now}"
             )
-        event = Event(int(time), self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        event = Event(int(time), seq, fn, self)
+        heapq.heappush(self._queue, (event.time, seq, fn, event))
         return event
 
     def after(self, delay: int, fn: Callable[[], None]) -> Event:
@@ -73,6 +103,38 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self.now + int(delay), fn)
+
+    def post(self, delay: int, fn: Callable[[], None]) -> None:
+        """Fast path of :meth:`after`: no cancellation handle.
+
+        Hot components schedule hundreds of thousands of events that are
+        never cancelled; skipping the :class:`Event` allocation is a
+        measurable win.  ``delay`` MUST be a non-negative int: unlike
+        :meth:`after`, no ``int()`` coercion is applied (a float would
+        leak into ``now`` and silently break the bit-for-bit golden
+        contract — see tests/test_kernel_golden.py).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._queue, (self.now + delay, seq, fn, None))
+
+    def post_at(self, time: int, fn: Callable[[], None]) -> None:
+        """Fast path of :meth:`at`: no cancellation handle.
+
+        ``time`` MUST be an int >= now (no ``int()`` coercion, unlike
+        :meth:`at` — see :meth:`post`).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._queue, (time, seq, fn, None))
 
     # -- execution --------------------------------------------------------
 
@@ -89,22 +151,32 @@ class Engine:
         self._running = True
         self._stop_requested = False
         dispatched = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        # ``until``/``max_events`` are loop-invariant; fold them into a
+        # single horizon so the dispatch loop tests one comparison per
+        # event (the common call is run(until=...) with no event limit).
+        horizon = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     break
-                if max_events is not None and dispatched >= max_events:
+                if dispatched >= budget:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+                time, _seq, fn, handle = queue[0]
+                if handle is not None and handle.cancelled:
+                    heappop(queue)  # tombstone: already off the live count
                     continue
-                if until is not None and head.time > until:
+                if time > horizon:
                     self.now = until
                     break
-                event = heapq.heappop(self._queue)
-                self.now = event.time
-                event.fn()
+                heappop(queue)
+                if handle is not None:
+                    handle._engine = None
+                self._live -= 1
+                self.now = time
+                fn()
                 dispatched += 1
             else:
                 # Natural exit (queue empty): advance to the horizon —
@@ -133,8 +205,8 @@ class Engine:
     # -- introspection ----------------------------------------------------
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued (O(1))."""
+        return self._live
 
     @property
     def events_dispatched(self) -> int:
@@ -142,8 +214,8 @@ class Engine:
         return self._dispatched
 
     def idle(self) -> bool:
-        """True when no live events remain."""
-        return self.pending() == 0
+        """True when no live events remain (O(1))."""
+        return self._live == 0
 
     def __repr__(self) -> str:
-        return f"Engine(now={self.now}, pending={self.pending()})"
+        return f"Engine(now={self.now}, pending={self._live})"

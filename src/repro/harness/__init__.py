@@ -9,6 +9,7 @@ See ``python -m repro.harness --help`` for the CLI.
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign, CrashSpec, crash_grid, crash_sweep
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.perf import run_perf
 from repro.harness.runner import RunSpec, run_spec
 
 __all__ = [
@@ -20,5 +21,6 @@ __all__ = [
     "crash_grid",
     "crash_sweep",
     "run_experiment",
+    "run_perf",
     "run_spec",
 ]

@@ -2,6 +2,7 @@
 
 Usage::
 
+    python -m repro.harness perf                    # kernel benchmark
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
     python -m repro.harness --all --jobs 8          # parallel campaign
@@ -58,6 +59,14 @@ def _parse_grid(text: str) -> range:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perf":
+        # The kernel perf benchmark is its own subcommand: it measures
+        # the simulator rather than reproducing the paper's figures.
+        from repro.harness.perf import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate ATOM (HPCA 2017) evaluation results.",

@@ -1,0 +1,258 @@
+"""Kernel performance benchmark: pinned workload matrix, JSON artifact, gate.
+
+This is the repo's perf trajectory instrument: ``python -m repro.harness
+perf`` runs a **pinned** matrix of small full-system simulations
+(designs x {hash, rbtree, tpcc}), measures wall-clock and dispatched
+events for each, and writes ``BENCH_kernel.json`` — events/sec is the
+kernel's figure of merit, and every later optimisation PR is judged
+against this file.
+
+The matrix is deliberately frozen (machine shape, transaction counts,
+seeds): changing it silently would reset the trajectory.  ``--scale``
+exists for CI smoke runs and scales only the per-thread transaction
+count, never the machine.
+
+A committed baseline (``benchmarks/perf/baseline.json``) turns the
+benchmark into a regression gate: ``--baseline`` compares the measured
+aggregate events/sec against the baseline's and exits non-zero when it
+regressed by more than ``--gate-pct`` (default 20%).  The gate compares
+aggregates, not points, so per-point jitter on loaded CI machines does
+not flap the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+
+from repro.config import Design
+from repro.harness.runner import RunSpec, build_config
+from repro.runtime.system import System
+from repro.workloads import make_workload
+
+#: The pinned kernel matrix.  Perf numbers are only comparable across
+#: commits because these points never change.
+PERF_DESIGNS = [Design.BASE, Design.ATOM_OPT, Design.REDO]
+PERF_WORKLOADS = ["hash", "rbtree", "tpcc"]
+
+#: Per-workload pinned spec knobs (the machine is always 8 cores so a
+#: point stays in the hundreds of milliseconds).
+_WORKLOAD_KNOBS = {
+    "hash": dict(txns_per_thread=24, initial_items=48,
+                 workload_kw={"compute_cycles": 150}),
+    "rbtree": dict(txns_per_thread=24, initial_items=48,
+                   workload_kw={"compute_cycles": 150}),
+    "tpcc": dict(txns_per_thread=6, initial_items=48, workload_kw={}),
+}
+
+
+@dataclass
+class PerfPoint:
+    """Measured outcome of one pinned simulation point."""
+
+    design: str
+    workload: str
+    events: int
+    cycles: int
+    txns: int
+    wall_s: float
+    events_per_sec: float
+
+
+def perf_specs(scale: float = 1.0) -> list[RunSpec]:
+    """The pinned matrix as RunSpecs (``scale`` shrinks txn counts only)."""
+    specs = []
+    for design in PERF_DESIGNS:
+        for workload in PERF_WORKLOADS:
+            knobs = _WORKLOAD_KNOBS[workload]
+            specs.append(RunSpec(
+                design=design,
+                workload=workload,
+                entry_bytes=512,
+                num_cores=8,
+                txns_per_thread=max(2, round(knobs["txns_per_thread"] * scale)),
+                warmup_per_thread=0,
+                initial_items=knobs["initial_items"],
+                seed=42,
+                workload_kw=dict(knobs["workload_kw"]),
+            ))
+    return specs
+
+
+def measure_point(spec: RunSpec, repeats: int = 1) -> PerfPoint:
+    """Run one point ``repeats`` times; keep the fastest wall-clock.
+
+    The timer covers only ``System.run`` — the event loop under test —
+    not system construction or workload setup.
+    """
+    best: PerfPoint | None = None
+    for _ in range(max(1, repeats)):
+        system = System(build_config(spec))
+        workload = make_workload(
+            spec.workload, system,
+            entry_bytes=spec.entry_bytes,
+            txns_per_thread=spec.txns_per_thread,
+            threads=spec.threads,
+            initial_items=spec.initial_items,
+            seed=spec.seed,
+            **spec.workload_kw,
+        )
+        workload.setup()
+        system.start_threads(workload.threads())
+        start = time.perf_counter()
+        cycles = system.run(max_cycles=spec.max_cycles)
+        wall = time.perf_counter() - start
+        events = system.engine.events_dispatched
+        point = PerfPoint(
+            design=spec.design.value,
+            workload=spec.workload,
+            events=events,
+            cycles=cycles,
+            txns=int(system.stats.total("txns_committed", prefix="core")),
+            wall_s=wall,
+            events_per_sec=events / wall if wall > 0 else 0.0,
+        )
+        if best is None or point.wall_s < best.wall_s:
+            best = point
+    return best
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (0.0 for an empty or non-positive input)."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def run_perf(scale: float = 1.0, repeats: int = 1,
+             progress=None) -> dict:
+    """Run the pinned matrix; return the BENCH_kernel report dict."""
+    points = []
+    for spec in perf_specs(scale):
+        point = measure_point(spec, repeats=repeats)
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    total_events = sum(p.events for p in points)
+    total_wall = sum(p.wall_s for p in points)
+    return {
+        "schema": 1,
+        "benchmark": "kernel",
+        "scale": scale,
+        "repeats": repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "points": [asdict(p) for p in points],
+        "aggregate": {
+            "geomean_events_per_sec": geomean(
+                [p.events_per_sec for p in points]
+            ),
+            "total_events": total_events,
+            "total_wall_s": total_wall,
+            "overall_events_per_sec": (
+                total_events / total_wall if total_wall > 0 else 0.0
+            ),
+        },
+    }
+
+
+def check_regression(report: dict, baseline: dict,
+                     gate_pct: float = 20.0) -> list[str]:
+    """Compare aggregate events/sec against a baseline report.
+
+    Returns a list of human-readable failures (empty = gate passes).
+    The gate is aggregate-only by design: single points jitter on shared
+    CI machines, the geomean over nine does far less.
+    """
+    failures: list[str] = []
+    measured = report["aggregate"]["geomean_events_per_sec"]
+    reference = baseline["aggregate"]["geomean_events_per_sec"]
+    floor = reference * (1.0 - gate_pct / 100.0)
+    if measured < floor:
+        failures.append(
+            f"geomean events/sec regressed: {measured:,.0f} < "
+            f"{floor:,.0f} (baseline {reference:,.0f} - {gate_pct:.0f}%)"
+        )
+    return failures
+
+
+def format_report(report: dict, baseline: dict | None = None) -> str:
+    """Render the per-point table plus the aggregate line."""
+    lines = ["design      workload   events      wall    events/sec"]
+    for p in report["points"]:
+        lines.append(
+            f"{p['design']:<11} {p['workload']:<8} {p['events']:>8,}"
+            f"  {p['wall_s']:>7.3f}s  {p['events_per_sec']:>12,.0f}"
+        )
+    agg = report["aggregate"]
+    lines.append(
+        f"geomean {agg['geomean_events_per_sec']:,.0f} events/sec, "
+        f"{agg['total_events']:,} events in {agg['total_wall_s']:.2f}s"
+    )
+    if baseline is not None:
+        ref = baseline["aggregate"]["geomean_events_per_sec"]
+        if ref > 0:
+            ratio = agg["geomean_events_per_sec"] / ref
+            lines.append(f"vs baseline geomean {ref:,.0f}: {ratio:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness perf",
+        description="Run the pinned kernel benchmark matrix "
+                    "(designs x {hash, rbtree, tpcc}).",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="transaction-count scale (machine is pinned; "
+                             "default 1.0)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per point, fastest kept (default 1)")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output artifact (default BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline BENCH_kernel.json to gate against "
+                             "(e.g. benchmarks/perf/baseline.json)")
+    parser.add_argument("--gate-pct", type=float, default=20.0,
+                        help="max tolerated events/sec regression in "
+                             "percent (default 20)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    def progress(point: PerfPoint) -> None:
+        print(f"  {point.design}/{point.workload}: "
+              f"{point.events_per_sec:,.0f} events/sec "
+              f"({point.events:,} events, {point.wall_s:.3f}s)")
+
+    report = run_perf(scale=args.scale, repeats=args.repeats,
+                      progress=progress)
+    baseline = None
+    if args.baseline is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    print(format_report(report, baseline))
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.gate_pct)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

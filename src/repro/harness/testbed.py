@@ -22,9 +22,23 @@ def small_config(design: Design = Design.ATOM_OPT, num_cores: int = 4,
     return cfg
 
 
-def build_system(design: Design = Design.ATOM_OPT, num_cores: int = 4,
-                 **kw) -> System:
-    """Build a small system ready for tests."""
+def build_system(design: Design | SystemConfig = Design.ATOM_OPT,
+                 num_cores: int = 4, **kw) -> System:
+    """Build a small system ready for tests.
+
+    Accepts either a :class:`~repro.config.Design` (a scaled-down
+    machine is configured around it) or a fully-built
+    :class:`~repro.config.SystemConfig`, which is used as-is —
+    previously the latter was re-wrapped in ``small_config`` and
+    exploded deep inside ``make_policy``.
+    """
+    if isinstance(design, SystemConfig):
+        if kw or num_cores != 4:
+            raise TypeError(
+                "build_system(SystemConfig) takes no extra keywords: the "
+                "config already fixes the machine"
+            )
+        return System(design)
     return System(small_config(design, num_cores, **kw))
 
 

@@ -43,7 +43,7 @@ class AccessKind(Enum):
         return self in (AccessKind.DATA_READ, AccessKind.LOG_READ)
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelRequest:
     """One line-sized (or smaller) NVM access."""
 
@@ -76,16 +76,45 @@ class Channel:
         self._scheduled = False
         #: Callbacks waiting for write-queue space (backpressure).
         self._write_waiters: deque[Callable[[], None]] = deque()
+        # -- per-channel timing constants and bound counters ---------------
+        # cfg.read_cycles/write_cycles are computed properties and the
+        # arbiter runs once per NVM access, so everything derivable from
+        # the config is captured here once.
+        self._depth = cfg.write_queue_depth
+        self._watermark = cfg.write_drain_watermark * cfg.write_queue_depth
+        self._bytes_per_cycle = cfg.bytes_per_cycle
+        banks = max(1, cfg.device_banks)
+        #: kind -> (device latency, bank-occupancy floor, bytes counter,
+        #: is_read) — one dict read replaces two enum-property calls and
+        #: an f-string per issued request.
+        self._kind_info = {}
+        for kind in AccessKind:
+            latency = cfg.read_cycles if kind.is_read else cfg.write_cycles
+            self._kind_info[kind] = (
+                latency,
+                round(latency / banks),
+                stats.counter(f"{kind.value}_bytes"),
+                kind.is_read,
+            )
+        self._count_add = {
+            kind: stats.counter(f"{kind.value}_count") for kind in AccessKind
+        }
+        #: request size -> serialization cycles, filled on first use.
+        self._ser_cache: dict[int, int] = {}
+        self._add_busy = stats.counter("busy_cycles")
+        self._add_queue_wait = stats.counter("queue_wait_cycles")
+        self._add_wq_full = stats.counter("write_queue_full_events")
+        self._peak_wq = stats.peaker("write_queue_peak")
 
     # -- public interface ---------------------------------------------------
 
     def read(self, kind: AccessKind, addr: int, size: int,
              on_done: Callable[[], None]) -> None:
         """Enqueue a read; ``on_done`` fires when data is back."""
-        assert kind.is_read
+        assert kind is AccessKind.DATA_READ or kind is AccessKind.LOG_READ
         req = ChannelRequest(kind, addr, size, on_done, self.engine.now)
         self._read_q.append(req)
-        self.stats.add(f"{kind.value}_count")
+        self._count_add[kind]()
         self._kick()
 
     def write(self, kind: AccessKind, addr: int, size: int,
@@ -99,17 +128,18 @@ class Channel:
         ``priority`` writes jump the queue (commit records — ordering
         hazards are the caller's responsibility).
         """
-        assert not kind.is_read
-        if len(self._write_q) >= self.cfg.write_queue_depth:
-            self.stats.add("write_queue_full_events")
+        assert kind is AccessKind.DATA_WRITE or kind is AccessKind.LOG_WRITE
+        write_q = self._write_q
+        if len(write_q) >= self._depth:
+            self._add_wq_full()
             return False
         req = ChannelRequest(kind, addr, size, on_done, self.engine.now)
         if priority:
-            self._write_q.appendleft(req)
+            write_q.appendleft(req)
         else:
-            self._write_q.append(req)
-        self.stats.add(f"{kind.value}_count")
-        self.stats.peak("write_queue_peak", len(self._write_q))
+            write_q.append(req)
+        self._count_add[kind]()
+        self._peak_wq(len(write_q))
         self._kick()
         return True
 
@@ -139,14 +169,14 @@ class Channel:
     def _kick(self) -> None:
         if self._scheduled:
             return
-        start = max(self.engine.now, self._busy_until)
+        now = self.engine.now
+        busy = self._busy_until
         self._scheduled = True
-        self.engine.at(start, self._issue_next)
+        self.engine.post_at(busy if busy > now else now, self._issue_next)
 
     def _select(self) -> ChannelRequest | None:
         """Read-priority with write-drain watermark."""
-        watermark = self.cfg.write_drain_watermark * self.cfg.write_queue_depth
-        draining = len(self._write_q) >= watermark
+        draining = len(self._write_q) >= self._watermark
         if self._read_q and not draining:
             return self._read_q.popleft()
         if self._write_q:
@@ -161,35 +191,39 @@ class Channel:
         if req is None:
             return
         now = self.engine.now
-        latency = (
-            self.cfg.read_cycles if req.kind.is_read else self.cfg.write_cycles
-        )
+        latency, bank_floor, add_bytes, is_read = self._kind_info[req.kind]
         # Effective occupancy: bus serialization, or the device-bank
         # bottleneck when the array latency outruns the banks.
-        ser = max(
-            self._serialization_cycles(req.size),
-            round(latency / max(1, self.cfg.device_banks)),
-        )
+        ser = self._serialization_cycles(req.size)
+        if bank_floor > ser:
+            ser = bank_floor
         req.issue_time = now
         self._busy_until = now + ser
-        self.stats.add("busy_cycles", ser)
-        self.stats.add(f"{req.kind.value}_bytes", req.size)
-        self.stats.add("queue_wait_cycles", now - req.enqueue_time)
-        done_at = now + ser + latency
+        self._add_busy(ser)
+        add_bytes(req.size)
+        self._add_queue_wait(now - req.enqueue_time)
         if req.on_done is not None:
-            self.engine.at(done_at, req.on_done)
-        if not req.kind.is_read:
+            self.engine.post_at(now + ser + latency, req.on_done)
+        if not is_read:
             self._notify_write_space()
         if self._read_q or self._write_q:
-            self._kick()
+            # _kick inlined: _scheduled is False here (cleared on entry,
+            # and nothing in this body schedules the arbiter).
+            busy = self._busy_until
+            self._scheduled = True
+            self.engine.post_at(busy if busy > now else now,
+                                self._issue_next)
 
     def _serialization_cycles(self, size: int) -> int:
-        return max(1, round(size / self.cfg.bytes_per_cycle))
+        ser = self._ser_cache.get(size)
+        if ser is None:
+            ser = max(1, round(size / self._bytes_per_cycle))
+            self._ser_cache[size] = ser
+        return ser
 
     def _notify_write_space(self) -> None:
         if self._write_waiters:
-            waiter = self._write_waiters.popleft()
-            self.engine.after(0, waiter)
+            self.engine.post(0, self._write_waiters.popleft())
 
     def __repr__(self) -> str:
         return (

@@ -48,6 +48,10 @@ class MemoryController:
         self.image = image
         self.layout = layout
         self.stats = stats.domain(f"mc{mc_id}")
+        # Hot-path counters, bound once (see StatDomain.counter).
+        self._add_fills = self.stats.counter("fills")
+        self._add_data_writes = self.stats.counter("data_writes")
+        self._add_log_writes = self.stats.counter("log_writes")
         self._channels = [
             Channel(engine, cfg, stats.domain(f"mc{mc_id}.ch{c}"), f"mc{mc_id}.ch{c}")
             for c in range(cfg.channels_per_controller)
@@ -96,13 +100,13 @@ class MemoryController:
         into the undo log and the reply carries ``source_logged=True`` so
         the L1 sets the log bit on fill (Figure 3(d)).
         """
-        self.stats.add("fills")
+        self._add_fills()
 
         if self.victim_cache is not None and self.victim_cache.holds(addr):
             # The line is parked at the controller (REDO): serve it
             # without an NVM array access.
             self.stats.add("victim_hits")
-            self.engine.after(
+            self.engine.post(
                 4, lambda: on_data(self.image.volatile_line(addr), False)
             )
             return
@@ -142,7 +146,7 @@ class MemoryController:
         The payload was snapshotted by the sender (cache writeback or
         flush); it lands in the durable image when the write completes.
         """
-        self.stats.add("data_writes")
+        self._add_data_writes()
 
         def release() -> None:
             self._submit_write(
@@ -168,7 +172,7 @@ class MemoryController:
         the REDO comparator; an undo record header must *not* use it,
         as it would overtake its own entry data lines).
         """
-        self.stats.add("log_writes")
+        self._add_log_writes()
         self._submit_write(
             self.log_channel, AccessKind.LOG_WRITE, addr, len(payload),
             lambda: self._persist(addr, payload, on_persist, check=False),
@@ -201,12 +205,14 @@ class MemoryController:
         priority: bool = False,
     ) -> None:
         """Enqueue a write, retrying transparently under backpressure."""
+        if channel.write(kind, addr, size, on_done, priority=priority):
+            return
 
         def attempt() -> None:
             if not channel.write(kind, addr, size, on_done, priority=priority):
                 channel.when_write_space(attempt)
 
-        attempt()
+        channel.when_write_space(attempt)
 
     # -- crash ------------------------------------------------------------------
 

@@ -43,6 +43,12 @@ class MemoryImage:
         self.size_bytes = size_bytes
         self._volatile = bytearray(size_bytes)
         self._durable = bytearray(size_bytes)
+        # Permanent views for the hot read paths: slicing a memoryview
+        # skips one intermediate bytearray copy per read.  The arrays
+        # are never resized (resizing would be refused while these
+        # exports exist), only mutated in place.
+        self._vol_view = memoryview(self._volatile)
+        self._dur_view = memoryview(self._durable)
 
     # -- bounds -----------------------------------------------------------
 
@@ -57,13 +63,16 @@ class MemoryImage:
 
     def read(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes of the latest value at ``addr``."""
-        self._check(addr, size)
-        return bytes(self._volatile[addr : addr + size])
+        if addr < 0 or size < 0 or addr + size > self.size_bytes:
+            self._check(addr, size)
+        return self._vol_view[addr : addr + size].tobytes()
 
     def write(self, addr: int, data: bytes) -> None:
         """Apply a store's bytes to the volatile image."""
-        self._check(addr, len(data))
-        self._volatile[addr : addr + len(data)] = data
+        size = len(data)
+        if addr < 0 or addr + size > self.size_bytes:
+            self._check(addr, size)
+        self._volatile[addr : addr + size] = data
 
     def read_u64(self, addr: int) -> int:
         """Latest 8-byte little-endian word at ``addr``."""
@@ -81,9 +90,10 @@ class MemoryImage:
         Used when a writeback/flush message leaves a cache, and when the
         LogI module captures the pre-store value for an undo entry.
         """
-        base = line_of(addr)
-        self._check(base, CACHE_LINE_BYTES)
-        return bytes(self._volatile[base : base + CACHE_LINE_BYTES])
+        base = addr & ~(CACHE_LINE_BYTES - 1)
+        if base < 0 or base + CACHE_LINE_BYTES > self.size_bytes:
+            self._check(base, CACHE_LINE_BYTES)
+        return self._vol_view[base : base + CACHE_LINE_BYTES].tobytes()
 
     # -- durable (NVM-cell) accessors --------------------------------------
 
@@ -103,14 +113,17 @@ class MemoryImage:
         This is what the memory controller reads on a fill — and the old
         value that *source logging* writes into the undo log.
         """
-        base = line_of(addr)
-        self._check(base, CACHE_LINE_BYTES)
-        return bytes(self._durable[base : base + CACHE_LINE_BYTES])
+        base = addr & ~(CACHE_LINE_BYTES - 1)
+        if base < 0 or base + CACHE_LINE_BYTES > self.size_bytes:
+            self._check(base, CACHE_LINE_BYTES)
+        return self._dur_view[base : base + CACHE_LINE_BYTES].tobytes()
 
     def persist(self, addr: int, data: bytes) -> None:
         """A write completes at the NVM: update the durable image."""
-        self._check(addr, len(data))
-        self._durable[addr : addr + len(data)] = data
+        size = len(data)
+        if addr < 0 or addr + size > self.size_bytes:
+            self._check(addr, size)
+        self._durable[addr : addr + size] = data
 
     def persist_equals_volatile(self, addr: int, size: int) -> bool:
         """True if durable and volatile agree over the range (test aid)."""

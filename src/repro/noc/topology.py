@@ -27,6 +27,15 @@ class Topology:
         self.cols = num_tiles // cfg.rows
         self.num_controllers = num_controllers
         self._mc_tiles = self._place_controllers()
+        # All-pairs Manhattan distances, precomputed once: hop queries
+        # sit on every message send, and the mesh never exceeds 32
+        # tiles, so the full matrix is tiny (<= 32x32 ints).
+        cols = self.cols
+        coords = [divmod(tile, cols) for tile in range(num_tiles)]
+        self.hop_matrix: list[list[int]] = [
+            [abs(sr - dr) + abs(sc - dc) for (dr, dc) in coords]
+            for (sr, sc) in coords
+        ]
 
     def _place_controllers(self) -> list[int]:
         """Controllers attach to the die corners, then edge midpoints."""
@@ -62,10 +71,12 @@ class Topology:
         return row * self.cols + col
 
     def hops(self, src: int, dst: int) -> int:
-        """Manhattan distance between two tiles (XY routing)."""
-        sr, sc = self.tile_to_coord(src)
-        dr, dc = self.tile_to_coord(dst)
-        return abs(sr - dr) + abs(sc - dc)
+        """Manhattan distance between two tiles (XY routing).
+
+        A precomputed-matrix read; callers pass valid tile indices
+        (use :meth:`tile_to_coord` for validated coordinate math).
+        """
+        return self.hop_matrix[src][dst]
 
     # -- placement queries ------------------------------------------------------
 

@@ -22,6 +22,10 @@ import struct
 from repro.cpu import ops
 
 _U64 = struct.Struct("<Q")
+_u64_unpack = _U64.unpack
+_u64_pack = _U64.pack
+#: Stateless op singletons (one allocation instead of one per yield).
+_ATOMIC_BEGIN = ops.AtomicBegin()
 
 
 class PMem:
@@ -33,7 +37,7 @@ class PMem:
     def load_u64(addr: int):
         """Load one little-endian 8-byte word."""
         raw = yield ops.Load(addr, 8)
-        return _U64.unpack(raw)[0]
+        return _u64_unpack(raw)[0]
 
     @staticmethod
     def load_bytes(addr: int, size: int):
@@ -46,7 +50,7 @@ class PMem:
     @staticmethod
     def store_u64(addr: int, value: int):
         """Store one little-endian 8-byte word."""
-        yield ops.Store(addr, _U64.pack(value))
+        yield ops.Store(addr, _u64_pack(value))
 
     @staticmethod
     def store_bytes(addr: int, data: bytes):
@@ -68,7 +72,7 @@ class PMem:
     @staticmethod
     def atomic_begin():
         """Open an atomically durable region."""
-        yield ops.AtomicBegin()
+        yield _ATOMIC_BEGIN
 
     @staticmethod
     def atomic_end(info=None):

@@ -46,20 +46,19 @@ class DirectDriver:
             self.ops_executed += 1
 
     def _apply(self, op):
-        if isinstance(op, ops.Load):
+        cls = op.__class__
+        if cls is ops.Load:
             return self.image.read(op.addr, op.size)
-        if isinstance(op, ops.Store):
+        if cls is ops.Store:
             self.image.write(op.addr, op.data)
             if self.durable:
                 self.image.persist(op.addr, op.data)
             return None
-        if isinstance(op, ops.AtomicEnd):
+        if cls is ops.AtomicEnd:
             if self.on_commit is not None:
                 self.on_commit(op.info)
             return None
-        if isinstance(
-            op,
-            (ops.Compute, ops.AtomicBegin, ops.Flush, ops.Lock, ops.Unlock),
-        ):
+        if cls in (ops.Compute, ops.AtomicBegin, ops.Flush, ops.Lock,
+                   ops.Unlock):
             return None
         raise TypeError(f"unknown op {op!r}")

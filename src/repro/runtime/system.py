@@ -10,6 +10,7 @@ recovery routine — everything the harness and the tests need.
 
 from __future__ import annotations
 
+import gc
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -211,22 +212,37 @@ class System:
 
         Returns the finish cycle.  Raises when the engine goes idle with
         unfinished threads — a deadlock in the modelled hardware.
+
+        The cyclic garbage collector is suspended for the duration of
+        the loop: event callbacks are closure/generator-heavy and the
+        collector's scans cost measurable wall-clock without freeing
+        anything the simulation still needs.  Reference counting still
+        reclaims the vast majority of event garbage immediately; the
+        cycles are swept when the collector is re-enabled.
         """
-        while True:
-            dispatched = self.engine.run(until=max_cycles, max_events=max_events)
-            if self._crashed:
-                break
-            if len(self._done_cores) >= len(self.cores):
-                break
-            if max_cycles is not None and self.engine.now >= max_cycles:
-                break
-            if max_events is not None:
-                break
-            if dispatched == 0 and self.engine.idle():
-                stuck = [c.core_id for c in self.cores if not c.done]
-                raise SimulationError(
-                    f"deadlock: engine idle with cores {stuck} unfinished"
-                )
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while True:
+                dispatched = self.engine.run(until=max_cycles,
+                                             max_events=max_events)
+                if self._crashed:
+                    break
+                if len(self._done_cores) >= len(self.cores):
+                    break
+                if max_cycles is not None and self.engine.now >= max_cycles:
+                    break
+                if max_events is not None:
+                    break
+                if dispatched == 0 and self.engine.idle():
+                    stuck = [c.core_id for c in self.cores if not c.done]
+                    raise SimulationError(
+                        f"deadlock: engine idle with cores {stuck} unfinished"
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.engine.now
 
     def all_done(self) -> bool:

@@ -21,8 +21,20 @@ range scans remain exactly correct.
 
 from __future__ import annotations
 
+import struct
+
 from repro.common.errors import WorkloadError
-from repro.runtime.api import PMem
+from repro.cpu import ops
+
+# Hot-path op helpers: the structure methods below yield ops directly
+# instead of delegating to PMem generators — one generator frame less
+# per simulated memory access (see the kernel perf notes in README).
+_Load = ops.Load
+_Store = ops.Store
+_u64 = struct.Struct("<Q")
+_unpack = _u64.unpack
+_pack = _u64.pack
+
 
 OFF_IS_LEAF = 0
 OFF_NKEYS = 8
@@ -57,40 +69,56 @@ class BPlusTree:
         """Allocate the root pointer and an empty leaf root."""
         self.root_ptr = self.heap.alloc(8, arena=self.arena)
         leaf = yield from self._new_node(is_leaf=True)
-        yield from PMem.store_u64(self.root_ptr, leaf)
+        yield _Store(self.root_ptr, _pack(leaf))
 
     def _new_node(self, is_leaf: bool):
         node = self.heap.alloc(self.node_bytes, arena=self.arena)
-        yield from PMem.store_u64(node + OFF_IS_LEAF, 1 if is_leaf else 0)
-        yield from PMem.store_u64(node + OFF_NKEYS, 0)
-        yield from PMem.store_u64(node + OFF_NEXT, 0)
+        yield _Store(node + OFF_IS_LEAF, _pack(1 if is_leaf else 0))
+        yield _Store(node + OFF_NKEYS, _pack(0))
+        yield _Store(node + OFF_NEXT, _pack(0))
         return node
 
     # -- lookup ------------------------------------------------------------------
 
     def _find_leaf(self, key: int):
-        node = yield from PMem.load_u64(self.root_ptr)
+        node = _unpack((yield _Load(self.root_ptr, 8)))[0]
         while True:
-            is_leaf = yield from PMem.load_u64(node + OFF_IS_LEAF)
+            is_leaf = _unpack((yield _Load(node + OFF_IS_LEAF, 8)))[0]
             if is_leaf:
                 return node
-            nkeys = yield from PMem.load_u64(node + OFF_NKEYS)
+            nkeys = _unpack((yield _Load(node + OFF_NKEYS, 8)))[0]
             index = 0
             while index < nkeys:
-                k = yield from PMem.load_u64(self._key_addr(node, index))
+                k = _unpack((yield _Load(self._key_addr(node, index), 8)))[0]
                 if key < k:
                     break
                 index += 1
-            node = yield from PMem.load_u64(self._val_addr(node, index))
+            node = _unpack((yield _Load(self._val_addr(node, index), 8)))[0]
 
     def get(self, key: int):
         """Return the value for ``key``, or None."""
-        leaf = yield from self._find_leaf(key)
-        nkeys = yield from PMem.load_u64(leaf + OFF_NKEYS)
+        # _find_leaf inlined: get() is the hottest tree entry point
+        # (every TPC-C row access), and one less generator frame per
+        # lookup is measurable.
+        node = _unpack((yield _Load(self.root_ptr, 8)))[0]
+        while True:
+            is_leaf = _unpack((yield _Load(node + OFF_IS_LEAF, 8)))[0]
+            if is_leaf:
+                break
+            nkeys = _unpack((yield _Load(node + OFF_NKEYS, 8)))[0]
+            index = 0
+            while index < nkeys:
+                k = _unpack((yield _Load(self._key_addr(node, index), 8)))[0]
+                if key < k:
+                    break
+                index += 1
+            node = _unpack((yield _Load(self._val_addr(node, index), 8)))[0]
+        leaf = node
+        nkeys = _unpack((yield _Load(leaf + OFF_NKEYS, 8)))[0]
         for index in range(nkeys):
-            k = yield from PMem.load_u64(self._key_addr(leaf, index))
+            k = _unpack((yield _Load(self._key_addr(leaf, index), 8)))[0]
             if k == key:
-                value = yield from PMem.load_u64(self._val_addr(leaf, index))
+                value = _unpack((yield _Load(self._val_addr(leaf, index), 8)))[0]
                 return value
         return None
 
@@ -98,100 +126,98 @@ class BPlusTree:
 
     def put(self, key: int, value: int):
         """Insert or update ``key``; splits full nodes on the way down."""
-        root = yield from PMem.load_u64(self.root_ptr)
-        nkeys = yield from PMem.load_u64(root + OFF_NKEYS)
+        root = _unpack((yield _Load(self.root_ptr, 8)))[0]
+        nkeys = _unpack((yield _Load(root + OFF_NKEYS, 8)))[0]
         if nkeys >= self.order:
             # Grow the tree: new root above the split old root.
             new_root = yield from self._new_node(is_leaf=False)
-            yield from PMem.store_u64(self._val_addr(new_root, 0), root)
+            yield _Store(self._val_addr(new_root, 0), _pack(root))
             yield from self._split_child(new_root, 0, root)
-            yield from PMem.store_u64(self.root_ptr, new_root)
+            yield _Store(self.root_ptr, _pack(new_root))
             root = new_root
         yield from self._insert_nonfull(root, key, value)
 
     def _split_child(self, parent: int, index: int, child: int):
         """Split a full ``child``; hoist the separator into ``parent``."""
-        is_leaf = yield from PMem.load_u64(child + OFF_IS_LEAF)
+        is_leaf = _unpack((yield _Load(child + OFF_IS_LEAF, 8)))[0]
         right = yield from self._new_node(is_leaf=bool(is_leaf))
         mid = self.order // 2
         if is_leaf:
             # Leaves keep the separator key in the right node (B+ style).
             moved = self.order - mid
             for i in range(moved):
-                k = yield from PMem.load_u64(self._key_addr(child, mid + i))
-                v = yield from PMem.load_u64(self._val_addr(child, mid + i))
-                yield from PMem.store_u64(self._key_addr(right, i), k)
-                yield from PMem.store_u64(self._val_addr(right, i), v)
-            separator = yield from PMem.load_u64(self._key_addr(child, mid))
-            yield from PMem.store_u64(right + OFF_NKEYS, moved)
-            yield from PMem.store_u64(child + OFF_NKEYS, mid)
-            child_next = yield from PMem.load_u64(child + OFF_NEXT)
-            yield from PMem.store_u64(right + OFF_NEXT, child_next)
-            yield from PMem.store_u64(child + OFF_NEXT, right)
+                k = _unpack((yield _Load(self._key_addr(child, mid + i), 8)))[0]
+                v = _unpack((yield _Load(self._val_addr(child, mid + i), 8)))[0]
+                yield _Store(self._key_addr(right, i), _pack(k))
+                yield _Store(self._val_addr(right, i), _pack(v))
+            separator = _unpack((yield _Load(self._key_addr(child, mid), 8)))[0]
+            yield _Store(right + OFF_NKEYS, _pack(moved))
+            yield _Store(child + OFF_NKEYS, _pack(mid))
+            child_next = _unpack((yield _Load(child + OFF_NEXT, 8)))[0]
+            yield _Store(right + OFF_NEXT, _pack(child_next))
+            yield _Store(child + OFF_NEXT, _pack(right))
         else:
             moved = self.order - mid - 1
             for i in range(moved):
-                k = yield from PMem.load_u64(self._key_addr(child, mid + 1 + i))
-                yield from PMem.store_u64(self._key_addr(right, i), k)
+                k = _unpack((yield _Load(self._key_addr(child, mid + 1 + i), 8)))[0]
+                yield _Store(self._key_addr(right, i), _pack(k))
             for i in range(moved + 1):
-                v = yield from PMem.load_u64(self._val_addr(child, mid + 1 + i))
-                yield from PMem.store_u64(self._val_addr(right, i), v)
-            separator = yield from PMem.load_u64(self._key_addr(child, mid))
-            yield from PMem.store_u64(right + OFF_NKEYS, moved)
-            yield from PMem.store_u64(child + OFF_NKEYS, mid)
+                v = _unpack((yield _Load(self._val_addr(child, mid + 1 + i), 8)))[0]
+                yield _Store(self._val_addr(right, i), _pack(v))
+            separator = _unpack((yield _Load(self._key_addr(child, mid), 8)))[0]
+            yield _Store(right + OFF_NKEYS, _pack(moved))
+            yield _Store(child + OFF_NKEYS, _pack(mid))
         # Shift the parent's keys/children right and link the new child.
-        pkeys = yield from PMem.load_u64(parent + OFF_NKEYS)
+        pkeys = _unpack((yield _Load(parent + OFF_NKEYS, 8)))[0]
         for i in range(pkeys, index, -1):
-            k = yield from PMem.load_u64(self._key_addr(parent, i - 1))
-            yield from PMem.store_u64(self._key_addr(parent, i), k)
+            k = _unpack((yield _Load(self._key_addr(parent, i - 1), 8)))[0]
+            yield _Store(self._key_addr(parent, i), _pack(k))
         for i in range(pkeys + 1, index + 1, -1):
-            v = yield from PMem.load_u64(self._val_addr(parent, i - 1))
-            yield from PMem.store_u64(self._val_addr(parent, i), v)
-        yield from PMem.store_u64(self._key_addr(parent, index), separator)
-        yield from PMem.store_u64(self._val_addr(parent, index + 1), right)
-        yield from PMem.store_u64(parent + OFF_NKEYS, pkeys + 1)
+            v = _unpack((yield _Load(self._val_addr(parent, i - 1), 8)))[0]
+            yield _Store(self._val_addr(parent, i), _pack(v))
+        yield _Store(self._key_addr(parent, index), _pack(separator))
+        yield _Store(self._val_addr(parent, index + 1), _pack(right))
+        yield _Store(parent + OFF_NKEYS, _pack(pkeys + 1))
 
     def _insert_nonfull(self, node: int, key: int, value: int):
         while True:
-            is_leaf = yield from PMem.load_u64(node + OFF_IS_LEAF)
-            nkeys = yield from PMem.load_u64(node + OFF_NKEYS)
+            is_leaf = _unpack((yield _Load(node + OFF_IS_LEAF, 8)))[0]
+            nkeys = _unpack((yield _Load(node + OFF_NKEYS, 8)))[0]
             if is_leaf:
                 # Update in place when present.
                 index = 0
                 while index < nkeys:
-                    k = yield from PMem.load_u64(self._key_addr(node, index))
+                    k = _unpack((yield _Load(self._key_addr(node, index), 8)))[0]
                     if k == key:
-                        yield from PMem.store_u64(
-                            self._val_addr(node, index), value
-                        )
+                        yield _Store(self._val_addr(node, index),
+                                     _pack(value))
                         return
                     if k > key:
                         break
                     index += 1
                 for i in range(nkeys, index, -1):
-                    k = yield from PMem.load_u64(self._key_addr(node, i - 1))
-                    v = yield from PMem.load_u64(self._val_addr(node, i - 1))
-                    yield from PMem.store_u64(self._key_addr(node, i), k)
-                    yield from PMem.store_u64(self._val_addr(node, i), v)
-                yield from PMem.store_u64(self._key_addr(node, index), key)
-                yield from PMem.store_u64(self._val_addr(node, index), value)
-                yield from PMem.store_u64(node + OFF_NKEYS, nkeys + 1)
+                    k = _unpack((yield _Load(self._key_addr(node, i - 1), 8)))[0]
+                    v = _unpack((yield _Load(self._val_addr(node, i - 1), 8)))[0]
+                    yield _Store(self._key_addr(node, i), _pack(k))
+                    yield _Store(self._val_addr(node, i), _pack(v))
+                yield _Store(self._key_addr(node, index), _pack(key))
+                yield _Store(self._val_addr(node, index), _pack(value))
+                yield _Store(node + OFF_NKEYS, _pack(nkeys + 1))
                 return
             index = 0
             while index < nkeys:
-                k = yield from PMem.load_u64(self._key_addr(node, index))
+                k = _unpack((yield _Load(self._key_addr(node, index), 8)))[0]
                 if key < k:
                     break
                 index += 1
-            child = yield from PMem.load_u64(self._val_addr(node, index))
-            child_keys = yield from PMem.load_u64(child + OFF_NKEYS)
+            child = _unpack((yield _Load(self._val_addr(node, index), 8)))[0]
+            child_keys = _unpack((yield _Load(child + OFF_NKEYS, 8)))[0]
             if child_keys >= self.order:
                 yield from self._split_child(node, index, child)
-                sep = yield from PMem.load_u64(self._key_addr(node, index))
+                sep = _unpack((yield _Load(self._key_addr(node, index), 8)))[0]
                 if key >= sep:
-                    child = yield from PMem.load_u64(
-                        self._val_addr(node, index + 1)
-                    )
+                    child = _unpack((yield _Load(
+                        self._val_addr(node, index + 1), 8)))[0]
             node = child
 
     # -- delete (lazy) -------------------------------------------------------------------
@@ -199,16 +225,16 @@ class BPlusTree:
     def delete(self, key: int):
         """Remove ``key`` from its leaf; returns True if found."""
         leaf = yield from self._find_leaf(key)
-        nkeys = yield from PMem.load_u64(leaf + OFF_NKEYS)
+        nkeys = _unpack((yield _Load(leaf + OFF_NKEYS, 8)))[0]
         for index in range(nkeys):
-            k = yield from PMem.load_u64(self._key_addr(leaf, index))
+            k = _unpack((yield _Load(self._key_addr(leaf, index), 8)))[0]
             if k == key:
                 for i in range(index, nkeys - 1):
-                    nk = yield from PMem.load_u64(self._key_addr(leaf, i + 1))
-                    nv = yield from PMem.load_u64(self._val_addr(leaf, i + 1))
-                    yield from PMem.store_u64(self._key_addr(leaf, i), nk)
-                    yield from PMem.store_u64(self._val_addr(leaf, i), nv)
-                yield from PMem.store_u64(leaf + OFF_NKEYS, nkeys - 1)
+                    nk = _unpack((yield _Load(self._key_addr(leaf, i + 1), 8)))[0]
+                    nv = _unpack((yield _Load(self._val_addr(leaf, i + 1), 8)))[0]
+                    yield _Store(self._key_addr(leaf, i), _pack(nk))
+                    yield _Store(self._val_addr(leaf, i), _pack(nv))
+                yield _Store(leaf + OFF_NKEYS, _pack(nkeys - 1))
                 return True
         return False
 

@@ -14,7 +14,20 @@ thread's lock, mirroring Figure 2(b)'s programming model.
 
 from __future__ import annotations
 
+import struct
+
+from repro.cpu import ops
 from repro.runtime.api import PMem
+
+# Hot-path op helpers: the structure methods below yield ops directly
+# instead of delegating to PMem generators — one generator frame less
+# per simulated memory access (see the kernel perf notes in README).
+_Load = ops.Load
+_Store = ops.Store
+_u64 = struct.Struct("<Q")
+_unpack = _u64.unpack
+_pack = _u64.pack
+
 from repro.workloads.base import Workload, payload_for, payload_tag
 
 NODE_HDR = 16  # key + next
@@ -70,25 +83,25 @@ class HashTableWorkload(Workload):
         """Allocate, fill, and splice a node at its bucket head."""
         node = self.heap.alloc(self.node_bytes, arena=tid)
         head_addr = self._bucket_addr(tid, self._bucket_of(key))
-        head = yield from PMem.load_u64(head_addr)
-        yield from PMem.store_u64(node, key)
-        yield from PMem.store_u64(node + 8, head)
+        head = _unpack((yield _Load(head_addr, 8)))[0]
+        yield _Store(node, _pack(key))
+        yield _Store(node + 8, _pack(head))
         yield from PMem.store_bytes(
             node + NODE_HDR,
             payload_for(key, version, self.params.entry_bytes),
         )
-        yield from PMem.store_u64(head_addr, node)
+        yield _Store(head_addr, _pack(node))
 
     def _delete(self, tid: int, key: int):
         """Unlink the node holding ``key``; returns True if found."""
         head_addr = self._bucket_addr(tid, self._bucket_of(key))
         prev_addr = head_addr
-        node = yield from PMem.load_u64(head_addr)
+        node = _unpack((yield _Load(head_addr, 8)))[0]
         while node:
-            node_key = yield from PMem.load_u64(node)
-            nxt = yield from PMem.load_u64(node + 8)
+            node_key = _unpack((yield _Load(node, 8)))[0]
+            nxt = _unpack((yield _Load(node + 8, 8)))[0]
             if node_key == key:
-                yield from PMem.store_u64(prev_addr, nxt)
+                yield _Store(prev_addr, _pack(nxt))
                 self.heap.free(node, self.node_bytes, arena=tid)
                 return True
             prev_addr = node + 8
@@ -97,14 +110,13 @@ class HashTableWorkload(Workload):
 
     def _search(self, tid: int, key: int):
         """Find ``key``; returns the node address or 0."""
-        node = yield from PMem.load_u64(
-            self._bucket_addr(tid, self._bucket_of(key))
-        )
+        node = _unpack((yield _Load(
+            self._bucket_addr(tid, self._bucket_of(key)), 8)))[0]
         while node:
-            node_key = yield from PMem.load_u64(node)
+            node_key = _unpack((yield _Load(node, 8)))[0]
             if node_key == key:
                 return node
-            node = yield from PMem.load_u64(node + 8)
+            node = _unpack((yield _Load(node + 8, 8)))[0]
         return 0
 
     # -- transaction stream -----------------------------------------------------------------

@@ -16,7 +16,20 @@ inside atomic regions under the thread's lock.
 
 from __future__ import annotations
 
+import struct
+
+from repro.cpu import ops
 from repro.runtime.api import PMem
+
+# Hot-path op helpers: the structure methods below yield ops directly
+# instead of delegating to PMem generators — one generator frame less
+# per simulated memory access (see the kernel perf notes in README).
+_Load = ops.Load
+_Store = ops.Store
+_u64 = struct.Struct("<Q")
+_unpack = _u64.unpack
+_pack = _u64.pack
+
 from repro.workloads.base import Workload, payload_for, payload_tag
 
 RED = 0
@@ -70,163 +83,163 @@ class RBTreeWorkload(Workload):
 
     @staticmethod
     def _get(node, off):
-        value = yield from PMem.load_u64(node + off)
+        value = _unpack((yield _Load(node + off, 8)))[0]
         return value
 
     @staticmethod
     def _set(node, off, value):
-        yield from PMem.store_u64(node + off, value)
+        yield _Store(node + off, _pack(value))
 
     # -- rotations -----------------------------------------------------------------------
 
     def _rotate_left(self, tid, x):
         nil = self.nils[tid]
-        y = yield from self._get(x, OFF_RIGHT)
-        y_left = yield from self._get(y, OFF_LEFT)
-        yield from self._set(x, OFF_RIGHT, y_left)
+        y = _unpack((yield _Load(x + OFF_RIGHT, 8)))[0]
+        y_left = _unpack((yield _Load(y + OFF_LEFT, 8)))[0]
+        yield _Store(x + OFF_RIGHT, _pack(y_left))
         if y_left != nil:
-            yield from self._set(y_left, OFF_PARENT, x)
-        x_parent = yield from self._get(x, OFF_PARENT)
-        yield from self._set(y, OFF_PARENT, x_parent)
+            yield _Store(y_left + OFF_PARENT, _pack(x))
+        x_parent = _unpack((yield _Load(x + OFF_PARENT, 8)))[0]
+        yield _Store(y + OFF_PARENT, _pack(x_parent))
         if x_parent == nil:
-            yield from PMem.store_u64(self.roots[tid], y)
+            yield _Store(self.roots[tid], _pack(y))
         else:
-            parent_left = yield from self._get(x_parent, OFF_LEFT)
+            parent_left = _unpack((yield _Load(x_parent + OFF_LEFT, 8)))[0]
             side = OFF_LEFT if parent_left == x else OFF_RIGHT
-            yield from self._set(x_parent, side, y)
-        yield from self._set(y, OFF_LEFT, x)
-        yield from self._set(x, OFF_PARENT, y)
+            yield _Store(x_parent + side, _pack(y))
+        yield _Store(y + OFF_LEFT, _pack(x))
+        yield _Store(x + OFF_PARENT, _pack(y))
 
     def _rotate_right(self, tid, x):
         nil = self.nils[tid]
-        y = yield from self._get(x, OFF_LEFT)
-        y_right = yield from self._get(y, OFF_RIGHT)
-        yield from self._set(x, OFF_LEFT, y_right)
+        y = _unpack((yield _Load(x + OFF_LEFT, 8)))[0]
+        y_right = _unpack((yield _Load(y + OFF_RIGHT, 8)))[0]
+        yield _Store(x + OFF_LEFT, _pack(y_right))
         if y_right != nil:
-            yield from self._set(y_right, OFF_PARENT, x)
-        x_parent = yield from self._get(x, OFF_PARENT)
-        yield from self._set(y, OFF_PARENT, x_parent)
+            yield _Store(y_right + OFF_PARENT, _pack(x))
+        x_parent = _unpack((yield _Load(x + OFF_PARENT, 8)))[0]
+        yield _Store(y + OFF_PARENT, _pack(x_parent))
         if x_parent == nil:
-            yield from PMem.store_u64(self.roots[tid], y)
+            yield _Store(self.roots[tid], _pack(y))
         else:
-            parent_right = yield from self._get(x_parent, OFF_RIGHT)
+            parent_right = _unpack((yield _Load(x_parent + OFF_RIGHT, 8)))[0]
             side = OFF_RIGHT if parent_right == x else OFF_LEFT
-            yield from self._set(x_parent, side, y)
-        yield from self._set(y, OFF_RIGHT, x)
-        yield from self._set(x, OFF_PARENT, y)
+            yield _Store(x_parent + side, _pack(y))
+        yield _Store(y + OFF_RIGHT, _pack(x))
+        yield _Store(x + OFF_PARENT, _pack(y))
 
     # -- insert ---------------------------------------------------------------------------
 
     def _insert(self, tid, key, version):
         nil = self.nils[tid]
         node = self.heap.alloc(self.node_bytes, arena=tid)
-        yield from self._set(node, OFF_KEY, key)
+        yield _Store(node + OFF_KEY, _pack(key))
         yield from PMem.store_bytes(
             node + NODE_HDR, payload_for(key, version, self.params.entry_bytes)
         )
         parent = nil
-        cursor = yield from PMem.load_u64(self.roots[tid])
+        cursor = _unpack((yield _Load(self.roots[tid], 8)))[0]
         while cursor != nil:
             parent = cursor
-            cursor_key = yield from self._get(cursor, OFF_KEY)
+            cursor_key = _unpack((yield _Load(cursor + OFF_KEY, 8)))[0]
             if key < cursor_key:
-                cursor = yield from self._get(cursor, OFF_LEFT)
+                cursor = _unpack((yield _Load(cursor + OFF_LEFT, 8)))[0]
             else:
-                cursor = yield from self._get(cursor, OFF_RIGHT)
-        yield from self._set(node, OFF_PARENT, parent)
+                cursor = _unpack((yield _Load(cursor + OFF_RIGHT, 8)))[0]
+        yield _Store(node + OFF_PARENT, _pack(parent))
         if parent == nil:
-            yield from PMem.store_u64(self.roots[tid], node)
+            yield _Store(self.roots[tid], _pack(node))
         else:
-            parent_key = yield from self._get(parent, OFF_KEY)
+            parent_key = _unpack((yield _Load(parent + OFF_KEY, 8)))[0]
             side = OFF_LEFT if key < parent_key else OFF_RIGHT
-            yield from self._set(parent, side, node)
-        yield from self._set(node, OFF_LEFT, nil)
-        yield from self._set(node, OFF_RIGHT, nil)
-        yield from self._set(node, OFF_COLOR, RED)
+            yield _Store(parent + side, _pack(node))
+        yield _Store(node + OFF_LEFT, _pack(nil))
+        yield _Store(node + OFF_RIGHT, _pack(nil))
+        yield _Store(node + OFF_COLOR, _pack(RED))
         yield from self._insert_fixup(tid, node)
 
     def _insert_fixup(self, tid, z):
         nil = self.nils[tid]
         while True:
-            parent = yield from self._get(z, OFF_PARENT)
+            parent = _unpack((yield _Load(z + OFF_PARENT, 8)))[0]
             if parent == nil:
                 break
-            parent_color = yield from self._get(parent, OFF_COLOR)
+            parent_color = _unpack((yield _Load(parent + OFF_COLOR, 8)))[0]
             if parent_color != RED:
                 break
-            grand = yield from self._get(parent, OFF_PARENT)
-            grand_left = yield from self._get(grand, OFF_LEFT)
+            grand = _unpack((yield _Load(parent + OFF_PARENT, 8)))[0]
+            grand_left = _unpack((yield _Load(grand + OFF_LEFT, 8)))[0]
             if parent == grand_left:
-                uncle = yield from self._get(grand, OFF_RIGHT)
-                uncle_color = yield from self._get(uncle, OFF_COLOR)
+                uncle = _unpack((yield _Load(grand + OFF_RIGHT, 8)))[0]
+                uncle_color = _unpack((yield _Load(uncle + OFF_COLOR, 8)))[0]
                 if uncle_color == RED:
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    yield from self._set(uncle, OFF_COLOR, BLACK)
-                    yield from self._set(grand, OFF_COLOR, RED)
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    yield _Store(uncle + OFF_COLOR, _pack(BLACK))
+                    yield _Store(grand + OFF_COLOR, _pack(RED))
                     z = grand
                 else:
-                    parent_right = yield from self._get(parent, OFF_RIGHT)
+                    parent_right = _unpack((yield _Load(parent + OFF_RIGHT, 8)))[0]
                     if z == parent_right:
                         z = parent
                         yield from self._rotate_left(tid, z)
-                        parent = yield from self._get(z, OFF_PARENT)
-                        grand = yield from self._get(parent, OFF_PARENT)
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    yield from self._set(grand, OFF_COLOR, RED)
+                        parent = _unpack((yield _Load(z + OFF_PARENT, 8)))[0]
+                        grand = _unpack((yield _Load(parent + OFF_PARENT, 8)))[0]
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    yield _Store(grand + OFF_COLOR, _pack(RED))
                     yield from self._rotate_right(tid, grand)
             else:
-                uncle = yield from self._get(grand, OFF_LEFT)
-                uncle_color = yield from self._get(uncle, OFF_COLOR)
+                uncle = _unpack((yield _Load(grand + OFF_LEFT, 8)))[0]
+                uncle_color = _unpack((yield _Load(uncle + OFF_COLOR, 8)))[0]
                 if uncle_color == RED:
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    yield from self._set(uncle, OFF_COLOR, BLACK)
-                    yield from self._set(grand, OFF_COLOR, RED)
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    yield _Store(uncle + OFF_COLOR, _pack(BLACK))
+                    yield _Store(grand + OFF_COLOR, _pack(RED))
                     z = grand
                 else:
-                    parent_left = yield from self._get(parent, OFF_LEFT)
+                    parent_left = _unpack((yield _Load(parent + OFF_LEFT, 8)))[0]
                     if z == parent_left:
                         z = parent
                         yield from self._rotate_right(tid, z)
-                        parent = yield from self._get(z, OFF_PARENT)
-                        grand = yield from self._get(parent, OFF_PARENT)
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    yield from self._set(grand, OFF_COLOR, RED)
+                        parent = _unpack((yield _Load(z + OFF_PARENT, 8)))[0]
+                        grand = _unpack((yield _Load(parent + OFF_PARENT, 8)))[0]
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    yield _Store(grand + OFF_COLOR, _pack(RED))
                     yield from self._rotate_left(tid, grand)
-        root = yield from PMem.load_u64(self.roots[tid])
-        yield from self._set(root, OFF_COLOR, BLACK)
+        root = _unpack((yield _Load(self.roots[tid], 8)))[0]
+        yield _Store(root + OFF_COLOR, _pack(BLACK))
 
     # -- search ------------------------------------------------------------------------------
 
     def _search(self, tid, key):
         nil = self.nils[tid]
-        cursor = yield from PMem.load_u64(self.roots[tid])
+        cursor = _unpack((yield _Load(self.roots[tid], 8)))[0]
         while cursor != nil:
-            cursor_key = yield from self._get(cursor, OFF_KEY)
+            cursor_key = _unpack((yield _Load(cursor + OFF_KEY, 8)))[0]
             if key == cursor_key:
                 return cursor
             if key < cursor_key:
-                cursor = yield from self._get(cursor, OFF_LEFT)
+                cursor = _unpack((yield _Load(cursor + OFF_LEFT, 8)))[0]
             else:
-                cursor = yield from self._get(cursor, OFF_RIGHT)
+                cursor = _unpack((yield _Load(cursor + OFF_RIGHT, 8)))[0]
         return 0
 
     # -- delete ------------------------------------------------------------------------------
 
     def _transplant(self, tid, u, v):
         nil = self.nils[tid]
-        u_parent = yield from self._get(u, OFF_PARENT)
+        u_parent = _unpack((yield _Load(u + OFF_PARENT, 8)))[0]
         if u_parent == nil:
-            yield from PMem.store_u64(self.roots[tid], v)
+            yield _Store(self.roots[tid], _pack(v))
         else:
-            parent_left = yield from self._get(u_parent, OFF_LEFT)
+            parent_left = _unpack((yield _Load(u_parent + OFF_LEFT, 8)))[0]
             side = OFF_LEFT if parent_left == u else OFF_RIGHT
-            yield from self._set(u_parent, side, v)
-        yield from self._set(v, OFF_PARENT, u_parent)
+            yield _Store(u_parent + side, _pack(v))
+        yield _Store(v + OFF_PARENT, _pack(u_parent))
 
     def _minimum(self, tid, node):
         nil = self.nils[tid]
         while True:
-            left = yield from self._get(node, OFF_LEFT)
+            left = _unpack((yield _Load(node + OFF_LEFT, 8)))[0]
             if left == nil:
                 return node
             node = left
@@ -234,9 +247,9 @@ class RBTreeWorkload(Workload):
     def _delete(self, tid, z):
         nil = self.nils[tid]
         y = z
-        y_color = yield from self._get(y, OFF_COLOR)
-        z_left = yield from self._get(z, OFF_LEFT)
-        z_right = yield from self._get(z, OFF_RIGHT)
+        y_color = _unpack((yield _Load(y + OFF_COLOR, 8)))[0]
+        z_left = _unpack((yield _Load(z + OFF_LEFT, 8)))[0]
+        z_right = _unpack((yield _Load(z + OFF_RIGHT, 8)))[0]
         if z_left == nil:
             x = z_right
             yield from self._transplant(tid, z, z_right)
@@ -245,22 +258,22 @@ class RBTreeWorkload(Workload):
             yield from self._transplant(tid, z, z_left)
         else:
             y = yield from self._minimum(tid, z_right)
-            y_color = yield from self._get(y, OFF_COLOR)
-            x = yield from self._get(y, OFF_RIGHT)
-            y_parent = yield from self._get(y, OFF_PARENT)
+            y_color = _unpack((yield _Load(y + OFF_COLOR, 8)))[0]
+            x = _unpack((yield _Load(y + OFF_RIGHT, 8)))[0]
+            y_parent = _unpack((yield _Load(y + OFF_PARENT, 8)))[0]
             if y_parent == z:
-                yield from self._set(x, OFF_PARENT, y)
+                yield _Store(x + OFF_PARENT, _pack(y))
             else:
                 yield from self._transplant(tid, y, x)
-                new_right = yield from self._get(z, OFF_RIGHT)
-                yield from self._set(y, OFF_RIGHT, new_right)
-                yield from self._set(new_right, OFF_PARENT, y)
+                new_right = _unpack((yield _Load(z + OFF_RIGHT, 8)))[0]
+                yield _Store(y + OFF_RIGHT, _pack(new_right))
+                yield _Store(new_right + OFF_PARENT, _pack(y))
             yield from self._transplant(tid, z, y)
-            new_left = yield from self._get(z, OFF_LEFT)
-            yield from self._set(y, OFF_LEFT, new_left)
-            yield from self._set(new_left, OFF_PARENT, y)
-            z_color = yield from self._get(z, OFF_COLOR)
-            yield from self._set(y, OFF_COLOR, z_color)
+            new_left = _unpack((yield _Load(z + OFF_LEFT, 8)))[0]
+            yield _Store(y + OFF_LEFT, _pack(new_left))
+            yield _Store(new_left + OFF_PARENT, _pack(y))
+            z_color = _unpack((yield _Load(z + OFF_COLOR, 8)))[0]
+            yield _Store(y + OFF_COLOR, _pack(z_color))
         if y_color == BLACK:
             yield from self._delete_fixup(tid, x)
         self.heap.free(z, self.node_bytes, arena=tid)
@@ -268,69 +281,69 @@ class RBTreeWorkload(Workload):
     def _delete_fixup(self, tid, x):
         nil = self.nils[tid]
         while True:
-            root = yield from PMem.load_u64(self.roots[tid])
-            x_color = yield from self._get(x, OFF_COLOR)
+            root = _unpack((yield _Load(self.roots[tid], 8)))[0]
+            x_color = _unpack((yield _Load(x + OFF_COLOR, 8)))[0]
             if x == root or x_color != BLACK:
                 break
-            parent = yield from self._get(x, OFF_PARENT)
-            parent_left = yield from self._get(parent, OFF_LEFT)
+            parent = _unpack((yield _Load(x + OFF_PARENT, 8)))[0]
+            parent_left = _unpack((yield _Load(parent + OFF_LEFT, 8)))[0]
             if x == parent_left:
-                w = yield from self._get(parent, OFF_RIGHT)
-                w_color = yield from self._get(w, OFF_COLOR)
+                w = _unpack((yield _Load(parent + OFF_RIGHT, 8)))[0]
+                w_color = _unpack((yield _Load(w + OFF_COLOR, 8)))[0]
                 if w_color == RED:
-                    yield from self._set(w, OFF_COLOR, BLACK)
-                    yield from self._set(parent, OFF_COLOR, RED)
+                    yield _Store(w + OFF_COLOR, _pack(BLACK))
+                    yield _Store(parent + OFF_COLOR, _pack(RED))
                     yield from self._rotate_left(tid, parent)
-                    w = yield from self._get(parent, OFF_RIGHT)
-                w_left = yield from self._get(w, OFF_LEFT)
-                w_right = yield from self._get(w, OFF_RIGHT)
-                wl_color = yield from self._get(w_left, OFF_COLOR)
-                wr_color = yield from self._get(w_right, OFF_COLOR)
+                    w = _unpack((yield _Load(parent + OFF_RIGHT, 8)))[0]
+                w_left = _unpack((yield _Load(w + OFF_LEFT, 8)))[0]
+                w_right = _unpack((yield _Load(w + OFF_RIGHT, 8)))[0]
+                wl_color = _unpack((yield _Load(w_left + OFF_COLOR, 8)))[0]
+                wr_color = _unpack((yield _Load(w_right + OFF_COLOR, 8)))[0]
                 if wl_color == BLACK and wr_color == BLACK:
-                    yield from self._set(w, OFF_COLOR, RED)
+                    yield _Store(w + OFF_COLOR, _pack(RED))
                     x = parent
                 else:
                     if wr_color == BLACK:
-                        yield from self._set(w_left, OFF_COLOR, BLACK)
-                        yield from self._set(w, OFF_COLOR, RED)
+                        yield _Store(w_left + OFF_COLOR, _pack(BLACK))
+                        yield _Store(w + OFF_COLOR, _pack(RED))
                         yield from self._rotate_right(tid, w)
-                        w = yield from self._get(parent, OFF_RIGHT)
-                    parent_color = yield from self._get(parent, OFF_COLOR)
-                    yield from self._set(w, OFF_COLOR, parent_color)
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    w_right = yield from self._get(w, OFF_RIGHT)
-                    yield from self._set(w_right, OFF_COLOR, BLACK)
+                        w = _unpack((yield _Load(parent + OFF_RIGHT, 8)))[0]
+                    parent_color = _unpack((yield _Load(parent + OFF_COLOR, 8)))[0]
+                    yield _Store(w + OFF_COLOR, _pack(parent_color))
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    w_right = _unpack((yield _Load(w + OFF_RIGHT, 8)))[0]
+                    yield _Store(w_right + OFF_COLOR, _pack(BLACK))
                     yield from self._rotate_left(tid, parent)
-                    x = yield from PMem.load_u64(self.roots[tid])
+                    x = _unpack((yield _Load(self.roots[tid], 8)))[0]
             else:
-                w = yield from self._get(parent, OFF_LEFT)
-                w_color = yield from self._get(w, OFF_COLOR)
+                w = _unpack((yield _Load(parent + OFF_LEFT, 8)))[0]
+                w_color = _unpack((yield _Load(w + OFF_COLOR, 8)))[0]
                 if w_color == RED:
-                    yield from self._set(w, OFF_COLOR, BLACK)
-                    yield from self._set(parent, OFF_COLOR, RED)
+                    yield _Store(w + OFF_COLOR, _pack(BLACK))
+                    yield _Store(parent + OFF_COLOR, _pack(RED))
                     yield from self._rotate_right(tid, parent)
-                    w = yield from self._get(parent, OFF_LEFT)
-                w_left = yield from self._get(w, OFF_LEFT)
-                w_right = yield from self._get(w, OFF_RIGHT)
-                wl_color = yield from self._get(w_left, OFF_COLOR)
-                wr_color = yield from self._get(w_right, OFF_COLOR)
+                    w = _unpack((yield _Load(parent + OFF_LEFT, 8)))[0]
+                w_left = _unpack((yield _Load(w + OFF_LEFT, 8)))[0]
+                w_right = _unpack((yield _Load(w + OFF_RIGHT, 8)))[0]
+                wl_color = _unpack((yield _Load(w_left + OFF_COLOR, 8)))[0]
+                wr_color = _unpack((yield _Load(w_right + OFF_COLOR, 8)))[0]
                 if wl_color == BLACK and wr_color == BLACK:
-                    yield from self._set(w, OFF_COLOR, RED)
+                    yield _Store(w + OFF_COLOR, _pack(RED))
                     x = parent
                 else:
                     if wl_color == BLACK:
-                        yield from self._set(w_right, OFF_COLOR, BLACK)
-                        yield from self._set(w, OFF_COLOR, RED)
+                        yield _Store(w_right + OFF_COLOR, _pack(BLACK))
+                        yield _Store(w + OFF_COLOR, _pack(RED))
                         yield from self._rotate_left(tid, w)
-                        w = yield from self._get(parent, OFF_LEFT)
-                    parent_color = yield from self._get(parent, OFF_COLOR)
-                    yield from self._set(w, OFF_COLOR, parent_color)
-                    yield from self._set(parent, OFF_COLOR, BLACK)
-                    w_left = yield from self._get(w, OFF_LEFT)
-                    yield from self._set(w_left, OFF_COLOR, BLACK)
+                        w = _unpack((yield _Load(parent + OFF_LEFT, 8)))[0]
+                    parent_color = _unpack((yield _Load(parent + OFF_COLOR, 8)))[0]
+                    yield _Store(w + OFF_COLOR, _pack(parent_color))
+                    yield _Store(parent + OFF_COLOR, _pack(BLACK))
+                    w_left = _unpack((yield _Load(w + OFF_LEFT, 8)))[0]
+                    yield _Store(w_left + OFF_COLOR, _pack(BLACK))
                     yield from self._rotate_right(tid, parent)
-                    x = yield from PMem.load_u64(self.roots[tid])
-        yield from self._set(x, OFF_COLOR, BLACK)
+                    x = _unpack((yield _Load(self.roots[tid], 8)))[0]
+        yield _Store(x + OFF_COLOR, _pack(BLACK))
 
     # -- transaction stream -------------------------------------------------------------------
 

@@ -21,6 +21,15 @@ MICROBENCHMARKS: dict[str, type[Workload]] = {
     "sps": SpsWorkload,
 }
 
+#: Module-name aliases: ``make_workload("hashtable")`` works like the
+#: Table II short key ``"hash"`` (the class lives in ``hashtable.py``).
+ALIASES = {
+    "hashtable": "hash",
+    "bplustree": "btree",
+    "rbt": "rbtree",
+    "graph": "sdg",
+}
+
 #: Dataset-size presets from section V: entry payload bytes.
 SIZE_PRESETS = {"small": 512, "large": 4096}
 
@@ -33,6 +42,7 @@ def make_workload(name: str, system, size: str | None = None, **kw) -> Workload:
     feed :class:`~repro.workloads.base.WorkloadParams` or the workload's
     own knobs.
     """
+    name = ALIASES.get(name, name)
     if name == "tpcc":
         from repro.workloads.tpcc import TpccWorkload
 
@@ -41,7 +51,9 @@ def make_workload(name: str, system, size: str | None = None, **kw) -> Workload:
         try:
             cls = MICROBENCHMARKS[name]
         except KeyError:
-            known = ", ".join(sorted(MICROBENCHMARKS) + ["tpcc"])
+            known = ", ".join(
+                sorted(MICROBENCHMARKS) + ["tpcc"] + sorted(ALIASES)
+            )
             raise WorkloadError(
                 f"unknown workload {name!r} (known: {known})"
             ) from None

@@ -14,9 +14,21 @@ its target district (durable region == outermost critical section), so
 
 from __future__ import annotations
 
+import struct
+
 from dataclasses import dataclass
 
-from repro.runtime.api import PMem
+from repro.cpu import ops
+
+# Hot-path op helpers: the structure methods below yield ops directly
+# instead of delegating to PMem generators — one generator frame less
+# per simulated memory access (see the kernel perf notes in README).
+_Load = ops.Load
+_Store = ops.Store
+_u64 = struct.Struct("<Q")
+_unpack = _u64.unpack
+_pack = _u64.pack
+
 from repro.workloads.tpcc import schema
 from repro.workloads.tpcc.schema import TpccTables
 
@@ -68,18 +80,18 @@ def execute(tables: TpccTables, spec: NewOrderSpec):
     """
     # Reads: warehouse, district, customer rows.
     w_row = yield from tables.warehouse.get(spec.w_id)
-    yield from PMem.load_u64(w_row + 8)  # w_tax
+    yield _Load(w_row + 8, 8)  # w_tax
     d_key = tables.key_wd(spec.w_id, spec.d_id)
     d_row = yield from tables.district.get(d_key)
-    yield from PMem.load_u64(d_row + 16)  # d_tax
+    yield _Load(d_row + 16, 8)  # d_tax
     c_row = yield from tables.customer.get(
         tables.key_wdc(spec.w_id, spec.d_id, spec.c_id)
     )
-    yield from PMem.load_u64(c_row + 24)  # c_discount
+    yield _Load(c_row + 24, 8)  # c_discount
 
     # Assign the order id: read-modify-write of d_next_o_id.
-    o_id = yield from PMem.load_u64(d_row + schema.D_NEXT_O_ID)
-    yield from PMem.store_u64(d_row + schema.D_NEXT_O_ID, o_id + 1)
+    o_id = _unpack((yield _Load(d_row + schema.D_NEXT_O_ID, 8)))[0]
+    yield _Store(d_row + schema.D_NEXT_O_ID, _pack(o_id + 1))
 
     # Insert ORDER and NEW_ORDER rows (per-district partitions: these
     # inserts are covered by the district lock).
@@ -100,15 +112,15 @@ def execute(tables: TpccTables, spec: NewOrderSpec):
     # Order lines: read item, update stock, insert ORDER_LINE.
     for number, (i_id, qty) in enumerate(spec.lines, start=1):
         i_row = yield from tables.item.get(i_id)
-        price = yield from PMem.load_u64(i_row + 8)
+        price = _unpack((yield _Load(i_row + 8, 8)))[0]
         s_row = yield from tables.stock.get(tables.key_stock(spec.w_id, i_id))
-        quantity = yield from PMem.load_u64(s_row + schema.S_QUANTITY)
+        quantity = _unpack((yield _Load(s_row + schema.S_QUANTITY, 8)))[0]
         new_qty = quantity - qty if quantity >= qty + 10 else quantity - qty + 91
-        yield from PMem.store_u64(s_row + schema.S_QUANTITY, new_qty)
-        ytd = yield from PMem.load_u64(s_row + schema.S_YTD)
-        yield from PMem.store_u64(s_row + schema.S_YTD, ytd + qty)
-        cnt = yield from PMem.load_u64(s_row + schema.S_ORDER_CNT)
-        yield from PMem.store_u64(s_row + schema.S_ORDER_CNT, cnt + 1)
+        yield _Store(s_row + schema.S_QUANTITY, _pack(new_qty))
+        ytd = _unpack((yield _Load(s_row + schema.S_YTD, 8)))[0]
+        yield _Store(s_row + schema.S_YTD, _pack(ytd + qty))
+        cnt = _unpack((yield _Load(s_row + schema.S_ORDER_CNT, 8)))[0]
+        yield _Store(s_row + schema.S_ORDER_CNT, _pack(cnt + 1))
         ol_row = yield from tables._new_row(
             schema.ORDER_LINE_FIELDS,
             [o_id, spec.d_id, spec.w_id, number, i_id, qty, qty * price],

@@ -81,3 +81,58 @@ class TestRegistry:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             run_experiment("fig99")
+
+
+class TestTestbedBuilder:
+    """build_system accepts a Design or a fully-built SystemConfig."""
+
+    def test_accepts_design(self):
+        from repro.harness.testbed import build_system
+
+        system = build_system(Design.BASE, num_cores=2)
+        assert system.config.design is Design.BASE
+
+    def test_accepts_prebuilt_config(self):
+        from repro.config import SystemConfig
+        from repro.harness.testbed import build_system, small_config
+
+        cfg = small_config(Design.ATOM, num_cores=2)
+        system = build_system(cfg)
+        assert system.config is cfg
+        assert len(system.cores) == 2
+
+    def test_prebuilt_config_rejects_extra_knobs(self):
+        from repro.harness.testbed import build_system, small_config
+
+        cfg = small_config(Design.ATOM, num_cores=2)
+        with pytest.raises(TypeError):
+            build_system(cfg, num_cores=8)
+
+
+class TestWorkloadAliases:
+    """Module-name aliases resolve to the Table II classes."""
+
+    def test_module_name_aliases(self):
+        from repro.harness.testbed import build_system
+        from repro.workloads import make_workload
+        from repro.workloads.hashtable import HashTableWorkload
+
+        system = build_system(Design.BASE, num_cores=2)
+        workload = make_workload("hashtable", system, txns_per_thread=1,
+                                 initial_items=2, threads=1)
+        assert type(workload) is HashTableWorkload
+        workload = make_workload("bplustree", system, txns_per_thread=1,
+                                 initial_items=2, threads=1)
+        assert type(workload).name == "btree"
+
+    def test_unknown_workload_error_lists_aliases_and_keys(self):
+        from repro.common.errors import WorkloadError
+        from repro.harness.testbed import build_system
+        from repro.workloads import make_workload
+
+        system = build_system(Design.BASE, num_cores=2)
+        with pytest.raises(WorkloadError) as err:
+            make_workload("btrieve", system)
+        message = str(err.value)
+        assert "hash" in message and "hashtable" in message
+        assert "btree" in message and "bplustree" in message

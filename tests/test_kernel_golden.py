@@ -1,0 +1,88 @@
+"""Golden-digest equivalence net for the simulation kernel.
+
+The kernel fast path (tuple-heap engine, precomputed NoC tables, bound
+stat counters, workload op inlining) is only acceptable because it is
+**bit-for-bit identical** to the reference kernel: same cycle counts,
+same committed-transaction counts, same statistics, for every design.
+This test pins that contract to golden values captured from the
+pre-optimization kernel (commit 0a2763a) — any future "perf" change
+that silently shifts timing or stats fails loudly here.
+
+Regenerating the goldens is a deliberate act (it redefines the
+reference semantics):
+
+    PYTHONPATH=src python tests/test_kernel_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import Design
+from repro.harness.testbed import build_system, run_workload_to_completion
+from repro.workloads import make_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_kernel.json"
+
+
+def golden_run(design: Design):
+    """One pinned small run per design (fixed seed, fixed machine)."""
+    system = build_system(design=design, num_cores=4)
+    workload = make_workload(
+        "hash", system, entry_bytes=256, txns_per_thread=6,
+        initial_items=12, seed=11, threads=4,
+    )
+    run_workload_to_completion(system, workload)
+    result = system.result()
+    return {
+        "cycles": result.cycles,
+        "txns_committed": result.txns_committed,
+        "stats": result.stats,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+class TestKernelGolden:
+    def test_run_matches_golden(self, design, golden):
+        measured = golden_run(design)
+        reference = golden[design.value]
+        assert measured["cycles"] == reference["cycles"], (
+            f"{design.value}: finish cycle drifted "
+            f"({measured['cycles']} vs golden {reference['cycles']})"
+        )
+        assert measured["txns_committed"] == reference["txns_committed"]
+        # The full stats dict, counter for counter: a kernel change that
+        # alters *any* accounting shows up here with the exact domain.
+        for domain, counters in reference["stats"].items():
+            assert measured["stats"].get(domain) == counters, (
+                f"{design.value}: stats domain {domain!r} diverged: "
+                f"{measured['stats'].get(domain)} vs {counters}"
+            )
+        assert set(measured["stats"]) == set(reference["stats"])
+
+
+def test_goldens_cover_every_design(golden):
+    assert set(golden) == {design.value for design in Design}
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        data = {
+            design.value: golden_run(design) for design in Design
+        }
+        GOLDEN_PATH.write_text(
+            json.dumps(data, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"regenerated {GOLDEN_PATH}")
+    else:
+        print(__doc__)
