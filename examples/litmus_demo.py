@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Litmus demo: author a crash-consistency scenario, diff two designs.
+
+Writes a custom litmus spec inline — a two-core "message passing over a
+commit" scenario — and explores its crash grid under ATOM-OPT and under
+the unlogged NON-ATOMIC baseline.  The outcome diff is the point of the
+subsystem: the recovered-state sets, side by side, show exactly which
+states only the unlogged design lets a crash reach.
+
+Run:  python examples/litmus_demo.py
+"""
+
+from repro.config import Design
+from repro.harness.campaign import Campaign
+from repro.litmus import LitmusSpec, begin, commit, compute, explore, store
+
+#: Core 0 publishes a payload then a flag, in separate transactions;
+#: core 1 concurrently overwrites the payload inside one region.  After
+#: any crash: flag set implies the payload was (at least) published, and
+#: the payload never tears between the two writers' values.
+SPEC = LitmusSpec(
+    name="demo-message-passing",
+    description="flag implies payload; payload pair never tears",
+    vars={"DATA1": 0, "DATA2": 1, "FLAG": 2},
+    cores=[
+        [begin(), store("DATA1", 1), store("DATA2", 1), commit(),
+         begin(), store("FLAG", 1), commit()],
+        [compute(600),
+         begin(), store("DATA1", 2), store("DATA2", 2), commit()],
+    ],
+    forbidden=[
+        "FLAG == 1 and DATA1 == 0 and DATA2 == 0",  # flag outran payload
+        "DATA1 != DATA2",                           # torn payload pair
+    ],
+    expect_violation=["non-atomic"],
+)
+
+DESIGNS = [Design.ATOM_OPT, Design.NON_ATOMIC]
+
+
+def main() -> None:
+    print(f"spec: {SPEC.name} — {SPEC.description}")
+    print(f"forbidden: {SPEC.forbidden}\n")
+
+    report = explore(Campaign(jobs=1), tests=[SPEC], designs=DESIGNS,
+                     points=40)
+    print(report.render())
+
+    # Outcome diff: which recovered states are design-specific?
+    states = {
+        cell.design: {
+            digest: entry for digest, entry in cell.outcomes.items()
+        }
+        for cell in report.cells
+    }
+    left, right = (d.value for d in DESIGNS)
+    only_right = set(states[right]) - set(states[left])
+    print(f"\nrecovered states only reachable under {right}:")
+    if not only_right:
+        print("  (none at this crash-grid density)")
+    for digest in sorted(only_right):
+        entry = states[right][digest]
+        why = (f"  <- FORBIDDEN: {'; '.join(entry['forbidden'])}"
+               if entry["forbidden"] else "")
+        print(f"  {entry['state']}  "
+              f"(first at crash cycle {entry['first_cycle']}){why}")
+    print(f"\n{left} is tight: every crash point recovers to an "
+          f"allowed state; the unlogged baseline leaks "
+          f"{sum(1 for e in states[right].values() if e['forbidden'])} "
+          f"forbidden state(s) through its flush window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -73,11 +73,21 @@ class RecoveryReport:
 
 
 def recover(image: MemoryImage, layout: AddressLayout,
-            cfg: LogConfig) -> RecoveryReport:
-    """Run the full recovery routine over every controller's log."""
+            cfg: LogConfig, *, clear_adr: bool = True) -> RecoveryReport:
+    """Run the full recovery routine over every controller's log.
+
+    ``clear_adr=False`` stops before step 4 (clearing the ADR block) —
+    the state a crash *during* recovery leaves behind.  Because the
+    undo writes themselves are idempotent, re-running ``recover`` over
+    such an image must converge to the same durable contents; the
+    idempotence tests exercise exactly this.
+    """
     report = RecoveryReport()
     for controller in range(layout.num_controllers):
-        report.merge(_recover_controller(image, layout, cfg, controller))
+        report.merge(
+            _recover_controller(image, layout, cfg, controller,
+                                clear_adr=clear_adr)
+        )
     return report
 
 
@@ -86,6 +96,8 @@ def _recover_controller(
     layout: AddressLayout,
     cfg: LogConfig,
     controller: int,
+    *,
+    clear_adr: bool = True,
 ) -> RecoveryReport:
     report = RecoveryReport()
     base = layout.adr_base(controller)
@@ -114,8 +126,9 @@ def _recover_controller(
                     addresses=list(header.addresses),
                 )
             )
-    # Recovery complete: clear the ADR block (second recovery = no-op).
-    image.persist(base, bytes(layout.adr_block_bytes))
+    if clear_adr:
+        # Recovery complete: clear the ADR block (second recovery = no-op).
+        image.persist(base, bytes(layout.adr_block_bytes))
     return report
 
 

@@ -330,7 +330,11 @@ class RedoManager:
             if entry["writes_left"] == 0:
                 self._mark_applied(entry["txn"])
 
-        mc.write_data_line(line_addr, bytes(payload), on_persist=done)
+        # backend_apply: this persist restores an earlier committed
+        # transaction's state and may legitimately land while the line
+        # is parked for a later, still-unapplied writer.
+        mc.write_data_line(line_addr, bytes(payload), on_persist=done,
+                           backend_apply=True)
 
     def _mark_applied(self, txn: _TxnState) -> None:
         self._applied.add(txn.txn_id)

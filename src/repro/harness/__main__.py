@@ -2,7 +2,9 @@
 
 Usage::
 
+    python -m repro.harness --list                  # what can run
     python -m repro.harness perf                    # kernel benchmark
+    python -m repro.harness litmus --jobs 2         # litmus catalog
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
     python -m repro.harness --all --jobs 8          # parallel campaign
@@ -58,6 +60,34 @@ def _parse_grid(text: str) -> range:
     return range(start, stop + 1, step)
 
 
+def render_listing() -> str:
+    """Everything runnable, in one place (``--list``)."""
+    from repro.litmus.catalog import catalog_by_name
+    from repro.workloads.registry import ALIASES, MICROBENCHMARKS
+
+    lines = ["experiments (--experiment NAME):"]
+    lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
+    lines.append("subcommands:")
+    lines.append("  perf    kernel events/sec benchmark")
+    lines.append("  litmus  crash-consistency litmus catalog")
+    # The litmus workload is deliberately absent here: it needs a
+    # ``program`` and only runs through the litmus subcommand.
+    lines.append("workloads (--workloads for --crash-sweep):")
+    names = sorted(MICROBENCHMARKS) + ["tpcc"]
+    by_target: dict[str, list[str]] = {}
+    for alias, target in ALIASES.items():
+        by_target.setdefault(target, []).append(alias)
+    for name in names:
+        aliases = sorted(by_target.get(name, []))
+        suffix = f"  (aliases: {', '.join(aliases)})" if aliases else ""
+        lines.append(f"  {name}{suffix}")
+    lines.append("designs (--designs):")
+    lines += [f"  {design.value}" for design in Design]
+    lines.append("litmus tests (litmus --tests):")
+    lines += [f"  {name}" for name in sorted(catalog_by_name())]
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -67,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "litmus":
+        # Declarative crash-consistency litmus scenarios (its own
+        # subcommand: a correctness checker, not a figure experiment).
+        from repro.litmus.cli import main as litmus_main
+
+        return litmus_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate ATOM (HPCA 2017) evaluation results.",
@@ -109,7 +145,13 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2000:30000:4000)")
     parser.add_argument("--crash-seeds", default="7",
                         help="crash-sweep seeds (comma-separated)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments, workloads, designs and "
+                             "litmus tests, then exit")
     args = parser.parse_args(argv)
+    if args.list:
+        print(render_listing())
+        return 0
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     if args.seeds < 1:

@@ -297,6 +297,20 @@ class Campaign:
         return self._map(list(specs), _crash_worker,
                          _crash_outcome_from_dict, "crash")
 
+    # -- litmus points --------------------------------------------------------
+
+    def run_litmus(self, points: Sequence) -> list:
+        """Run litmus crash points (cached, pooled).
+
+        ``points`` are :class:`repro.litmus.explorer.LitmusPoint`s; the
+        result is order-preserving :class:`LitmusOutcome`s.  Imported
+        lazily so the campaign layer has no hard litmus dependency.
+        """
+        from repro.litmus.explorer import _outcome_from_dict, litmus_worker
+
+        return self._map(list(points), litmus_worker,
+                         _outcome_from_dict, "litmus")
+
 
 # -- crash sweep --------------------------------------------------------------
 

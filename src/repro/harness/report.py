@@ -71,5 +71,9 @@ def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
     mean = sum(vals) / len(vals)
     if len(vals) == 1:
         return (mean, 0.0)
-    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    # max() guards the sqrt against a rounding-induced negative sum when
+    # samples are identical up to float noise (zero-variance seeds).
+    var = max(
+        0.0, sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    )
     return (mean, z * math.sqrt(var / len(vals)))

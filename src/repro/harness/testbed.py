@@ -42,6 +42,27 @@ def build_system(design: Design | SystemConfig = Design.ATOM_OPT,
     return System(small_config(design, num_cores, **kw))
 
 
+def build_litmus_system(design: Design, spec, seed: int = 7):
+    """Build the scaled-down machine a litmus spec asks for.
+
+    Shared by the litmus explorer workers and the litmus tests so both
+    run the spec's log-geometry overrides through one code path.
+    Returns ``(system, workload)`` with the workload not yet set up.
+    """
+    from repro.common.errors import ConfigError
+    from repro.workloads import make_workload
+
+    cfg = small_config(design, num_cores=spec.machine_cores(), seed=seed)
+    for key, value in spec.log_overrides.items():
+        if not hasattr(cfg.log, key):
+            raise ConfigError(f"unknown log override {key!r}")
+        setattr(cfg.log, key, value)
+    cfg.validate()
+    system = System(cfg)
+    workload = make_workload("litmus", system, program=spec, seed=seed)
+    return system, workload
+
+
 def run_workload_to_completion(system, workload, max_cycles=50_000_000):
     """Setup + run a workload; returns the finish cycle."""
     workload.setup()

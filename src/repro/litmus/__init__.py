@@ -1,0 +1,53 @@
+"""Persistency litmus subsystem: declarative crash-consistency scenarios.
+
+A *litmus test* is a small multi-core program over named symbolic cache
+lines plus a postcondition classifying every recovered memory state as
+**allowed** or **forbidden** — the framing persistency-model validation
+work uses to stress-test designs ("store A persists, crash, B must not
+be visible").  The subsystem has three layers:
+
+* :mod:`repro.litmus.spec` — the declarative DSL: per-core instruction
+  sequences (stores/loads/atomic-region boundaries/flushes/locks over
+  symbolic variables) and safe postcondition expressions.
+* :mod:`repro.workloads.litmus` — the compiler: a programmable workload
+  that lowers a spec to the existing :mod:`repro.cpu.ops` op streams, so
+  litmus programs run through the very same cores/caches/log machinery
+  as every benchmark.
+* :mod:`repro.litmus.explorer` — the checker: enumerates crash points
+  across a spec's whole execution, recovers each crashed machine, dedups
+  recovered images by digest and reports the reachable-outcome set per
+  design, fanned out through the campaign pool + result cache.
+
+``python -m repro.harness litmus`` runs the built-in catalog
+(:mod:`repro.litmus.catalog`) and writes a per-test × design verdict
+table as a JSON artifact.
+"""
+
+from repro.litmus.catalog import CATALOG, catalog_by_name
+from repro.litmus.explorer import (LITMUS_DESIGNS, LitmusPoint, LitmusReport,
+                                   execute_litmus_point, explore)
+from repro.litmus.spec import (LitmusError, LitmusSpec, begin, commit,
+                               compile_condition, compute, fill, flush, load,
+                               lock, store, unlock)
+
+__all__ = [
+    "CATALOG",
+    "LITMUS_DESIGNS",
+    "LitmusError",
+    "LitmusPoint",
+    "LitmusReport",
+    "LitmusSpec",
+    "begin",
+    "catalog_by_name",
+    "commit",
+    "compile_condition",
+    "compute",
+    "execute_litmus_point",
+    "explore",
+    "fill",
+    "flush",
+    "load",
+    "lock",
+    "store",
+    "unlock",
+]

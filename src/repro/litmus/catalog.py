@@ -1,0 +1,224 @@
+"""Built-in litmus catalog: the crash-consistency scenarios shipped.
+
+Each spec targets one mechanism of the paper's correctness argument
+(sections III-B, IV-D, V): multi-line intra-transaction atomicity, the
+commit-order durability point, dirty evictions before commit (Invariant
+2's hard case), cross-controller (cross-AUS) atomic updates, log-bucket
+reuse/wraparound, explicit flush ordering, REDO victim-cache parking and
+double-crash recovery idempotence.
+
+Placement notes for the scaled-down 4-core machine the explorer builds:
+
+* consecutive line indices (0, 1, 2, …) share nothing interesting;
+* line index stride **256** (16 KB) lands in the same L1 set (32 sets x
+  64 B lines), the same L2 bank (4 banks, line-interleaved) *and* the
+  same L2 set (64 sets per bank) — writing >4 such lines evicts from
+  the 4-way L1, and >16 evicts dirty lines from the 16-way L2 tile all
+  the way to NVM mid-transaction;
+* line index stride **64** (4 KB = one interleave page) alternates
+  memory controllers, so a transaction spanning strides of 64 engages
+  multiple AUSs and exercises the all-or-nothing commit broadcast.
+
+Every spec lists ``expect_violation=["non-atomic"]`` when its forbidden
+states are physically reachable on the unlogged baseline (partial flush
+windows or mid-transaction dirty evictions); those cells are the
+checker's detection proof, not failures.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.spec import (LitmusSpec, begin, commit, compute, fill,
+                               flush, lock, store, unlock)
+
+#: L1-set + L2-bank + L2-set conflict stride, in lines (see module doc).
+CONFLICT_STRIDE = 256
+#: One interleave page, in lines: adjacent strides alternate controllers.
+PAGE_STRIDE = 64
+
+_NON_ATOMIC = ["non-atomic"]
+
+
+def _eviction_vars(count: int) -> dict[str, int]:
+    return {f"V{i}": i * CONFLICT_STRIDE for i in range(count)}
+
+
+CATALOG: list[LitmusSpec] = [
+    LitmusSpec(
+        name="atomicity-pair",
+        description="Two stores in one atomic region are all-or-nothing: "
+                    "store A persists + crash => B's new value must be "
+                    "there too after recovery.",
+        vars={"A": 0, "B": 1},
+        cores=[[begin(), store("A", 1), store("B", 1), commit()]],
+        forbidden=["A != B"],
+        allowed=["A == 0 and B == 0", "A == 1 and B == 1"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="atomicity-multiline",
+        description="Six-line atomic update recovers to exactly the old "
+                    "or exactly the new image — no partial subset.",
+        vars={"A": 0, "B": 1, "C": 2, "D": 3, "E": 4, "F": 5},
+        cores=[[begin()] +
+               [store(v, 1) for v in "ABCDEF"] +
+               [commit()]],
+        forbidden=["(A + B + C + D + E + F) not in (0, 6)"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="commit-order",
+        description="Same-thread transactions become durable in program "
+                    "order: txn2's write visible implies txn1's is.",
+        vars={"A": 0, "B": 1},
+        cores=[[begin(), store("A", 1), commit(),
+                compute(500),
+                begin(), store("B", 1), commit()]],
+        forbidden=["B == 1 and A == 0"],
+        allowed=["A == 0 and B == 0", "A == 1 and B == 0",
+                 "A == 1 and B == 1"],
+    ),
+    LitmusSpec(
+        name="intermediate-value",
+        description="A line stored twice in one region never recovers to "
+                    "the intermediate value: old (rollback) or final "
+                    "(commit) only.",
+        vars={"A": 0, "B": 1},
+        cores=[[begin(), store("A", 1), store("A", 2), store("B", 1),
+                commit()]],
+        forbidden=["A == 1"],
+        allowed=["A == 0 and B == 0", "A == 2 and B == 1"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="cross-aus-ordering",
+        description="One transaction spanning both memory controllers "
+                    "(distinct AUSs, distinct logs) still commits "
+                    "all-or-nothing via the truncation broadcast.",
+        vars={"P0": 0, "P1": PAGE_STRIDE, "P2": 2 * PAGE_STRIDE,
+              "P3": 3 * PAGE_STRIDE},
+        cores=[[begin(),
+                store("P0", 1), store("P1", 1),
+                store("P2", 1), store("P3", 1),
+                commit()]],
+        forbidden=["(P0 + P1 + P2 + P3) not in (0, 4)"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="dirty-eviction-before-commit",
+        description="18 same-set lines written in one region force dirty "
+                    "L1/L2 evictions to NVM mid-transaction; recovery "
+                    "must still produce all-or-nothing (Invariant 2's "
+                    "hard case, and the widest detection window on the "
+                    "unlogged baseline).",
+        vars=_eviction_vars(18),
+        cores=[[begin()] +
+               [store(f"V{i}", 1) for i in range(18)] +
+               [commit()]],
+        forbidden=[
+            " or ".join(f"(V0 == 1 and V{i} == 0)" for i in range(1, 18)),
+            "V17 == 1 and V0 == 0",
+        ],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="redo-victim-parking",
+        description="Second wave of writes over committed lines: a dirty "
+                    "eviction carrying uncommitted bytes must park (REDO "
+                    "victim cache) or be undo-protected, never mix waves.",
+        vars=_eviction_vars(18),
+        cores=[[begin()] +
+               [store(f"V{i}", 1) for i in range(18)] +
+               [commit(), compute(200), begin()] +
+               [store(f"V{i}", 2) for i in range(18)] +
+               [commit()]],
+        forbidden=[
+            " or ".join(f"(V0 == 2 and V{i} == 1)" for i in range(1, 18)),
+            " or ".join(f"(V0 == 2 and V{i} == 0)" for i in range(1, 18)),
+        ],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="log-wraparound",
+        description="Tiny log geometry forces bucket reuse across "
+                    "transactions; recovery's sequence check must reject "
+                    "stale headers left in reallocated buckets.",
+        vars={"A": 0, "B": PAGE_STRIDE},
+        cores=[[op for i in range(1, 9) for op in
+                (begin(), store("A", i), store("B", i), commit())]],
+        forbidden=["A != B"],
+        log_overrides={"buckets_per_controller": 8, "records_per_bucket": 2},
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="double-crash-idempotence",
+        description="Crash with an uncommitted region in flight: recovery "
+                    "rolls it back, and a second crash during/after "
+                    "recovery must change nothing (every point re-runs "
+                    "recovery and compares image digests).",
+        vars={"A": 0, "B": 1},
+        cores=[[begin(), store("A", 1), store("B", 1), commit(),
+                compute(2_000),
+                begin(), store("A", 2), store("B", 2), commit()]],
+        forbidden=["A != B"],
+        allowed=["A == 0 and B == 0", "A == 1 and B == 1",
+                 "A == 2 and B == 2"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="flush-ordering",
+        description="An explicitly flushed plain store is durable before "
+                    "any later transaction commits: T committed with the "
+                    "earlier flushed value missing is forbidden.",
+        vars={"D": 0, "T": 1},
+        cores=[[store("D", 5), flush("D"),
+                begin(), store("T", 1), commit()]],
+        forbidden=["T == 1 and D == 0"],
+    ),
+    LitmusSpec(
+        name="uncommitted-invisible",
+        description="A region cut down mid-flight (long compute between "
+                    "its stores) leaves no trace: its partial writes must "
+                    "vanish, and it can never outrun the earlier commit.",
+        vars={"G": 0, "H": 1, "H2": 2},
+        cores=[[begin(), store("G", 1), commit(),
+                begin(), store("H", 1), compute(3_000), store("H2", 1),
+                commit()]],
+        forbidden=["H != H2", "H == 1 and G == 0"],
+        allowed=["G == 0 and H == 0 and H2 == 0",
+                 "G == 1 and H == 0 and H2 == 0",
+                 "G == 1 and H == 1 and H2 == 1"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="store-tearing",
+        description="One program store spanning two cache lines (a 128 B "
+                    "memcpy) recovers untorn: both lines old or both new.",
+        vars={"A0": 0, "A1": 1},
+        cores=[[begin(), fill("A0", 9, 2), commit()]],
+        forbidden=["A0 != A1"],
+        allowed=["A0 == 0 and A1 == 0", "A0 == 9 and A1 == 9"],
+        expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="locked-pair-cross-core",
+        description="Two cores update the same invariant pair under one "
+                    "lock; whichever commit order wins, X and Y recover "
+                    "equal.",
+        vars={"X": 0, "Y": 1},
+        cores=[
+            [lock(1), begin(), store("X", 1), store("Y", 1), commit(),
+             unlock(1)],
+            [compute(300), lock(1), begin(), store("X", 2), store("Y", 2),
+             commit(), unlock(1)],
+        ],
+        forbidden=["X != Y"],
+        allowed=["X == 0 and Y == 0", "X == 1 and Y == 1",
+                 "X == 2 and Y == 2"],
+        expect_violation=_NON_ATOMIC,
+    ),
+]
+
+
+def catalog_by_name() -> dict[str, LitmusSpec]:
+    """Catalog index (validated)."""
+    return {spec.validate().name: spec for spec in CATALOG}

@@ -1,0 +1,104 @@
+"""``python -m repro.harness litmus`` — run the litmus catalog.
+
+Explores every (test × design) cell of the built-in catalog (or a
+subset), prints the verdict table, and writes the full per-cell outcome
+sets as a JSON artifact.  Points fan out through the campaign pool and
+are memoised in the content-addressed result cache, so a warm re-run is
+served from disk.  The exit code is the number of FAILing cells (capped
+at 255); ``detected`` cells — forbidden outcomes reached on designs the
+spec *expects* to break, i.e. the unlogged baseline — count as success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import Design
+from repro.harness.cache import ResultCache
+from repro.harness.campaign import Campaign
+from repro.litmus.catalog import catalog_by_name
+from repro.litmus.explorer import LITMUS_DESIGNS, explore
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness litmus",
+        description="Check declarative crash-consistency litmus scenarios "
+                    "across the designs.",
+    )
+    parser.add_argument("--tests", default=None,
+                        help="comma-separated catalog test names "
+                             "(default: all)")
+    parser.add_argument("--designs",
+                        default=",".join(d.value for d in LITMUS_DESIGNS),
+                        help="designs to check (comma-separated)")
+    parser.add_argument("--points", type=int, default=10,
+                        help="crash points per test x design cell "
+                             "(default 10)")
+    parser.add_argument("--seeds", default="7",
+                        help="seeds (comma-separated; default 7)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory")
+    parser.add_argument("--out", default="litmus_verdicts.json",
+                        help="verdict artifact path "
+                             "(default litmus_verdicts.json)")
+    parser.add_argument("--list", action="store_true",
+                        help="list catalog tests and exit")
+    args = parser.parse_args(argv)
+
+    catalog = catalog_by_name()
+    if args.list:
+        width = max(len(name) for name in catalog)
+        for name, spec in catalog.items():
+            print(f"{name.ljust(width)}  {spec.description}")
+        return 0
+
+    if args.tests:
+        unknown = [t for t in args.tests.split(",") if t and t not in catalog]
+        if unknown:
+            parser.error(f"unknown tests {','.join(unknown)} "
+                         f"(see --list)")
+        tests = [catalog[t] for t in args.tests.split(",") if t]
+    else:
+        tests = list(catalog.values())
+    try:
+        designs = [Design(d) for d in args.designs.split(",") if d]
+    except ValueError:
+        parser.error(f"--designs must be drawn from "
+                     f"{','.join(d.value for d in Design)}")
+    if args.points < 1:
+        parser.error("--points must be >= 1")
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated integers, "
+                     f"got {args.seeds!r}")
+    if not seeds:
+        # An empty seed list would run zero points and "pass" vacuously.
+        parser.error("--seeds must name at least one seed")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    campaign = Campaign(jobs=args.jobs, cache=cache)
+    start = time.time()
+    report = explore(campaign, tests=tests, designs=designs,
+                     seeds=seeds, points=args.points)
+    print(report.render())
+    print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
+          f"{cache.hits if cache is not None else 0} cached)")
+    with open(args.out, "w") as fh:
+        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return min(len(report.failures), 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+"""Crash-point exploration: reachable recovered states per design.
+
+For every (litmus test × design × seed) cell the explorer
+
+1. runs one **probe** point (no injected crash: run to completion, cut
+   power, recover) to learn the program's finish cycle,
+2. enumerates a crash grid over ``[crash_start, finish)`` and runs each
+   point: build the machine, crash it mid-flight, run recovery,
+3. extracts the recovered values of the spec's symbolic variables from
+   the durable image and dedups recovered states by content digest,
+4. re-runs recovery and checks the durable image digest is unchanged
+   (recovery idempotence — the paper's step-4 claim), and
+5. classifies every distinct state against the spec's postconditions.
+
+Points go through :meth:`repro.harness.campaign.Campaign.run_litmus`,
+so they fan out over the worker pool and land in the content-addressed
+result cache: a re-run of the whole catalog is served from disk, and
+densifying a grid only computes the new points.
+
+A **verdict** per cell: ``ok`` (no forbidden state reachable),
+``detected`` (forbidden reached on a design the spec expects to break —
+the checker proving it can see violations), ``vacuous`` (expected to
+break but the grid never hit it), or ``FAIL`` (forbidden/unlisted state
+on a design that must be correct, a recovery-idempotence failure, or a
+simulation error).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.config import Design
+from repro.harness.report import format_table
+from repro.litmus.catalog import CATALOG
+from repro.litmus.spec import LitmusSpec, compile_condition
+
+#: Default design axis: every design with a recovery story, plus the
+#: unlogged NON_ATOMIC baseline as the violation-detection control.
+LITMUS_DESIGNS = [Design.BASE, Design.ATOM, Design.ATOM_OPT, Design.REDO,
+                  Design.NON_ATOMIC]
+
+#: First candidate crash cycle (before it nothing has happened yet).
+DEFAULT_CRASH_START = 50
+
+
+# -- points and outcomes -------------------------------------------------------
+
+
+@dataclass
+class LitmusPoint:
+    """One crash point of one litmus test under one design."""
+
+    #: Canonical spec encoding (``LitmusSpec.to_dict``) — part of the
+    #: cache key, so editing a spec invalidates exactly its points.
+    test: dict
+    design: Design
+    #: Cycle to cut power at; ``None`` = probe (run to completion).
+    crash_cycle: int | None
+    seed: int = 7
+
+
+@dataclass
+class LitmusOutcome:
+    """Recovered-state observation for one point."""
+
+    point: LitmusPoint
+    #: Recovered u64 per variable (``None`` when the point errored).
+    state: dict | None
+    #: Digest of the variable region's durable lines (dedup key).
+    digest: str = ""
+    commits: int = 0
+    rolled_back: int = 0
+    #: Finish cycle of the run (probe points: the program's length).
+    finish: int = 0
+    #: Durable image unchanged by a second recovery pass.
+    idempotent: bool = True
+    error: str = ""
+
+
+def _outcome_to_dict(outcome: LitmusOutcome) -> dict:
+    payload = dataclasses.asdict(outcome)
+    payload["point"]["design"] = outcome.point.design.value
+    return payload
+
+
+def _outcome_from_dict(payload: dict) -> LitmusOutcome:
+    point_d = dict(payload["point"])
+    point_d["design"] = Design(point_d["design"])
+    return LitmusOutcome(
+        point=LitmusPoint(**point_d),
+        state=payload["state"],
+        digest=payload["digest"],
+        commits=payload["commits"],
+        rolled_back=payload["rolled_back"],
+        finish=payload["finish"],
+        idempotent=payload["idempotent"],
+        error=payload["error"],
+    )
+
+
+def litmus_worker(point: LitmusPoint) -> tuple:
+    """Pool entry point: ("ok", payload) / ("err", message)."""
+    import traceback
+
+    try:
+        return ("ok", _outcome_to_dict(execute_litmus_point(point)))
+    except BaseException as exc:  # noqa: BLE001 — reported in the parent
+        return ("err", f"{point!r}\n{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
+    """Run one point: build, (maybe) crash, recover, extract, re-recover.
+
+    A modelled-hardware failure (deadlock, invariant violation, workload
+    inconsistency) is an *outcome*, recorded in ``error`` — the explorer
+    reports it per cell instead of aborting the whole exploration.
+    """
+    from repro.harness.testbed import build_litmus_system
+
+    spec = LitmusSpec.from_dict(point.test)
+    try:
+        system, workload = build_litmus_system(
+            point.design, spec, seed=point.seed
+        )
+        workload.setup()
+        system.start_threads(workload.threads())
+        if point.crash_cycle is not None:
+            system.crash_at(point.crash_cycle)
+        system.run(max_cycles=spec.max_cycles)
+        finish = system.engine.now
+        if not system.crashed:
+            # Probe, or the program finished before the scheduled cycle:
+            # cut power now (nothing should roll back).
+            system.crash()
+        report = system.recover()
+        # Recovery idempotence: a second crash immediately after (or
+        # during — nothing volatile matters any more) recovery must
+        # leave the durable image byte-identical.
+        first = system.image.durable_digest()
+        system.recover()
+        idempotent = system.image.durable_digest() == first
+        return LitmusOutcome(
+            point=point,
+            state=workload.durable_state(),
+            digest=workload.state_digest(),
+            commits=workload.commits,
+            rolled_back=getattr(report, "updates_rolled_back", 0),
+            finish=finish,
+            idempotent=idempotent,
+        )
+    except ReproError as exc:
+        return LitmusOutcome(
+            point=point, state=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# -- crash grids ---------------------------------------------------------------
+
+
+def crash_cycles_for(finish: int, points: int,
+                     start: int = DEFAULT_CRASH_START) -> list[int]:
+    """Up to ``points`` evenly spaced crash cycles over ``[start, finish)``.
+
+    Both endpoints of the usable span are always included (the last
+    cycle, ``finish - 1``, is where the final commit/truncation window
+    lives — a grid that never reaches it would leave the durability
+    point itself untested).  Deterministic in ``finish`` (itself
+    deterministic per code version), so re-runs enumerate the identical
+    grid and hit the result cache.
+    """
+    if finish <= start or points <= 0:
+        return []
+    last = finish - 1
+    if points == 1 or last == start:
+        return [start]
+    span = last - start
+    return sorted({
+        start + (i * span) // (points - 1) for i in range(points)
+    })
+
+
+# -- classification ------------------------------------------------------------
+
+
+@dataclass
+class LitmusCell:
+    """Verdict for one (test × design) cell, aggregated over seeds."""
+
+    test: str
+    design: str
+    #: Whether the spec expects forbidden outcomes under this design.
+    expected: bool
+    points: int = 0
+    #: Distinct recovered states: digest -> summary dict.
+    outcomes: dict = field(default_factory=dict)
+    forbidden_points: int = 0
+    unlisted_points: int = 0
+    idempotence_failures: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        violating = self.forbidden_points + self.unlisted_points
+        if self.errors or self.idempotence_failures:
+            return "FAIL"
+        if violating and not self.expected:
+            return "FAIL"
+        if violating:
+            return "detected"
+        if self.expected:
+            return "vacuous"
+        return "ok"
+
+    def absorb(self, outcome: LitmusOutcome, forbidden, allowed) -> None:
+        self.points += 1
+        if outcome.error:
+            self.errors.append(
+                f"@{outcome.point.crash_cycle}: {outcome.error}"
+            )
+            return
+        if not outcome.idempotent:
+            self.idempotence_failures += 1
+        state = outcome.state
+        matched = [expr for expr, fn in forbidden if fn(state)]
+        unlisted = bool(
+            allowed and not matched
+            and not any(fn(state) for _, fn in allowed)
+        )
+        if matched:
+            self.forbidden_points += 1
+        if unlisted:
+            self.unlisted_points += 1
+        entry = self.outcomes.get(outcome.digest)
+        if entry is None:
+            self.outcomes[outcome.digest] = {
+                "state": dict(state),
+                "points": 1,
+                "first_cycle": outcome.point.crash_cycle,
+                "forbidden": matched,
+                "unlisted": unlisted,
+            }
+        else:
+            entry["points"] += 1
+
+
+@dataclass
+class LitmusReport:
+    """Outcome of one catalog exploration."""
+
+    cells: list[LitmusCell]
+    points_total: int = 0
+
+    @property
+    def failures(self) -> list[LitmusCell]:
+        return [c for c in self.cells if c.status == "FAIL"]
+
+    @property
+    def detected(self) -> list[LitmusCell]:
+        return [c for c in self.cells if c.status == "detected"]
+
+    def render(self) -> str:
+        rows = [
+            [c.test, c.design, c.points, len(c.outcomes),
+             c.forbidden_points + c.unlisted_points, c.status]
+            for c in self.cells
+        ]
+        out = format_table(
+            ["test", "design", "points", "states", "forbidden hits",
+             "verdict"],
+            rows,
+            title=(f"== Litmus: {len(self.cells)} cells, "
+                   f"{self.points_total} points, "
+                   f"{len(self.failures)} failures, "
+                   f"{len(self.detected)} detected =="),
+        )
+        for cell in self.cells:
+            if cell.status != "FAIL":
+                continue
+            for digest, entry in cell.outcomes.items():
+                if entry["forbidden"] or entry["unlisted"]:
+                    why = ", ".join(entry["forbidden"]) or "unlisted state"
+                    out += (f"\nFAIL {cell.test}/{cell.design}"
+                            f"@{entry['first_cycle']}: {entry['state']} "
+                            f"({why})")
+            for err in cell.errors[:3]:
+                out += f"\nFAIL {cell.test}/{cell.design} {err}"
+            if cell.idempotence_failures:
+                out += (f"\nFAIL {cell.test}/{cell.design}: "
+                        f"{cell.idempotence_failures} points where a second "
+                        f"recovery changed the durable image")
+        return out
+
+    def to_json(self) -> dict:
+        """JSON artifact payload (the CLI writes this to ``--out``)."""
+        return {
+            "points_total": self.points_total,
+            "summary": {
+                "cells": len(self.cells),
+                "failures": len(self.failures),
+                "detected": len(self.detected),
+            },
+            "cells": [
+                {
+                    "test": c.test,
+                    "design": c.design,
+                    "status": c.status,
+                    "expected_violation": c.expected,
+                    "points": c.points,
+                    "forbidden_points": c.forbidden_points,
+                    "unlisted_points": c.unlisted_points,
+                    "idempotence_failures": c.idempotence_failures,
+                    "errors": c.errors,
+                    "outcomes": [
+                        {"digest": digest, **entry}
+                        for digest, entry in sorted(c.outcomes.items())
+                    ],
+                }
+                for c in self.cells
+            ],
+        }
+
+
+# -- the explorer --------------------------------------------------------------
+
+
+def explore(
+    campaign,
+    tests: Sequence[LitmusSpec] | None = None,
+    designs: Iterable[Design] = tuple(LITMUS_DESIGNS),
+    seeds: Iterable[int] = (7,),
+    points: int = 10,
+    crash_start: int = DEFAULT_CRASH_START,
+) -> LitmusReport:
+    """Explore every (test × design × seed) cell; returns the report.
+
+    ``points`` is the crash-grid density per cell (the probe point is
+    always included on top).  All grid points across all cells go to the
+    campaign as **one batch**, keeping the worker pool saturated.
+    """
+    if tests is None:
+        tests = CATALOG
+    tests = [t.validate() for t in tests]
+    designs = list(designs)
+    seeds = list(seeds)
+    encoded = {t.name: t.to_dict() for t in tests}
+    conditions = {
+        t.name: (
+            [(e, compile_condition(e, list(t.vars))) for e in t.forbidden],
+            [(e, compile_condition(e, list(t.vars))) for e in t.allowed],
+        )
+        for t in tests
+    }
+
+    probe_points = [
+        LitmusPoint(test=encoded[t.name], design=d, crash_cycle=None, seed=s)
+        for t in tests for d in designs for s in seeds
+    ]
+    probes = campaign.run_litmus(probe_points)
+
+    cells: dict[tuple[str, str], LitmusCell] = {}
+    for t in tests:
+        for d in designs:
+            cells[(t.name, d.value)] = LitmusCell(
+                test=t.name, design=d.value,
+                expected=d.value in t.expect_violation,
+            )
+
+    grid: list[LitmusPoint] = []
+    for probe in probes:
+        key = (probe.point.test["name"], probe.point.design.value)
+        cell = cells[key]
+        cell.absorb(probe, *conditions[key[0]])
+        if probe.error:
+            continue  # the cell is already failing; no grid for it
+        grid.extend(
+            LitmusPoint(
+                test=probe.point.test, design=probe.point.design,
+                crash_cycle=cycle, seed=probe.point.seed,
+            )
+            for cycle in crash_cycles_for(probe.finish, points, crash_start)
+        )
+    for outcome in campaign.run_litmus(grid):
+        key = (outcome.point.test["name"], outcome.point.design.value)
+        cells[key].absorb(outcome, *conditions[key[0]])
+
+    ordered = [
+        cells[(t.name, d.value)] for t in tests for d in designs
+    ]
+    return LitmusReport(
+        cells=ordered, points_total=len(probe_points) + len(grid)
+    )

@@ -62,9 +62,12 @@ class MemoryController:
         self.redo_backend = None
         #: Victim cache (REDO design) — set by the system builder.
         self.victim_cache = None
-        #: Invariant-checking hook: called as fn(addr) just before a data
-        #: line persists.  Installed by repro.atom.invariants in tests.
-        self.pre_persist_check: Callable[[int], None] | None = None
+        #: Invariant-checking hook: called as fn(addr, backend_apply)
+        #: just before a data line persists.  Installed by
+        #: repro.atom.invariants in tests; ``backend_apply`` flags the
+        #: REDO backend's in-place applies so the checker can exempt
+        #: exactly the rules those writes legitimately relax.
+        self.pre_persist_check: Callable[[int, bool], None] | None = None
 
     # -- channel selection ----------------------------------------------------
 
@@ -140,18 +143,32 @@ class MemoryController:
         addr: int,
         payload: bytes,
         on_persist: Callable[[], None] | None = None,
+        *,
+        backend_apply: bool = False,
     ) -> None:
         """Persist a data line, honouring the LogM ordering gate.
 
         The payload was snapshotted by the sender (cache writeback or
         flush); it lands in the durable image when the write completes.
+
+        ``backend_apply`` marks the REDO backend's in-place applies.
+        The invariant checker exempts them from the parked-line rule
+        only: the victim cache parks a line to keep a *later,
+        uncommitted* transaction's bytes off the NVM, while the backend
+        apply persists an *earlier committed* transaction's
+        reconstruction of that very line — a legitimate write the
+        litmus catalog's victim-parking scenario exercises (a dirty
+        eviction parking between a transaction's commit and its
+        in-place apply).
         """
         self._add_data_writes()
 
         def release() -> None:
             self._submit_write(
                 self.data_channel, AccessKind.DATA_WRITE, addr, len(payload),
-                lambda: self._persist(addr, payload, on_persist, check=True),
+                lambda: self._persist(addr, payload, on_persist,
+                                      check=True,
+                                      backend_apply=backend_apply),
             )
 
         if self.logm is not None:
@@ -188,9 +205,10 @@ class MemoryController:
         on_persist: Callable[[], None] | None,
         *,
         check: bool,
+        backend_apply: bool = False,
     ) -> None:
         if check and self.pre_persist_check is not None:
-            self.pre_persist_check(addr)
+            self.pre_persist_check(addr, backend_apply)
         self.image.persist(addr, payload)
         if on_persist is not None:
             on_persist()

@@ -23,6 +23,7 @@ them to controllers and log regions.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 
 from repro.common.errors import MemoryError_
@@ -132,6 +133,35 @@ class MemoryImage:
             self._volatile[addr : addr + size]
             == self._durable[addr : addr + size]
         )
+
+    def durable_extract(self, ranges) -> bytes:
+        """Concatenated NVM contents of ``(addr, size)`` ranges.
+
+        The byte-level sibling of :meth:`durable_digest`: where a digest
+        proves two recovered states equal, the extract shows *what*
+        differs (the recovery-idempotence tests compare extracts so a
+        failure prints the diverging bytes, not two opaque hashes).
+        """
+        return b"".join(self.durable_read(addr, size) for addr, size in ranges)
+
+    def durable_digest(self, ranges=None) -> str:
+        """SHA-256 hex digest of durable contents.
+
+        ``ranges`` is an iterable of ``(addr, size)`` pairs; ``None``
+        digests the whole durable image (used to check that re-running
+        recovery is a no-op).  Range boundaries are hashed along with
+        the bytes so two different layouts cannot collide.
+        """
+        digest = hashlib.sha256()
+        if ranges is None:
+            digest.update(self._dur_view)
+        else:
+            for addr, size in ranges:
+                self._check(addr, size)
+                digest.update(_U64.pack(addr))
+                digest.update(_U64.pack(size))
+                digest.update(self._dur_view[addr : addr + size])
+        return digest.hexdigest()
 
     # -- whole-image operations --------------------------------------------
 

@@ -47,12 +47,18 @@ def make_workload(name: str, system, size: str | None = None, **kw) -> Workload:
         from repro.workloads.tpcc import TpccWorkload
 
         cls: type[Workload] = TpccWorkload
+    elif name == "litmus":
+        # The programmable litmus workload compiles a declarative spec
+        # (passed as the ``program`` kwarg) into per-core op streams.
+        from repro.workloads.litmus import LitmusWorkload
+
+        cls = LitmusWorkload
     else:
         try:
             cls = MICROBENCHMARKS[name]
         except KeyError:
             known = ", ".join(
-                sorted(MICROBENCHMARKS) + ["tpcc"] + sorted(ALIASES)
+                sorted(MICROBENCHMARKS) + ["tpcc", "litmus"] + sorted(ALIASES)
             )
             raise WorkloadError(
                 f"unknown workload {name!r} (known: {known})"

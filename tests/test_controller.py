@@ -68,11 +68,23 @@ class TestPersistAcks:
     def test_pre_persist_check_runs_for_data_not_log(self):
         engine, mc, _, _ = make_controller()
         checked = []
-        mc.pre_persist_check = checked.append
+        mc.pre_persist_check = lambda addr, backend_apply: checked.append(
+            (addr, backend_apply)
+        )
         mc.write_data_line(0, LINE)
         mc.write_log_line(mc.layout.log_base, LINE)
         engine.run()
-        assert checked == [0]
+        assert checked == [(0, False)]
+
+    def test_pre_persist_check_flags_backend_applies(self):
+        engine, mc, _, _ = make_controller()
+        checked = []
+        mc.pre_persist_check = lambda addr, backend_apply: checked.append(
+            (addr, backend_apply)
+        )
+        mc.write_data_line(0, LINE, backend_apply=True)
+        engine.run()
+        assert checked == [(0, True)]
 
 
 class FakeGate:

@@ -105,3 +105,40 @@ class TestCrashSemantics:
         image.crash()
         assert image.read(0, 8192) == bytes(shadow_durable)
         assert image.durable_read(0, 8192) == bytes(shadow_durable)
+
+
+class TestDurableDigestExtract:
+    """Recovered-state snapshot helpers (litmus explorer, recovery tests)."""
+
+    def test_extract_concatenates_ranges(self):
+        image = MemoryImage(4096)
+        image.persist(0, b"aa")
+        image.persist(128, b"bb")
+        assert image.durable_extract([(0, 2), (128, 2)]) == b"aabb"
+
+    def test_digest_tracks_durable_not_volatile(self):
+        image = MemoryImage(4096)
+        before = image.durable_digest([(0, 64)])
+        image.write(0, b"x")  # volatile only
+        assert image.durable_digest([(0, 64)]) == before
+        image.persist(0, b"x")
+        assert image.durable_digest([(0, 64)]) != before
+
+    def test_whole_image_digest_detects_any_change(self):
+        image = MemoryImage(4096)
+        before = image.durable_digest()
+        image.persist(4032, b"z")
+        assert image.durable_digest() != before
+
+    def test_digest_hashes_range_boundaries(self):
+        # Same bytes, different layout: digests must differ.
+        image = MemoryImage(4096)
+        assert (image.durable_digest([(0, 128)])
+                != image.durable_digest([(0, 64), (64, 64)]))
+
+    def test_out_of_bounds_range_rejected(self):
+        image = MemoryImage(4096)
+        with pytest.raises(MemoryError_):
+            image.durable_digest([(4090, 64)])
+        with pytest.raises(MemoryError_):
+            image.durable_extract([(-1, 8)])

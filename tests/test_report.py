@@ -88,3 +88,53 @@ class TestMeanCi:
     def test_custom_z(self):
         _, ci = mean_ci([1.0, 3.0], z=1.0)
         assert ci == pytest.approx(1.0)
+
+    def test_accepts_any_iterable(self):
+        mean, ci = mean_ci(v for v in (2.0, 2.0))
+        assert (mean, ci) == (2.0, 0.0)
+
+    def test_float_noise_never_yields_nan_ci(self):
+        # Samples identical up to representation noise: the variance sum
+        # must never round below zero and poison sqrt.
+        vals = [0.1 + 0.2, 0.3, 0.30000000000000004] * 3
+        mean, ci = mean_ci(vals)
+        assert math.isfinite(mean) and math.isfinite(ci)
+        assert ci >= 0.0
+
+    def test_integer_samples(self):
+        mean, ci = mean_ci([4, 4, 4])
+        assert (mean, ci) == (4.0, 0.0)
+
+
+class TestCampaignDegenerateSeeds:
+    """mean_ci's consumers: single-seed and zero-variance campaigns."""
+
+    @staticmethod
+    def _result(throughput: float):
+        from repro.config import Design
+        from repro.harness.runner import RunResult, RunSpec
+
+        spec = RunSpec(design=Design.ATOM_OPT, workload="hash")
+        return RunResult(spec=spec, cycles=100, txns=10,
+                         throughput=throughput, sq_full_cycles=0,
+                         log_entries=1, source_logged=0, log_writes=1,
+                         stats={})
+
+    def test_single_seed_replica_has_zero_ci(self):
+        from repro.harness.campaign import ReplicatedResult
+
+        rep = ReplicatedResult(spec=None, results=[self._result(5.0)])
+        assert rep.throughput_mean == 5.0
+        assert rep.throughput_ci == 0.0
+        assert not math.isnan(rep.throughput_ci)
+
+    def test_zero_variance_seeds_have_zero_ci(self):
+        from repro.harness.campaign import (ReplicatedResult,
+                                            aggregate_results)
+
+        results = [self._result(5.0) for _ in range(3)]
+        rep = ReplicatedResult(spec=None, results=results)
+        assert rep.throughput_ci == 0.0
+        agg = aggregate_results(results)
+        assert agg.stats["campaign"]["throughput_ci"] == 0.0
+        assert not math.isnan(agg.throughput)
