@@ -14,9 +14,10 @@ log region, so post-crash recovery operates on the durable image alone.
 
 Serialized format (little-endian)::
 
-    u32 magic  "ADR2"
+    u32 magic  "ADR3"
     u16 aus_count
     u16 bucket_count
+    u32 checksum             CRC-32 of the per-AUS payload that follows
     per AUS:
         bucket bit vector    (bucket_count/8 bytes)
         u16 current_bucket   (0xFFFF = none)
@@ -24,19 +25,30 @@ Serialized format (little-endian)::
         u32 update_start_seq (0xFFFFFFFF = none) — sequence number of
                              the update's first record; recovery rejects
                              stale headers below it (see repro.atom.aus)
+
+The checksum is the flush's *completion proof*.  ADR guarantees the
+block only while the platform honours its power budget; the fault
+subsystem's ``adr-truncation`` model cuts the flush loop after K lines,
+leaving the head of the block new and the tail stale.  Without the
+checksum such a block parses as well-formed garbage and recovery would
+silently undo the wrong records; with it, :func:`deserialize` raises
+:class:`~repro.common.errors.RecoveryError` and recovery reports the
+controller as unrecoverable instead of corrupting data.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.atom.aus import AusState
 from repro.common.bitvector import BitVector
 from repro.common.errors import RecoveryError
+from repro.common.units import CACHE_LINE_BYTES
 
-MAGIC = 0x32524441  # "ADR2"
-_HEADER = struct.Struct("<IHH")
+MAGIC = 0x33524441  # "ADR3"
+_HEADER = struct.Struct("<IHHI")
 _REGS = struct.Struct("<HHI")
 _NO_BUCKET = 0xFFFF
 _NO_SEQ = 0xFFFFFFFF
@@ -59,31 +71,46 @@ class AdrAusImage:
 
 def serialize(aus_list: list[AusState], bucket_count: int) -> bytes:
     """Pack the critical structures of one controller's LogM."""
-    parts = [_HEADER.pack(MAGIC, len(aus_list), bucket_count)]
+    parts = []
     for state in aus_list:
         parts.append(state.bucket_vec.to_bytes())
         bucket = _NO_BUCKET if state.current_bucket is None else state.current_bucket
         seq = _NO_SEQ if state.update_start_seq is None else state.update_start_seq
         parts.append(_REGS.pack(bucket, state.current_record, seq))
-    return b"".join(parts)
+    payload = b"".join(parts)
+    return _HEADER.pack(
+        MAGIC, len(aus_list), bucket_count, zlib.crc32(payload)
+    ) + payload
 
 
 def deserialize(blob: bytes) -> list[AdrAusImage]:
-    """Unpack an ADR block; empty list when no flush ever happened."""
+    """Unpack an ADR block; empty list when no flush ever happened.
+
+    Raises :class:`~repro.common.errors.RecoveryError` when the block
+    carries the magic but fails validation — a truncated or corrupted
+    ADR flush, which recovery must *report*, not act on.
+    """
     if len(blob) < _HEADER.size:
         return []
-    magic, aus_count, bucket_count = _HEADER.unpack_from(blob, 0)
+    magic, aus_count, bucket_count, checksum = _HEADER.unpack_from(blob, 0)
     if magic != MAGIC:
         return []
     vec_bytes = (bucket_count + 7) // 8
-    offset = _HEADER.size
+    payload_len = aus_count * (vec_bytes + _REGS.size)
+    if _HEADER.size + payload_len > len(blob):
+        raise RecoveryError("truncated ADR block")
+    payload = blob[_HEADER.size:_HEADER.size + payload_len]
+    if zlib.crc32(payload) != checksum:
+        raise RecoveryError(
+            "ADR block failed checksum validation (flush truncated or "
+            "log region corrupted)"
+        )
+    offset = 0
     images: list[AdrAusImage] = []
     for slot in range(aus_count):
         end = offset + vec_bytes
-        if end + _REGS.size > len(blob):
-            raise RecoveryError("truncated ADR block")
-        vec = BitVector.from_bytes(bucket_count, blob[offset:end])
-        bucket, record, seq = _REGS.unpack_from(blob, end)
+        vec = BitVector.from_bytes(bucket_count, payload[offset:end])
+        bucket, record, seq = _REGS.unpack_from(payload, end)
         offset = end + _REGS.size
         images.append(
             AdrAusImage(
@@ -97,11 +124,17 @@ def deserialize(blob: bytes) -> list[AdrAusImage]:
     return images
 
 
-def flush_on_power_failure(logm, image, layout) -> bytes:
+def flush_on_power_failure(logm, image, layout, *,
+                           max_lines: int | None = None) -> bytes:
     """Write one controller's critical structures to its ADR block.
 
     Called by ``System.crash()``; models the hardware ADR flush, so the
-    bytes go straight to the durable image.
+    bytes go straight to the durable image.  ``max_lines`` models a
+    failing power budget (the fault subsystem's ``adr-truncation``
+    model): only the first ``max_lines`` cache lines of the image reach
+    the NVM, the rest of the block keeps its stale contents.  Returns
+    the *full* serialized blob either way, so callers can tell whether
+    the budget actually truncated anything.
     """
     blob = serialize(logm.aus, logm.cfg.buckets_per_controller)
     base = layout.adr_base(logm.mc.mc_id)
@@ -110,5 +143,8 @@ def flush_on_power_failure(logm, image, layout) -> bytes:
             f"ADR image ({len(blob)} B) exceeds reserved block "
             f"({layout.adr_block_bytes} B)"
         )
-    image.persist(base, blob)
+    flushed = blob
+    if max_lines is not None and len(blob) > max_lines * CACHE_LINE_BYTES:
+        flushed = blob[:max_lines * CACHE_LINE_BYTES]
+    image.persist(base, flushed)
     return blob

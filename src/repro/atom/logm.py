@@ -283,8 +283,11 @@ class LogManager:
         beneath it.  The channel write queue drains strictly FIFO, and
         every entry data line was enqueued before this header write, so
         issue order alone guarantees persist order — no waiting on the
-        data persists is needed (a crash drops queued writes wholesale,
-        which can only leave the header missing, never early).
+        data persists is needed.  A crash drops queued writes wholesale,
+        which can only leave the header missing, never early; the one
+        write *on the wires* at the cut can additionally tear (persist a
+        prefix of its bytes), which the header's checksum catches — see
+        :mod:`repro.atom.record` and the torn-log-write fault model.
         """
         if record.closing:
             return

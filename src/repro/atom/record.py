@@ -11,19 +11,31 @@ the "unlock".
 Header line layout (64 bytes)::
 
     bytes  0..55   seven u64 line addresses
-    byte   56      count of valid entries (0..7)
-    byte   57      flags (bit 0: valid)
-    bytes 58..59   u16 owner AUS slot  }  the paper's "reserved bits",
-    bytes 60..63   u32 record sequence }  used for recovery ordering
+    byte   56      count of valid entries (low nibble) | flags (high)
+    byte   57      u8 owner AUS slot    }  the paper's "reserved bits",
+    bytes 58..59   u16 header checksum  }  used for recovery ordering
+    bytes 60..63   u32 record sequence  }  and tear/corruption detection
 
 The owner/sequence stamp is this reproduction's use of the header's
 reserved bits (see DESIGN.md): recovery orders an update's records by
 sequence number and rejects stale headers left in reallocated buckets.
+
+The **checksum** (CRC-32 over the line with the checksum field zeroed,
+truncated to 16 bits) is what makes header validation sound under
+*torn* writes: a power cut can interrupt the one line currently on the
+channel wires, persisting only a prefix of its bytes over whatever the
+cells held before.  A torn header whose stale tail still carries a
+valid flag would otherwise be accepted — and its address words may be
+half new, half stale, so undoing it would corrupt data lines.  The
+checksum covers every byte, so any prefix/suffix mix fails validation;
+recovery counts the rejection as a *detected* tear (the fault
+subsystem's torn-log-write model exercises exactly this path).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 from repro.common.errors import RecoveryError
@@ -31,8 +43,16 @@ from repro.common.units import CACHE_LINE_BYTES
 
 _ADDR = struct.Struct("<7Q")
 _TAIL = struct.Struct("<BBHI")
+_CHECKSUM_OFFSET = 58
 
 FLAG_VALID = 0x01
+
+
+def header_checksum(line: bytes) -> int:
+    """16-bit checksum of a header line (checksum field zeroed)."""
+    return zlib.crc32(
+        line[:_CHECKSUM_OFFSET] + b"\x00\x00" + line[_CHECKSUM_OFFSET + 2:]
+    ) & 0xFFFF
 
 
 @dataclass
@@ -44,17 +64,35 @@ class RecordHeader:
     flags: int
     owner: int
     seq: int
+    #: Stored checksum matched the line contents (encode always makes
+    #: this True; a decode of a torn or corrupted line clears it).
+    checksum_ok: bool = True
 
     @property
     def valid(self) -> bool:
+        """Structurally valid: flag set and a plausible entry count.
+
+        Recovery additionally requires :attr:`checksum_ok` — a valid
+        header with a failing checksum is a torn/corrupt line and must
+        be rejected *and counted* as a detection.
+        """
         return bool(self.flags & FLAG_VALID) and 0 < self.count <= 7
+
+    @property
+    def trustworthy(self) -> bool:
+        """Valid and byte-exact: safe for recovery to act on."""
+        return self.valid and self.checksum_ok
 
     def encode(self) -> bytes:
         """Pack into the 64-byte header line image."""
         addrs = list(self.addresses) + [0] * (7 - len(self.addresses))
-        return _ADDR.pack(*addrs) + _TAIL.pack(
-            self.count, self.flags, self.owner, self.seq
-        )
+        line = bytearray(_ADDR.pack(*addrs) + _TAIL.pack(
+            (self.count & 0x0F) | ((self.flags & 0x0F) << 4),
+            self.owner, 0, self.seq,
+        ))
+        struct.pack_into("<H", line, _CHECKSUM_OFFSET,
+                         header_checksum(bytes(line)))
+        return bytes(line)
 
     @classmethod
     def decode(cls, line: bytes) -> "RecordHeader":
@@ -62,10 +100,11 @@ class RecordHeader:
         if len(line) != CACHE_LINE_BYTES:
             raise RecoveryError(f"header line must be 64 bytes, got {len(line)}")
         addrs = list(_ADDR.unpack_from(line, 0))
-        count, flags, owner, seq = _TAIL.unpack_from(line, 56)
-        count = min(count, 7)
-        return cls(addresses=addrs[:count], count=count, flags=flags,
-                   owner=owner, seq=seq)
+        count_flags, owner, stored, seq = _TAIL.unpack_from(line, 56)
+        count = min(count_flags & 0x0F, 7)
+        return cls(addresses=addrs[:count], count=count,
+                   flags=count_flags >> 4, owner=owner, seq=seq,
+                   checksum_ok=stored == header_checksum(line))
 
 
 @dataclass(slots=True)

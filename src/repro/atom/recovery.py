@@ -5,6 +5,9 @@ nothing but the durable NVM image.  It proceeds per memory controller:
 
 1. Read the ADR block: per-AUS bucket bit vectors and current
    bucket/record registers, flushed by hardware at the power failure.
+   The block carries a checksum; a block that fails validation (a
+   truncated or corrupted ADR flush — the fault subsystem's
+   ``adr-truncation`` model) is *reported* and skipped, never acted on.
 2. For each AUS that owned buckets, rebuild its record list:
 
    * every record of each *full* (non-current) bucket belongs to the
@@ -13,12 +16,15 @@ nothing but the durable NVM image.  It proceeds per memory controller:
    * in the current bucket, records ``[0, current_record)`` are
      candidates;
    * a candidate record counts only if its header is **valid**: valid
-     flag set, owner stamp matching the AUS slot, and sequence number
-     strictly increasing along the walk.  The sequence check rejects
-     stale headers left behind in re-allocated buckets and headers whose
-     persist was still queued (and therefore dropped) at the failure —
-     in both cases Invariant 2 guarantees the corresponding data lines
-     never persisted, so skipping them is correct.
+     flag set, byte-exact checksum, owner stamp matching the AUS slot,
+     and sequence number strictly increasing along the walk.  The
+     sequence check rejects stale headers left behind in re-allocated
+     buckets and headers whose persist was still queued (and therefore
+     dropped) at the failure — in both cases Invariant 2 guarantees the
+     corresponding data lines never persisted, so skipping them is
+     correct.  The checksum check rejects *torn* headers — a power cut
+     mid-write persists only a prefix of the line — whose stale tail
+     might otherwise look valid while the address words are garbage.
 
 3. Undo the accepted records **newest-first** (descending sequence):
    copy each entry's old-value payload back over its data line.  A line
@@ -30,6 +36,13 @@ The routine is deliberately conservative: it may undo lines whose new
 values never persisted (writing the value they already hold), which
 costs recovery time but not correctness — the paper makes the same
 observation.
+
+Every pass is **instrumented**: the returned report carries a
+:class:`~repro.faults.analytics.RecoveryCost` with per-controller line
+traffic, rejection counters, and a modeled recovery time in cycles
+derived from the NVM timing parameters (paper section VI-E measures
+recovery work; the fault subsystem turns it into a differential metric
+across designs).
 """
 
 from __future__ import annotations
@@ -38,8 +51,10 @@ from dataclasses import dataclass, field
 
 from repro.atom import adr
 from repro.atom.record import RecordHeader
+from repro.common.errors import RecoveryError
 from repro.common.units import CACHE_LINE_BYTES
-from repro.config import LogConfig
+from repro.config import LogConfig, MemoryConfig
+from repro.faults.analytics import ControllerCost, RecoveryCost, adr_block_lines
 from repro.mem.image import MemoryImage
 from repro.mem.layout import AddressLayout, RecordAddress
 
@@ -63,6 +78,10 @@ class RecoveryReport:
     entries_undone: int = 0
     controllers_with_state: int = 0
     records: list[UndoneRecord] = field(default_factory=list)
+    #: ADR blocks that failed validation (per controller, at most one).
+    adr_invalid: int = 0
+    #: Recovery-time analytics for the pass.
+    cost: RecoveryCost = field(default_factory=RecoveryCost)
 
     def merge(self, other: "RecoveryReport") -> None:
         self.updates_rolled_back += other.updates_rolled_back
@@ -70,10 +89,13 @@ class RecoveryReport:
         self.entries_undone += other.entries_undone
         self.controllers_with_state += other.controllers_with_state
         self.records.extend(other.records)
+        self.adr_invalid += other.adr_invalid
+        self.cost.merge(other.cost)
 
 
 def recover(image: MemoryImage, layout: AddressLayout,
-            cfg: LogConfig, *, clear_adr: bool = True) -> RecoveryReport:
+            cfg: LogConfig, *, clear_adr: bool = True,
+            mem: MemoryConfig | None = None) -> RecoveryReport:
     """Run the full recovery routine over every controller's log.
 
     ``clear_adr=False`` stops before step 4 (clearing the ADR block) —
@@ -81,11 +103,16 @@ def recover(image: MemoryImage, layout: AddressLayout,
     undo writes themselves are idempotent, re-running ``recover`` over
     such an image must converge to the same durable contents; the
     idempotence tests exercise exactly this.
+
+    ``mem`` supplies the NVM timing parameters for the modeled recovery
+    cycles (defaults to the paper's Table-I device).
     """
+    if mem is None:
+        mem = MemoryConfig()
     report = RecoveryReport()
     for controller in range(layout.num_controllers):
         report.merge(
-            _recover_controller(image, layout, cfg, controller,
+            _recover_controller(image, layout, cfg, controller, mem,
                                 clear_adr=clear_adr)
         )
     return report
@@ -96,26 +123,46 @@ def _recover_controller(
     layout: AddressLayout,
     cfg: LogConfig,
     controller: int,
+    mem: MemoryConfig,
     *,
     clear_adr: bool = True,
 ) -> RecoveryReport:
     report = RecoveryReport()
+    ctl = ControllerCost(
+        controller=controller,
+        adr_lines=adr_block_lines(layout.adr_block_bytes),
+    )
     base = layout.adr_base(controller)
     blob = image.durable_read(base, layout.adr_block_bytes)
-    images = adr.deserialize(blob)
+    try:
+        images = adr.deserialize(blob)
+    except RecoveryError:
+        # The ADR flush never completed (or the block was corrupted):
+        # the bucket ownership map is gone, so nothing can be soundly
+        # undone for this controller.  Report the detection and clear
+        # the block so the failure is not re-reported forever.
+        report.adr_invalid = 1
+        report.controllers_with_state = 1
+        ctl.adr_invalid = 1
+        if clear_adr:
+            image.persist(base, bytes(layout.adr_block_bytes))
+            ctl.clear_writes = ctl.adr_lines
+        report.cost.absorb(ctl.finalize(mem))
+        return report
     if not images:
+        report.cost.absorb(ctl.finalize(mem))
         return report
     report.controllers_with_state = 1
     for aus in images:
         if not aus.active():
             continue
-        records = _collect_records(image, layout, controller, aus)
+        records = _collect_records(image, layout, controller, aus, ctl)
         if not records:
             continue
         report.updates_rolled_back += 1
         # Undo newest-first: descending sequence order.
         for rec_addr, header in sorted(records, key=lambda r: -r[1].seq):
-            _undo_record(image, layout, rec_addr, header)
+            _undo_record(image, layout, rec_addr, header, ctl)
             report.records_undone += 1
             report.entries_undone += header.count
             report.records.append(
@@ -129,6 +176,9 @@ def _recover_controller(
     if clear_adr:
         # Recovery complete: clear the ADR block (second recovery = no-op).
         image.persist(base, bytes(layout.adr_block_bytes))
+        ctl.clear_writes = ctl.adr_lines
+    ctl.records_undone = report.records_undone
+    report.cost.absorb(ctl.finalize(mem))
     return report
 
 
@@ -137,6 +187,7 @@ def _collect_records(
     layout: AddressLayout,
     controller: int,
     aus: adr.AdrAusImage,
+    ctl: ControllerCost,
 ) -> list[tuple[RecordAddress, RecordHeader]]:
     """Gather the valid records of one incomplete update, in write order."""
     cfg = layout.log
@@ -149,9 +200,12 @@ def _collect_records(
     for bucket in aus.bucket_vec.iter_ones():
         if bucket == aus.current_bucket:
             continue
-        header = _read_header(image, layout, controller, bucket, 0)
+        header = _read_header(image, layout, controller, bucket, 0, ctl)
+        if header.valid and not header.checksum_ok:
+            ctl.checksum_rejected += 1
+            continue
         if (
-            header is not None
+            header.trustworthy
             and header.owner == aus.slot
             and header.seq >= start_seq
         ):
@@ -167,14 +221,23 @@ def _collect_records(
     last_seq = start_seq - 1
     for bucket, limit in ordered:
         for index in range(limit):
-            header = _read_header(image, layout, controller, bucket, index)
-            if header is None or header.owner != aus.slot:
+            header = _read_header(image, layout, controller, bucket, index, ctl)
+            if not header.valid:
                 return accepted  # prefix ends at the first invalid header
-            if header.seq <= last_seq:
+            if not header.checksum_ok:
+                # Torn or corrupted header line: the persist was cut
+                # mid-write (or the cells went bad).  Invariant 2 still
+                # holds for everything beneath it — the entries' data
+                # writes were gated on this very header — so stopping
+                # the prefix here is safe; the point is that we *know*.
+                ctl.checksum_rejected += 1
+                return accepted
+            if header.owner != aus.slot or header.seq <= last_seq:
                 # Stale header: left in a reallocated bucket by an
                 # earlier (committed) update, or a header whose persist
                 # was dropped at the failure.  Either way its entries
                 # are not durable state of *this* update.
+                ctl.stale_rejected += 1
                 return accepted
             last_seq = header.seq
             accepted.append(
@@ -189,11 +252,12 @@ def _read_header(
     controller: int,
     bucket: int,
     index: int,
-) -> RecordHeader | None:
+    ctl: ControllerCost,
+) -> RecordHeader:
     rec = RecordAddress(controller, bucket, index)
     line = image.durable_read(layout.record_header_addr(rec), CACHE_LINE_BYTES)
-    header = RecordHeader.decode(line)
-    return header if header.valid else None
+    ctl.headers_scanned += 1
+    return RecordHeader.decode(line)
 
 
 def _undo_record(
@@ -201,6 +265,7 @@ def _undo_record(
     layout: AddressLayout,
     rec_addr: RecordAddress,
     header: RecordHeader,
+    ctl: ControllerCost,
 ) -> None:
     """Write each entry's old value back over its data line.
 
@@ -213,4 +278,6 @@ def _undo_record(
         payload = image.durable_read(
             layout.record_entry_addr(rec_addr, slot), CACHE_LINE_BYTES
         )
+        ctl.entries_read += 1
+        ctl.undo_writes += 1
         image.persist(data_addr, payload)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.common.stats import Stats
 from repro.common.units import CACHE_LINE_BYTES, line_of
+from repro.faults.analytics import RecoveryCost, redo_replay_cost
 
 CTRL_BYTES = 8
 _ENTRY = struct.Struct("<QQ")
@@ -118,6 +119,8 @@ class RedoManager:
         self._slice_bytes = (
             system.config.log.region_bytes // max(1, num_cores)
         ) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
+        #: Analytics of the last :meth:`recover` call (replay traffic).
+        self.last_recovery_cost = RecoveryCost()
 
     # -- transaction lifecycle --------------------------------------------------------
 
@@ -389,15 +392,31 @@ class RedoManager:
         is idempotent, and re-running an already-applied later
         transaction restores any of its words an earlier replay just
         overwrote.  Returns the number of transactions replayed.
+
+        The replay's modeled traffic lands in :attr:`last_recovery_cost`:
+        the backend re-reads each replayed transaction's combined log
+        lines plus its commit record, then writes each reconstructed
+        data line in place.
         """
         prefix = 0
         while (prefix < len(self._commit_order)
                and self._commit_order[prefix] in self._applied):
             prefix += 1
         replayed = 0
+        entries = 0
+        log_lines = 0
+        data_lines: set[int] = set()
         for txn_id in self._commit_order[prefix:]:
-            for addr, value in self._durable_commits[txn_id]:
+            words = self._durable_commits[txn_id]
+            for addr, value in words:
                 self.image.persist(addr, value)
+                data_lines.add(line_of(addr))
+            entries += len(words)
+            log_lines += -(-len(words) // self.entries_per_line) + 1
             self._applied.add(txn_id)
             replayed += 1
+        self.last_recovery_cost = redo_replay_cost(
+            self.system.config.memory, replayed=replayed, entries=entries,
+            log_lines_read=log_lines, data_lines_written=len(data_lines),
+        )
         return replayed

@@ -269,6 +269,11 @@ class SystemConfig:
             )
         if self.log.aus_per_controller < 1:
             raise ConfigError("need at least one AUS per controller")
+        if self.log.aus_per_controller > 255:
+            # The record header stamps its owner AUS slot in one byte
+            # (repro.atom.record header layout).
+            raise ConfigError("at most 255 AUS per controller (u8 owner "
+                              "stamp in the record header)")
         if self.memory.interleave_bytes % CACHE_LINE_BYTES:
             raise ConfigError("interleave granularity must be line-aligned")
         if self.data_bytes % self.memory.interleave_bytes:

@@ -1,0 +1,209 @@
+"""Recovery-time analytics: the :class:`RecoveryCost` report.
+
+ATOM's recovery is a software routine over the durable image, so its
+cost is dominated by NVM traffic: reading the ADR critical-structure
+block, scanning record headers, reading undo entry payloads, and writing
+old values back over data lines (paper section VI-E measures exactly
+this log-scan/undo work).  Recovery proceeds independently per memory
+controller, so the modeled wall-clock is the *maximum* per-controller
+cost, not the sum — mirroring how a real recovery syscall would walk the
+controllers' regions with one thread each.
+
+The cycle model reuses the NVM timing parameters the simulation itself
+runs on (:class:`~repro.config.MemoryConfig`): a line read costs the
+array read latency plus the bus transfer, a line write the write latency
+plus transfer.  Recovery runs on a cold machine with no competing
+traffic, so no queueing term is modeled.
+
+This module is a leaf (config-only imports): :mod:`repro.atom.recovery`
+and :mod:`repro.atom.redo` attach a :class:`RecoveryCost` to their
+reports, and the harness serialises it into every crash/litmus/fault
+outcome payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import CACHE_LINE_BYTES
+from repro.config import MemoryConfig
+
+
+def line_read_cycles(mem: MemoryConfig) -> int:
+    """Modeled cycles to read one 64 B line from the NVM array."""
+    return mem.read_cycles + mem.line_transfer_cycles
+
+
+def line_write_cycles(mem: MemoryConfig) -> int:
+    """Modeled cycles to persist one 64 B line into the NVM array."""
+    return mem.write_cycles + mem.line_transfer_cycles
+
+
+def traffic_cycles(mem: MemoryConfig, lines_read: int,
+                   lines_written: int) -> int:
+    """Serial cost of a recovery pass's NVM traffic on one controller."""
+    return (lines_read * line_read_cycles(mem)
+            + lines_written * line_write_cycles(mem))
+
+
+@dataclass
+class ControllerCost:
+    """Recovery work performed on one memory controller's log region."""
+
+    controller: int
+    #: ADR critical-structure lines read (always the full block).
+    adr_lines: int = 0
+    #: Record header lines read during the scan (valid or not).
+    headers_scanned: int = 0
+    #: Undo entry payload lines read back.
+    entries_read: int = 0
+    #: Data lines written during undo (one per entry undone).
+    undo_writes: int = 0
+    records_undone: int = 0
+    #: Headers rejected by the owner/sequence staleness rules.
+    stale_rejected: int = 0
+    #: Headers rejected by checksum validation (torn/corrupt lines).
+    checksum_rejected: int = 0
+    #: ADR blocks failing checksum/truncation validation.
+    adr_invalid: int = 0
+    #: ADR-block lines written to clear the block (step 4).
+    clear_writes: int = 0
+    cycles: int = 0
+
+    @property
+    def lines_scanned(self) -> int:
+        return self.adr_lines + self.headers_scanned + self.entries_read
+
+    def finalize(self, mem: MemoryConfig) -> "ControllerCost":
+        """Fill in the modeled cycle cost from the traffic counters."""
+        self.cycles = traffic_cycles(
+            mem, self.lines_scanned, self.undo_writes + self.clear_writes
+        )
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "controller": self.controller,
+            "adr_lines": self.adr_lines,
+            "headers_scanned": self.headers_scanned,
+            "entries_read": self.entries_read,
+            "undo_writes": self.undo_writes,
+            "records_undone": self.records_undone,
+            "stale_rejected": self.stale_rejected,
+            "checksum_rejected": self.checksum_rejected,
+            "adr_invalid": self.adr_invalid,
+            "clear_writes": self.clear_writes,
+            "lines_scanned": self.lines_scanned,
+            "cycles": self.cycles,
+        }
+
+
+@dataclass
+class RecoveryCost:
+    """Whole-machine recovery cost, aggregated over the controllers.
+
+    ``cycles`` is the modeled recovery time: controllers are walked in
+    parallel, so it is the maximum per-controller cost (the REDO
+    comparator's single backend replay stream sets it directly).
+    """
+
+    #: Log-region lines read: ADR blocks + headers + entry payloads.
+    lines_scanned: int = 0
+    #: Undo records rolled back (undo designs).
+    records_undone: int = 0
+    entries_undone: int = 0
+    #: Committed transactions replayed in place (REDO design).
+    records_applied: int = 0
+    entries_applied: int = 0
+    #: Headers rejected as stale (owner/sequence rules — expected noise).
+    stale_rejected: int = 0
+    #: Headers rejected by checksum validation — torn or corrupt lines.
+    checksum_rejected: int = 0
+    #: ADR blocks failing validation (truncated/corrupt ADR flush).
+    adr_invalid: int = 0
+    #: Modeled recovery cycles (max over controllers; see class doc).
+    cycles: int = 0
+    per_controller: list[dict] = field(default_factory=list)
+
+    @property
+    def detections(self) -> int:
+        """Validation hits: corruption recovery *noticed* (vs. absorbed)."""
+        return self.checksum_rejected + self.adr_invalid
+
+    def absorb(self, ctl: ControllerCost) -> None:
+        """Fold one controller's finalized cost into the aggregate."""
+        self.lines_scanned += ctl.lines_scanned
+        self.records_undone += ctl.records_undone
+        self.entries_undone += ctl.undo_writes
+        self.stale_rejected += ctl.stale_rejected
+        self.checksum_rejected += ctl.checksum_rejected
+        self.adr_invalid += ctl.adr_invalid
+        if ctl.cycles > self.cycles:
+            self.cycles = ctl.cycles
+        self.per_controller.append(ctl.to_dict())
+
+    def merge(self, other: "RecoveryCost") -> None:
+        self.lines_scanned += other.lines_scanned
+        self.records_undone += other.records_undone
+        self.entries_undone += other.entries_undone
+        self.records_applied += other.records_applied
+        self.entries_applied += other.entries_applied
+        self.stale_rejected += other.stale_rejected
+        self.checksum_rejected += other.checksum_rejected
+        self.adr_invalid += other.adr_invalid
+        if other.cycles > self.cycles:
+            self.cycles = other.cycles
+        self.per_controller.extend(other.per_controller)
+
+    def to_dict(self) -> dict:
+        return {
+            "lines_scanned": self.lines_scanned,
+            "records_undone": self.records_undone,
+            "entries_undone": self.entries_undone,
+            "records_applied": self.records_applied,
+            "entries_applied": self.entries_applied,
+            "stale_rejected": self.stale_rejected,
+            "checksum_rejected": self.checksum_rejected,
+            "adr_invalid": self.adr_invalid,
+            "cycles": self.cycles,
+            "per_controller": list(self.per_controller),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecoveryCost":
+        return cls(
+            lines_scanned=payload.get("lines_scanned", 0),
+            records_undone=payload.get("records_undone", 0),
+            entries_undone=payload.get("entries_undone", 0),
+            records_applied=payload.get("records_applied", 0),
+            entries_applied=payload.get("entries_applied", 0),
+            stale_rejected=payload.get("stale_rejected", 0),
+            checksum_rejected=payload.get("checksum_rejected", 0),
+            adr_invalid=payload.get("adr_invalid", 0),
+            cycles=payload.get("cycles", 0),
+            per_controller=list(payload.get("per_controller", [])),
+        )
+
+
+def redo_replay_cost(mem: MemoryConfig, *, replayed: int, entries: int,
+                     log_lines_read: int, data_lines_written: int,
+                     ) -> RecoveryCost:
+    """Cost of the REDO comparator's recovery replay.
+
+    The backend re-reads the committed transactions' log lines (plus one
+    commit record each) and writes the reconstructed data lines in
+    place; the replay is a single stream, so the modeled time is the
+    serial traffic cost.
+    """
+    cost = RecoveryCost(
+        lines_scanned=log_lines_read,
+        records_applied=replayed,
+        entries_applied=entries,
+        cycles=traffic_cycles(mem, log_lines_read, data_lines_written),
+    )
+    return cost
+
+
+#: Lines in an ADR block of ``block_bytes`` (helper for the scanners).
+def adr_block_lines(block_bytes: int) -> int:
+    return (block_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES

@@ -1,0 +1,137 @@
+"""``python -m repro.harness faults`` — run the fault-injection matrix.
+
+Runs a (design x workload x fault-model x injection-point) grid through
+the campaign pool and the content-addressed result cache, prints the
+per-cell verdict table (with recovery-cost aggregates), and writes the
+full verdict + recovery-cost JSON artifact.  The exit code is the
+number of FAILing cells (capped at 255); ``detected`` cells — recovery
+*noticing* injected damage — count as success, and ``vacuous`` cells
+(the fault never actually applied at any injection point) are reported
+but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import Design
+from repro.faults.models import FAULT_MODELS, default_fault_models
+from repro.faults.sweep import (
+    FAULT_DESIGNS, FAULT_WORKLOADS, fault_grid, fault_sweep,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.campaign import Campaign
+from repro.harness.report import select_only
+
+
+def render_model_listing() -> str:
+    lines = []
+    width = max(len(kind) for kind in FAULT_MODELS)
+    for kind, cls in sorted(FAULT_MODELS.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        contract = ("consistency" if cls.preserves_consistency
+                    else "detection")
+        lines.append(f"{kind.ljust(width)}  [{contract}] {doc}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    from repro.harness.__main__ import _parse_grid
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness faults",
+        description="Inject partial failures (controller loss, torn log "
+                    "writes, ADR truncation, log corruption) and check "
+                    "recovery behaviour across the designs.",
+    )
+    parser.add_argument("--faults", default=None,
+                        help="fault models to inject (comma-separated; "
+                             "default: all)")
+    parser.add_argument("--only", default=None, metavar="NAME",
+                        help="run only fault models whose name matches "
+                             "(exact or case-insensitive substring)")
+    parser.add_argument("--designs",
+                        default=",".join(d.value for d in FAULT_DESIGNS),
+                        help="designs to check (comma-separated)")
+    parser.add_argument("--workloads", default=",".join(FAULT_WORKLOADS),
+                        help="workloads to run (comma-separated)")
+    parser.add_argument("--crash-grid", type=_parse_grid,
+                        default=range(2_000, 30_001, 4_000),
+                        help="injection points as start:stop:step "
+                             "(default 2000:30000:4000)")
+    parser.add_argument("--seeds", default="7",
+                        help="seeds (comma-separated; default 7)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory")
+    parser.add_argument("--out", default="fault_verdicts.json",
+                        help="verdict + recovery-cost artifact path "
+                             "(default fault_verdicts.json)")
+    parser.add_argument("--list", action="store_true",
+                        help="list fault models and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(render_model_listing())
+        return 0
+
+    kinds = sorted(FAULT_MODELS)
+    if args.faults:
+        unknown = [k for k in args.faults.split(",")
+                   if k and k not in FAULT_MODELS]
+        if unknown:
+            parser.error(f"unknown fault models {','.join(unknown)} "
+                         f"(see --list)")
+        kinds = [k for k in args.faults.split(",") if k]
+    if args.only is not None:
+        kinds = select_only(kinds, args.only)
+        if not kinds:
+            parser.error(f"--only {args.only!r} matches no fault model "
+                         f"(see --list)")
+    models = [m for m in default_fault_models() if m.kind in kinds]
+
+    try:
+        designs = [Design(d) for d in args.designs.split(",") if d]
+    except ValueError:
+        parser.error(f"--designs must be drawn from "
+                     f"{','.join(d.value for d in Design)}")
+    workloads = [w for w in args.workloads.split(",") if w]
+    if not workloads:
+        parser.error("--workloads must name at least one workload")
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated integers, "
+                     f"got {args.seeds!r}")
+    if not seeds:
+        parser.error("--seeds must name at least one seed")
+
+    specs = fault_grid(designs=designs, workloads=workloads, models=models,
+                       crash_cycles=args.crash_grid, seeds=seeds)
+    if not specs:
+        parser.error("the requested (design x fault) combinations are all "
+                     "inapplicable — nothing to run")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    campaign = Campaign(jobs=args.jobs, cache=cache)
+    start = time.time()
+    sweep = fault_sweep(campaign, specs)
+    print(sweep.render())
+    print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
+          f"{cache.hits if cache is not None else 0} cached)")
+    with open(args.out, "w") as fh:
+        json.dump(sweep.to_json(), fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return min(len(sweep.failures), 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

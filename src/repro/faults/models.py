@@ -1,0 +1,410 @@
+"""Declarative fault models and the injector that applies them.
+
+A :class:`FaultModel` describes *one way power can fail badly*.  Models
+are plain dataclasses that round-trip through ``to_dict``/``from_dict``
+— exactly like litmus specs — so they key the content-addressed
+campaign cache and cross process boundaries to pool workers.
+
+=====================  ======================================================
+``controller-loss``    one memory controller loses power (its queued
+                       writes vanish) while every other controller
+                       drains its write queue cleanly before the
+                       machine stops.  Consistency must still hold: the
+                       surviving drains only *add* persisted state
+                       relative to a whole-machine cut.
+``torn-log-write``     the log-region line on the channel wires at the
+                       failure persists only a prefix of its bytes over
+                       the old cell contents.  Recovery's header
+                       checksum must reject a torn header; consistency
+                       must still hold either way.
+``adr-truncation``     the ADR power budget cuts the critical-structure
+                       flush loop after K cache lines.  Undo for that
+                       controller is impossible; recovery must *detect*
+                       the truncated block (checksum) instead of
+                       parsing garbage.
+``log-corruption``     media corruption: bytes of the newest durable
+                       record header flip after the crash.  Recovery
+                       must detect the corrupt header (checksum), never
+                       undo from it, and stay idempotent.
+=====================  ======================================================
+
+Two axes classify every model and drive the sweep's verdicts:
+
+* ``preserves_consistency`` — the durable structure must still pass the
+  golden-model differential check after recovery.  True for
+  ``controller-loss`` and ``torn-log-write`` (both only remove or
+  invalidate state a whole-machine cut could also have removed); false
+  for ``adr-truncation`` and ``log-corruption``, which destroy
+  information recovery *needs* — there the contract is detection.
+* ``expects_detection`` — whenever the fault actually applied, the
+  recovery pass must report at least one validation hit
+  (``checksum_rejected`` or ``adr_invalid`` in the
+  :class:`~repro.faults.analytics.RecoveryCost`).
+
+The :class:`FaultInjector` is the bridge into the machine: it taps log
+writes at the memory controllers (issue/persist, so it always knows the
+oldest in-flight log line — the one "on the wires") and implements the
+hook points :meth:`repro.runtime.system.System.crash` calls during the
+power-failure sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+from repro.atom import adr
+from repro.atom.record import RecordHeader
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_LINE_BYTES
+from repro.config import Design
+
+
+@dataclass
+class FaultModel:
+    """Base class: one declarative partial-failure scenario."""
+
+    kind = "abstract"
+    #: Post-recovery golden-model consistency must still hold.
+    preserves_consistency = True
+    #: Whenever the fault applies, recovery must report a detection.
+    expects_detection = False
+
+    def applicable(self, design: Design) -> bool:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+def _uses_undo_log(design: Design) -> bool:
+    """Designs whose crash state includes an undo log + ADR block."""
+    from repro.atom.designs import design_uses_logm
+
+    return design_uses_logm(design)
+
+
+@dataclass
+class ControllerLoss(FaultModel):
+    """Single-controller power loss; the others drain cleanly."""
+
+    kind = "controller-loss"
+    preserves_consistency = True
+    expects_detection = False
+
+    #: The controller that loses its queued writes.
+    controller: int = 0
+
+    def applicable(self, design: Design) -> bool:
+        return True  # every design has per-controller write queues
+
+
+@dataclass
+class TornLogWrite(FaultModel):
+    """The in-flight log line persists only a prefix of its bytes."""
+
+    kind = "torn-log-write"
+    preserves_consistency = True
+    expects_detection = False  # detection requires the tear to hit a header
+
+    #: Controller whose in-flight log write tears; ``None`` picks the
+    #: first controller (by id) with a log write on the wires.
+    controller: int | None = None
+    #: Bytes of the line that reach the cells before power dies.
+    prefix_bytes: int = 60
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.prefix_bytes < CACHE_LINE_BYTES:
+            # 0 bytes is a dropped write, 64 a completed one — neither
+            # is a *tear*, and both would mis-mark the point 'applied'.
+            raise ConfigError(
+                f"torn-log-write prefix_bytes must be in "
+                f"[1, {CACHE_LINE_BYTES - 1}], got {self.prefix_bytes}"
+            )
+
+    def applicable(self, design: Design) -> bool:
+        # Only the undo designs parse log bytes back; REDO's commit
+        # bookkeeping is persist-event keyed (see repro.atom.redo).
+        return _uses_undo_log(design)
+
+
+@dataclass
+class AdrTruncation(FaultModel):
+    """The ADR flush loop dies after ``lines`` cache lines."""
+
+    kind = "adr-truncation"
+    preserves_consistency = False
+    expects_detection = True
+
+    controller: int = 0
+    lines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lines < 1:
+            # A zero-line flush leaves the block's previous contents —
+            # after a first crash that is all zeros, which parses as
+            # "never flushed" rather than "truncated": undetectable by
+            # design, so the model refuses to encode it.
+            raise ConfigError("adr-truncation needs lines >= 1 (a 0-line "
+                              "budget is indistinguishable from no flush)")
+
+    def applicable(self, design: Design) -> bool:
+        return _uses_undo_log(design)
+
+
+@dataclass
+class LogCorruption(FaultModel):
+    """Bytes of the newest durable record header flip after the crash."""
+
+    kind = "log-corruption"
+    preserves_consistency = False
+    expects_detection = True
+
+    #: Controller whose log region corrupts; ``None`` picks the first
+    #: one holding a durable valid header of an in-flight update.
+    controller: int | None = None
+    #: Leading header bytes XOR-flipped (address words live there).
+    flip_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.flip_bytes <= CACHE_LINE_BYTES:
+            raise ConfigError(
+                f"log-corruption flip_bytes must be in "
+                f"[1, {CACHE_LINE_BYTES}], got {self.flip_bytes}"
+            )
+
+    def applicable(self, design: Design) -> bool:
+        return _uses_undo_log(design)
+
+
+#: kind -> model class (the declarative registry, mirror of the litmus
+#: catalog's by-name map).
+FAULT_MODELS: dict[str, type[FaultModel]] = {
+    cls.kind: cls
+    for cls in (ControllerLoss, TornLogWrite, AdrTruncation, LogCorruption)
+}
+
+
+def fault_from_dict(payload: dict) -> FaultModel:
+    """Inverse of :meth:`FaultModel.to_dict` (cache/worker transport)."""
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    cls = FAULT_MODELS.get(kind)
+    if cls is None:
+        raise ConfigError(
+            f"unknown fault model {kind!r} "
+            f"(have: {', '.join(sorted(FAULT_MODELS))})"
+        )
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ConfigError(f"bad {kind} parameters: {exc}") from None
+
+
+def default_fault_models() -> list[FaultModel]:
+    """One instance of every registered model, default parameters."""
+    return [cls() for cls in FAULT_MODELS.values()]
+
+
+class FaultInjector:
+    """Applies one :class:`FaultModel` during a power failure.
+
+    Install with :meth:`install` before the workload runs; the memory
+    controllers then report every log-region write (issue and persist),
+    which keeps :attr:`_inflight` an exact FIFO of the lines that would
+    be lost — or torn — when power dies.  ``System.crash()`` drives the
+    hook points in sequence; see that method for the ordering.
+    """
+
+    def __init__(self, model: FaultModel):
+        self.model = model
+        #: The fault actually changed something (a vacuity marker: a
+        #: torn-write point with no log write in flight applies nothing).
+        self.applied = False
+        #: Human-readable description of what was injected.
+        self.detail = ""
+        #: Torn-write bookkeeping: did the tear land on a header line?
+        self.tore_header = False
+        #: Writes completed by surviving controllers' clean drains.
+        self.drained_writes = 0
+        self.system = None
+        #: mc_id -> OrderedDict[addr, payload] of in-flight log writes.
+        self._inflight: dict[int, OrderedDict[int, bytes]] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def install(self, system) -> "FaultInjector":
+        self.system = system
+        system.fault_injector = self
+        track = isinstance(self.model, ControllerLoss)
+        for mc in system.controllers:
+            mc.fault_injector = self
+            if track:
+                # Only the controller-loss drain/drop accounting reads
+                # the in-device write list; every other model leaves the
+                # channels on the lean path.
+                for channel in mc.channels:
+                    channel.track_inflight_writes = True
+        return self
+
+    # -- controller taps (hot path only while installed) ----------------------
+
+    def note_log_write(self, mc_id: int, addr: int, payload: bytes) -> None:
+        self._inflight.setdefault(mc_id, OrderedDict())[addr] = payload
+
+    def note_log_persisted(self, mc_id: int, addr: int) -> None:
+        queue = self._inflight.get(mc_id)
+        if queue is not None:
+            queue.pop(addr, None)
+
+    # -- crash-sequence hook points -------------------------------------------
+
+    def controller_survives(self, mc_id: int) -> bool:
+        """False for the controller that loses its queued writes."""
+        if isinstance(self.model, ControllerLoss):
+            return mc_id != self.model.controller
+        return True
+
+    def wants_drain(self) -> bool:
+        """Surviving controllers drain cleanly (controller-loss only)."""
+        return isinstance(self.model, ControllerLoss)
+
+    def note_drained(self, mc_id: int, writes: int) -> None:
+        self.drained_writes += writes
+        if writes and not self.applied:
+            self.applied = True
+            self.detail = (
+                f"controller {self.model.controller} lost its queue; "
+                f"survivors drained {writes}+ writes"
+            )
+
+    def note_controller_dropped(self, mc_id: int, dropped: int) -> None:
+        if isinstance(self.model, ControllerLoss) and not self.applied:
+            # Even with empty survivor queues the loss itself applied if
+            # the failed controller actually dropped work.
+            if dropped:
+                self.applied = True
+                self.detail = (
+                    f"controller {mc_id} dropped {dropped} queued requests"
+                )
+
+    def adr_budget_lines(self, mc_id: int) -> int | None:
+        """ADR flush line budget for ``mc_id`` (None = full flush)."""
+        if isinstance(self.model, AdrTruncation):
+            if mc_id == self.model.controller:
+                return self.model.lines
+        return None
+
+    def note_adr_truncated(self, mc_id: int) -> None:
+        self.applied = True
+        self.detail = (
+            f"ADR flush of controller {mc_id} truncated after "
+            f"{self.model.lines} line(s)"
+        )
+
+    def at_power_failure(self, system) -> None:
+        """Apply image-level damage that happens *at* the cut.
+
+        Called after the channel queues are dropped and before the ADR
+        flush: the torn-write model persists a prefix of the line that
+        was on the wires (the oldest in-flight log write — everything
+        behind it in the FIFO is dropped wholesale, everything before it
+        already persisted).
+        """
+        if not isinstance(self.model, TornLogWrite):
+            return
+        targets = (
+            [self.model.controller] if self.model.controller is not None
+            else sorted(self._inflight)
+        )
+        for mc_id in targets:
+            queue = self._inflight.get(mc_id)
+            if not queue:
+                continue
+            addr, payload = next(iter(queue.items()))
+            system.image.persist_torn(addr, payload, self.model.prefix_bytes)
+            self.applied = True
+            self.tore_header = self._is_header_line(system.layout, addr)
+            what = "header" if self.tore_header else "entry"
+            self.detail = (
+                f"tore {what} line {addr:#x} on mc{mc_id} at "
+                f"{self.model.prefix_bytes}/{CACHE_LINE_BYTES} bytes"
+            )
+            return  # exactly one line is on the wires
+
+    def after_crash(self, system) -> None:
+        """Apply post-crash media damage (log-corruption model)."""
+        if not isinstance(self.model, LogCorruption):
+            return
+        target = self._newest_durable_header(system)
+        if target is None:
+            return
+        addr, mc_id, seq = target
+        line = bytearray(system.image.durable_read(addr, CACHE_LINE_BYTES))
+        flip = self.model.flip_bytes
+        for i in range(flip):
+            line[i] ^= 0xFF
+        system.image.persist(addr, bytes(line))
+        self.applied = True
+        self.detail = (
+            f"flipped {flip} bytes of header seq={seq} at {addr:#x} "
+            f"on mc{mc_id}"
+        )
+
+    # -- target discovery ------------------------------------------------------
+
+    def _is_header_line(self, layout, addr: int) -> bool:
+        """True when ``addr`` is a record *header* line of a log region."""
+        if not layout.is_log(addr):
+            return False
+        controller = layout.controller_of(addr)
+        offset = addr - layout.log_region_base(controller) - layout.adr_block_bytes
+        if offset < 0:
+            return False  # inside the ADR block
+        return (offset % layout.log.record_bytes) == (
+            layout.log.entries_per_record * CACHE_LINE_BYTES
+        )
+
+    def _newest_durable_header(self, system):
+        """Find the highest-seq durable valid header of an active update.
+
+        Walks the (already flushed) ADR blocks exactly like recovery
+        will, so the corrupted line is one recovery would otherwise have
+        trusted.  Returns ``(header_addr, mc_id, seq)`` or ``None``.
+        """
+        from repro.mem.layout import RecordAddress
+
+        layout = system.layout
+        cfg = layout.log
+        targets = (
+            [self.model.controller] if self.model.controller is not None
+            else range(layout.num_controllers)
+        )
+        best = None
+        for mc_id in targets:
+            blob = system.image.durable_read(
+                layout.adr_base(mc_id), layout.adr_block_bytes
+            )
+            try:
+                images = adr.deserialize(blob)
+            except Exception:  # noqa: BLE001 — no ADR, nothing to corrupt
+                continue
+            for aus in images:
+                if not aus.active():
+                    continue
+                for bucket in aus.bucket_vec.iter_ones():
+                    limit = (
+                        aus.current_record if bucket == aus.current_bucket
+                        else cfg.records_per_bucket
+                    )
+                    for index in range(limit):
+                        rec = RecordAddress(mc_id, bucket, index)
+                        addr = layout.record_header_addr(rec)
+                        header = RecordHeader.decode(
+                            system.image.durable_read(addr, CACHE_LINE_BYTES)
+                        )
+                        if not header.trustworthy or header.owner != aus.slot:
+                            continue
+                        if best is None or header.seq > best[2]:
+                            best = (addr, mc_id, header.seq)
+        return best

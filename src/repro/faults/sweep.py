@@ -1,0 +1,343 @@
+"""The fault matrix: (design x workload x fault-model x injection-point).
+
+Mirrors the crash sweep (:mod:`repro.harness.campaign`): every
+:class:`FaultSpec` is one fully-serialisable point, executed by a pool
+worker and memoised in the content-addressed result cache under the
+``"fault"`` kind, so a warm re-run of a whole matrix is served from
+disk.
+
+Each point builds a scaled-down machine, installs the spec's fault
+injector, crashes at the injection cycle, recovers, re-recovers (the
+double-crash idempotence check), and judges the outcome by the model's
+contract:
+
+* **consistency-preserving** models (``controller-loss``,
+  ``torn-log-write``) must still pass the golden-model differential
+  check — the fault only removes or invalidates state a whole-machine
+  power cut could also have removed;
+* **detection** models (``adr-truncation``, ``log-corruption``) destroy
+  information recovery needs, so the durable structure is *expected* to
+  be unrecoverable — the contract is that recovery **notices**
+  (``checksum_rejected``/``adr_invalid`` in the
+  :class:`~repro.faults.analytics.RecoveryCost`) instead of silently
+  acting on garbage, and that a second recovery pass is a no-op.
+
+Verdicts aggregate per (design, workload, fault) cell: ``ok``,
+``detected`` (ok with validation hits observed), ``vacuous`` (the fault
+never actually applied at any injection point — e.g. no log write was
+ever in flight at the chosen cycles), or ``FAIL``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError, WorkloadError
+from repro.config import Design
+from repro.faults.analytics import RecoveryCost
+from repro.faults.models import FaultInjector, default_fault_models, fault_from_dict
+from repro.harness.report import format_table
+
+#: Default design axis: every design with a recovery story.
+FAULT_DESIGNS = [Design.BASE, Design.ATOM, Design.ATOM_OPT, Design.REDO]
+#: Default workload axis (smaller than the crash sweep's: the fault
+#: axis multiplies the grid by the model count).
+FAULT_WORKLOADS = ["hash", "rbtree"]
+#: Default injection-point grid (crash cycles), same as the crash sweep.
+FAULT_CYCLES = range(2_000, 30_001, 4_000)
+
+
+@dataclass
+class FaultSpec:
+    """One point of the fault matrix."""
+
+    design: Design
+    workload: str
+    #: Canonical fault-model encoding (``FaultModel.to_dict``) — part of
+    #: the cache key, so editing a model invalidates exactly its points.
+    fault: dict
+    crash_cycle: int
+    seed: int = 7
+    entry_bytes: int = 512
+    threads: int = 4
+    txns_per_thread: int = 8
+    initial_items: int = 12
+    num_cores: int = 4
+    workload_kw: dict = field(default_factory=dict)
+
+
+@dataclass
+class FaultOutcome:
+    """Verdict + recovery analytics for one fault point."""
+
+    spec: FaultSpec
+    ok: bool
+    #: The fault actually changed something (vacuity marker).
+    applied: bool = False
+    #: Validation hits recovery reported (checksum + ADR rejections).
+    detections: int = 0
+    commits: int = 0
+    rolled_back: int = 0
+    recovery_cost: dict = field(default_factory=dict)
+    #: Second recovery pass left the durable image byte-identical.
+    idempotent: bool = True
+    #: Injector's description of what was injected.
+    detail: str = ""
+    error: str = ""
+
+
+def _outcome_to_dict(outcome: FaultOutcome) -> dict:
+    payload = dataclasses.asdict(outcome)
+    payload["spec"]["design"] = outcome.spec.design.value
+    return payload
+
+
+def _outcome_from_dict(payload: dict) -> FaultOutcome:
+    spec_d = dict(payload["spec"])
+    spec_d["design"] = Design(spec_d["design"])
+    return FaultOutcome(
+        spec=FaultSpec(**spec_d),
+        ok=payload["ok"],
+        applied=payload.get("applied", False),
+        detections=payload.get("detections", 0),
+        commits=payload.get("commits", 0),
+        rolled_back=payload.get("rolled_back", 0),
+        recovery_cost=payload.get("recovery_cost", {}),
+        idempotent=payload.get("idempotent", True),
+        detail=payload.get("detail", ""),
+        error=payload.get("error", ""),
+    )
+
+
+def fault_worker(spec: FaultSpec) -> tuple:
+    """Pool entry point: ("ok", payload) / ("err", message)."""
+    import traceback
+
+    try:
+        return ("ok", _outcome_to_dict(execute_fault_point(spec)))
+    except BaseException as exc:  # noqa: BLE001 — reported in the parent
+        return ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+def execute_fault_point(spec: FaultSpec) -> FaultOutcome:
+    """Run one point: build, inject, crash, recover, re-recover, judge.
+
+    A failed check (or a modelled-hardware deadlock) is an *outcome*,
+    recorded with ``ok=False`` — a sweep reports every divergence
+    instead of dying on the first one.
+    """
+    from repro.harness.testbed import crash_run
+
+    model = fault_from_dict(spec.fault)
+    if not model.applicable(spec.design):
+        return FaultOutcome(spec=spec, ok=True, applied=False,
+                            detail="model inapplicable to design")
+    injector = FaultInjector(model)
+    try:
+        system, workload, report = crash_run(
+            spec.workload, spec.design, spec.crash_cycle, seed=spec.seed,
+            entry_bytes=spec.entry_bytes, threads=spec.threads,
+            txns_per_thread=spec.txns_per_thread,
+            initial_items=spec.initial_items, num_cores=spec.num_cores,
+            injector=injector, verify=False, **spec.workload_kw,
+        )
+    except (WorkloadError, SimulationError) as exc:
+        return FaultOutcome(spec=spec, ok=False, applied=injector.applied,
+                            detail=injector.detail,
+                            error=f"{type(exc).__name__}: {exc}")
+    cost: RecoveryCost = report.cost
+    # Double-crash path: a second recovery (the state a crash during the
+    # first one leads to) must leave the durable image byte-identical —
+    # in particular, a rejected torn/corrupt record must stay rejected.
+    first = system.image.durable_digest()
+    system.recover()
+    idempotent = system.image.durable_digest() == first
+
+    ok = True
+    error = ""
+    if model.preserves_consistency:
+        try:
+            workload.verify_durable()
+        except WorkloadError as exc:
+            ok = False
+            error = f"{type(exc).__name__}: {exc}"
+    if model.expects_detection and injector.applied and cost.detections == 0:
+        ok = False
+        error = (error + "; " if error else "") + (
+            "fault applied but recovery validated nothing "
+            f"({injector.detail})"
+        )
+    if not idempotent:
+        ok = False
+        error = (error + "; " if error else "") + (
+            "second recovery changed the durable image"
+        )
+    return FaultOutcome(
+        spec=spec, ok=ok, applied=injector.applied,
+        detections=cost.detections, commits=workload.commits,
+        rolled_back=report.updates_rolled_back,
+        recovery_cost=cost.to_dict(), idempotent=idempotent,
+        detail=injector.detail, error=error,
+    )
+
+
+def fault_grid(
+    designs: Iterable[Design] = tuple(FAULT_DESIGNS),
+    workloads: Iterable[str] = tuple(FAULT_WORKLOADS),
+    models: Sequence | None = None,
+    crash_cycles: Iterable[int] = FAULT_CYCLES,
+    seeds: Iterable[int] = (7,),
+) -> list[FaultSpec]:
+    """Enumerate the matrix, dropping inapplicable (design, model) cells."""
+    if models is None:
+        models = default_fault_models()
+    return [
+        FaultSpec(design=d, workload=w, fault=m.to_dict(), crash_cycle=c,
+                  seed=s)
+        for d, w, m, c, s in itertools.product(
+            designs, workloads, models, crash_cycles, seeds
+        )
+        if m.applicable(d)
+    ]
+
+
+@dataclass
+class FaultCell:
+    """Aggregated verdict for one (design, workload, fault) cell."""
+
+    design: str
+    workload: str
+    fault: str
+    points: int = 0
+    applied_points: int = 0
+    detections: int = 0
+    failures: list[FaultOutcome] = field(default_factory=list)
+    #: Summed recovery analytics over the cell's points.
+    cost: RecoveryCost = field(default_factory=RecoveryCost)
+    #: Mean modeled recovery cycles per point that ran a recovery.
+    mean_cycles: float = 0.0
+    _cycles_total: int = 0
+    _costed_points: int = 0
+
+    @property
+    def status(self) -> str:
+        if self.failures:
+            return "FAIL"
+        if self.applied_points == 0:
+            return "vacuous"
+        if self.detections:
+            return "detected"
+        return "ok"
+
+    def absorb(self, outcome: FaultOutcome) -> None:
+        self.points += 1
+        if outcome.applied:
+            self.applied_points += 1
+        self.detections += outcome.detections
+        if not outcome.ok:
+            self.failures.append(outcome)
+        if not outcome.recovery_cost:
+            return  # an errored point never ran recovery; don't dilute
+        cost = RecoveryCost.from_dict(outcome.recovery_cost)
+        self._cycles_total += cost.cycles
+        self._costed_points += 1
+        cost.per_controller = []  # keep the aggregate compact
+        self.cost.merge(cost)
+        self.cost.cycles = 0  # merge() keeps the max; report the mean
+        self.mean_cycles = self._cycles_total / self._costed_points
+
+
+@dataclass
+class FaultSweepResult:
+    """Outcome of one fault matrix run."""
+
+    outcomes: list[FaultOutcome]
+
+    @property
+    def cells(self) -> list[FaultCell]:
+        table: dict[tuple[str, str, str], FaultCell] = {}
+        for o in self.outcomes:
+            key = (o.spec.design.value, o.spec.workload,
+                   o.spec.fault.get("kind", "?"))
+            cell = table.get(key)
+            if cell is None:
+                cell = table[key] = FaultCell(*key)
+            cell.absorb(o)
+        return [table[k] for k in sorted(table)]
+
+    @property
+    def failures(self) -> list[FaultCell]:
+        return [c for c in self.cells if c.status == "FAIL"]
+
+    def render(self) -> str:
+        cells = self.cells
+        rows = [
+            [c.design, c.workload, c.fault, c.points, c.applied_points,
+             c.detections, c.cost.records_undone + c.cost.records_applied,
+             f"{c.mean_cycles:,.0f}", c.status]
+            for c in cells
+        ]
+        failures = [c for c in cells if c.status == "FAIL"]
+        out = format_table(
+            ["design", "workload", "fault", "points", "applied",
+             "detections", "records recovered", "mean rec. cycles",
+             "verdict"],
+            rows,
+            title=(f"== Faults: {len(cells)} cells, "
+                   f"{len(self.outcomes)} points, "
+                   f"{len(failures)} failures =="),
+        )
+        for cell in failures:
+            for bad in cell.failures[:3]:
+                out += (f"\nFAIL {cell.design}/{cell.workload}/{cell.fault}"
+                        f"@{bad.spec.crash_cycle} seed={bad.spec.seed}: "
+                        f"{bad.error}")
+        return out
+
+    def to_json(self) -> dict:
+        """Verdict + recovery-cost artifact (the CLI's ``--out``)."""
+        cells = self.cells
+        return {
+            "points_total": len(self.outcomes),
+            "summary": {
+                "cells": len(cells),
+                "failures": sum(1 for c in cells if c.status == "FAIL"),
+                "detected": sum(1 for c in cells if c.status == "detected"),
+                "vacuous": sum(1 for c in cells if c.status == "vacuous"),
+            },
+            "cells": [
+                {
+                    "design": c.design,
+                    "workload": c.workload,
+                    "fault": c.fault,
+                    "status": c.status,
+                    "points": c.points,
+                    "applied_points": c.applied_points,
+                    "detections": c.detections,
+                    "mean_recovery_cycles": c.mean_cycles,
+                    "recovery_cost": c.cost.to_dict(),
+                    "failures": [
+                        {
+                            "crash_cycle": f.spec.crash_cycle,
+                            "seed": f.spec.seed,
+                            "error": f.error,
+                            "detail": f.detail,
+                        }
+                        for f in c.failures
+                    ],
+                }
+                for c in cells
+            ],
+        }
+
+
+def fault_sweep(campaign, specs: Sequence[FaultSpec] | None = None,
+                ) -> FaultSweepResult:
+    """Run a fault matrix through a campaign (pooled + cached)."""
+    if specs is None:
+        specs = fault_grid()
+    return FaultSweepResult(outcomes=campaign.run_faults(specs))

@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness --list                  # what can run
     python -m repro.harness perf                    # kernel benchmark
     python -m repro.harness litmus --jobs 2         # litmus catalog
+    python -m repro.harness faults --jobs 2         # fault-injection matrix
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
     python -m repro.harness --all --jobs 8          # parallel campaign
@@ -70,6 +71,7 @@ def render_listing() -> str:
     lines.append("subcommands:")
     lines.append("  perf    kernel events/sec benchmark")
     lines.append("  litmus  crash-consistency litmus catalog")
+    lines.append("  faults  fault-injection matrix + recovery analytics")
     # The litmus workload is deliberately absent here: it needs a
     # ``program`` and only runs through the litmus subcommand.
     lines.append("workloads (--workloads for --crash-sweep):")
@@ -85,6 +87,10 @@ def render_listing() -> str:
     lines += [f"  {design.value}" for design in Design]
     lines.append("litmus tests (litmus --tests):")
     lines += [f"  {name}" for name in sorted(catalog_by_name())]
+    from repro.faults.models import FAULT_MODELS
+
+    lines.append("fault models (faults --faults):")
+    lines += [f"  {name}" for name in sorted(FAULT_MODELS)]
     return "\n".join(lines)
 
 
@@ -103,6 +109,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.litmus.cli import main as litmus_main
 
         return litmus_main(argv[1:])
+    if argv and argv[0] == "faults":
+        # Partial-failure injection + recovery-time analytics (its own
+        # subcommand: a robustness checker, not a figure experiment).
+        from repro.faults.cli import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate ATOM (HPCA 2017) evaluation results.",

@@ -311,6 +311,20 @@ class Campaign:
         return self._map(list(points), litmus_worker,
                          _outcome_from_dict, "litmus")
 
+    # -- fault points ---------------------------------------------------------
+
+    def run_faults(self, specs: Sequence) -> list:
+        """Run fault-injection points (cached, pooled).
+
+        ``specs`` are :class:`repro.faults.sweep.FaultSpec`s; the result
+        is order-preserving :class:`FaultOutcome`s.  Imported lazily,
+        like the litmus hook.
+        """
+        from repro.faults.sweep import _outcome_from_dict, fault_worker
+
+        return self._map(list(specs), fault_worker,
+                         _outcome_from_dict, "fault")
+
 
 # -- crash sweep --------------------------------------------------------------
 
@@ -339,6 +353,9 @@ class CrashOutcome:
     ok: bool
     commits: int = 0
     updates_rolled_back: int = 0
+    #: Recovery-time analytics of the point's recovery pass
+    #: (:meth:`repro.faults.analytics.RecoveryCost.to_dict`).
+    recovery_cost: dict = field(default_factory=dict)
     error: str = ""
 
 
@@ -356,6 +373,7 @@ def _crash_outcome_from_dict(payload: dict) -> CrashOutcome:
         ok=payload["ok"],
         commits=payload["commits"],
         updates_rolled_back=payload["updates_rolled_back"],
+        recovery_cost=payload.get("recovery_cost", {}),
         error=payload["error"],
     )
 
@@ -381,9 +399,11 @@ def execute_crash_point(spec: CrashSpec) -> CrashOutcome:
     except (WorkloadError, SimulationError) as exc:
         return CrashOutcome(spec=spec, ok=False,
                             error=f"{type(exc).__name__}: {exc}")
+    cost = getattr(report, "cost", None)
     return CrashOutcome(
         spec=spec, ok=True, commits=workload.commits,
         updates_rolled_back=getattr(report, "updates_rolled_back", 0),
+        recovery_cost=cost.to_dict() if cost is not None else {},
     )
 
 
@@ -424,14 +444,26 @@ class CrashSweepResult:
             cells.setdefault(
                 (o.spec.design.value, o.spec.workload), []
             ).append(o)
+
+        def mean_cycles(group: list[CrashOutcome]) -> str:
+            # Failed points carry no recovery_cost; averaging their
+            # zeros in would dilute the metric.
+            cycles = [o.recovery_cost["cycles"] for o in group
+                      if o.recovery_cost]
+            if not cycles:
+                return "-"
+            return f"{sum(cycles) / len(cycles):,.0f}"
+
         rows = [
             [design, workload, f"{sum(o.ok for o in group)}/{len(group)}",
              sum(o.commits for o in group),
-             sum(o.updates_rolled_back for o in group)]
+             sum(o.updates_rolled_back for o in group),
+             mean_cycles(group)]
             for (design, workload), group in sorted(cells.items())
         ]
         out = format_table(
-            ["design", "workload", "points ok", "commits", "rolled back"],
+            ["design", "workload", "points ok", "commits", "rolled back",
+             "mean rec. cycles"],
             rows,
             title=f"== Crash sweep: {len(self.outcomes)} points, "
                   f"{len(self.failures)} failures ==",

@@ -228,6 +228,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
+    # Load the baseline *before* the (expensive) benchmark run, and fail
+    # with a readable one-liner: a missing or corrupt baseline is an
+    # operator error, not a perf regression or a traceback.
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        aggregate = baseline.get("aggregate") if isinstance(baseline, dict) \
+            else None
+        if not isinstance(aggregate, dict) or \
+                "geomean_events_per_sec" not in aggregate:
+            print(f"error: baseline {args.baseline} is not a "
+                  f"BENCH_kernel report (missing aggregate geomean)",
+                  file=sys.stderr)
+            return 2
+
     def progress(point: PerfPoint) -> None:
         print(f"  {point.design}/{point.workload}: "
               f"{point.events_per_sec:,.0f} events/sec "
@@ -235,10 +256,6 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_perf(scale=args.scale, repeats=args.repeats,
                       progress=progress)
-    baseline = None
-    if args.baseline is not None:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
     print(format_report(report, baseline))
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)

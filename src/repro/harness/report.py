@@ -77,3 +77,17 @@ def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
         0.0, sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
     )
     return (mean, z * math.sqrt(var / len(vals)))
+
+
+def select_only(names: Sequence[str], pattern: str) -> list[str]:
+    """Filter ``names`` by an ``--only`` CLI pattern.
+
+    Exact name first; otherwise a case-insensitive substring match.
+    Shared by the litmus and faults subcommands so both filters behave
+    the same way.
+    """
+    names = list(names)
+    if pattern in names:
+        return [pattern]
+    needle = pattern.lower()
+    return [name for name in names if needle in name.lower()]

@@ -73,7 +73,8 @@ def run_workload_to_completion(system, workload, max_cycles=50_000_000):
 def crash_run(name: str, design: Design, crash_cycle: int | None, *,
               entry_bytes: int = 512, seed: int = 7, threads: int = 4,
               txns_per_thread: int = 8, initial_items: int = 12,
-              num_cores: int = 4, max_cycles: int = 30_000_000, **kw):
+              num_cores: int = 4, max_cycles: int = 30_000_000,
+              injector=None, verify: bool = True, **kw):
     """Run a workload, crash it, recover, and differential-check.
 
     Builds a scaled-down machine, runs ``threads`` worker threads, cuts
@@ -82,11 +83,18 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
     replayed over exactly the committed transactions.  Raises
     :class:`~repro.common.errors.WorkloadError` on any divergence.
 
+    ``injector`` (a :class:`repro.faults.models.FaultInjector`) turns
+    the power cut into a partial failure; the fault sweep passes
+    ``verify=False`` and applies its own per-model verdict instead of
+    the unconditional differential check.
+
     Returns ``(system, workload, recovery_report)``.
     """
     from repro.workloads import make_workload
 
     system = build_system(design=design, num_cores=num_cores)
+    if injector is not None:
+        injector.install(system)
     workload = make_workload(
         name, system, entry_bytes=entry_bytes,
         txns_per_thread=txns_per_thread, initial_items=initial_items,
@@ -102,5 +110,6 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
         # the scheduled cycle: cut power now (nothing rolls back).
         system.crash()
     report = system.recover()
-    workload.verify_durable()
+    if verify:
+        workload.verify_durable()
     return system, workload, report

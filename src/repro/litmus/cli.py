@@ -19,6 +19,7 @@ import time
 from repro.config import Design
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
+from repro.harness.report import select_only
 from repro.litmus.catalog import catalog_by_name
 from repro.litmus.explorer import LITMUS_DESIGNS, explore
 
@@ -34,6 +35,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tests", default=None,
                         help="comma-separated catalog test names "
                              "(default: all)")
+    parser.add_argument("--only", default=None, metavar="NAME",
+                        help="run only tests whose name matches (exact "
+                             "name or case-insensitive substring); "
+                             "composes with --tests")
+    parser.add_argument("--faults", default=None,
+                        help="also replay each cell's crash grid under "
+                             "these fault models (comma-separated; "
+                             "consistency-preserving models only, e.g. "
+                             "controller-loss,torn-log-write)")
     parser.add_argument("--designs",
                         default=",".join(d.value for d in LITMUS_DESIGNS),
                         help="designs to check (comma-separated)")
@@ -70,6 +80,26 @@ def main(argv: list[str] | None = None) -> int:
         tests = [catalog[t] for t in args.tests.split(",") if t]
     else:
         tests = list(catalog.values())
+    if args.only is not None:
+        selected = select_only([t.name for t in tests], args.only)
+        if not selected:
+            parser.error(f"--only {args.only!r} matches no test "
+                         f"(see --list)")
+        tests = [t for t in tests if t.name in selected]
+    faults = []
+    if args.faults:
+        from repro.faults.models import FAULT_MODELS, fault_from_dict
+
+        for kind in (k for k in args.faults.split(",") if k):
+            if kind not in FAULT_MODELS:
+                parser.error(f"unknown fault model {kind!r} (have: "
+                             f"{', '.join(sorted(FAULT_MODELS))})")
+            faults.append(fault_from_dict({"kind": kind}))
+        bad = [m.kind for m in faults if not m.preserves_consistency]
+        if bad:
+            parser.error(f"litmus postconditions need consistency-"
+                         f"preserving fault models; {','.join(bad)} "
+                         f"is detection-only (use the faults subcommand)")
     try:
         designs = [Design(d) for d in args.designs.split(",") if d]
     except ValueError:
@@ -90,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     campaign = Campaign(jobs=args.jobs, cache=cache)
     start = time.time()
     report = explore(campaign, tests=tests, designs=designs,
-                     seeds=seeds, points=args.points)
+                     seeds=seeds, points=args.points, faults=faults)
     print(report.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")

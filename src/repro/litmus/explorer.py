@@ -60,6 +60,9 @@ class LitmusPoint:
     #: Cycle to cut power at; ``None`` = probe (run to completion).
     crash_cycle: int | None
     seed: int = 7
+    #: Fault model applied at the cut (``FaultModel.to_dict``); ``None``
+    #: is the plain whole-machine power loss.  Part of the cache key.
+    fault: dict | None = None
 
 
 @dataclass
@@ -77,6 +80,8 @@ class LitmusOutcome:
     finish: int = 0
     #: Durable image unchanged by a second recovery pass.
     idempotent: bool = True
+    #: Recovery-time analytics (``RecoveryCost.to_dict``).
+    recovery_cost: dict = field(default_factory=dict)
     error: str = ""
 
 
@@ -97,6 +102,7 @@ def _outcome_from_dict(payload: dict) -> LitmusOutcome:
         rolled_back=payload["rolled_back"],
         finish=payload["finish"],
         idempotent=payload["idempotent"],
+        recovery_cost=payload.get("recovery_cost", {}),
         error=payload["error"],
     )
 
@@ -126,6 +132,10 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
         system, workload = build_litmus_system(
             point.design, spec, seed=point.seed
         )
+        if point.fault is not None:
+            from repro.faults.models import FaultInjector, fault_from_dict
+
+            FaultInjector(fault_from_dict(point.fault)).install(system)
         workload.setup()
         system.start_threads(workload.threads())
         if point.crash_cycle is not None:
@@ -143,6 +153,7 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
         first = system.image.durable_digest()
         system.recover()
         idempotent = system.image.durable_digest() == first
+        cost = getattr(report, "cost", None)
         return LitmusOutcome(
             point=point,
             state=workload.durable_state(),
@@ -151,6 +162,7 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
             rolled_back=getattr(report, "updates_rolled_back", 0),
             finish=finish,
             idempotent=idempotent,
+            recovery_cost=cost.to_dict() if cost is not None else {},
         )
     except ReproError as exc:
         return LitmusOutcome(
@@ -189,12 +201,14 @@ def crash_cycles_for(finish: int, points: int,
 
 @dataclass
 class LitmusCell:
-    """Verdict for one (test × design) cell, aggregated over seeds."""
+    """Verdict for one (test × design × fault) cell, over all seeds."""
 
     test: str
     design: str
     #: Whether the spec expects forbidden outcomes under this design.
     expected: bool
+    #: Fault model replayed at the cut ("power-loss" = the plain cut).
+    fault: str = "power-loss"
     points: int = 0
     #: Distinct recovered states: digest -> summary dict.
     outcomes: dict = field(default_factory=dict)
@@ -264,14 +278,16 @@ class LitmusReport:
         return [c for c in self.cells if c.status == "detected"]
 
     def render(self) -> str:
+        with_faults = any(c.fault != "power-loss" for c in self.cells)
         rows = [
-            [c.test, c.design, c.points, len(c.outcomes),
-             c.forbidden_points + c.unlisted_points, c.status]
+            ([c.test, c.design] + ([c.fault] if with_faults else [])
+             + [c.points, len(c.outcomes),
+                c.forbidden_points + c.unlisted_points, c.status])
             for c in self.cells
         ]
         out = format_table(
-            ["test", "design", "points", "states", "forbidden hits",
-             "verdict"],
+            ["test", "design"] + (["fault"] if with_faults else [])
+            + ["points", "states", "forbidden hits", "verdict"],
             rows,
             title=(f"== Litmus: {len(self.cells)} cells, "
                    f"{self.points_total} points, "
@@ -281,16 +297,19 @@ class LitmusReport:
         for cell in self.cells:
             if cell.status != "FAIL":
                 continue
+            where = f"{cell.test}/{cell.design}"
+            if cell.fault != "power-loss":
+                where += f"/{cell.fault}"
             for digest, entry in cell.outcomes.items():
                 if entry["forbidden"] or entry["unlisted"]:
                     why = ", ".join(entry["forbidden"]) or "unlisted state"
-                    out += (f"\nFAIL {cell.test}/{cell.design}"
+                    out += (f"\nFAIL {where}"
                             f"@{entry['first_cycle']}: {entry['state']} "
                             f"({why})")
             for err in cell.errors[:3]:
-                out += f"\nFAIL {cell.test}/{cell.design} {err}"
+                out += f"\nFAIL {where} {err}"
             if cell.idempotence_failures:
-                out += (f"\nFAIL {cell.test}/{cell.design}: "
+                out += (f"\nFAIL {where}: "
                         f"{cell.idempotence_failures} points where a second "
                         f"recovery changed the durable image")
         return out
@@ -308,6 +327,7 @@ class LitmusReport:
                 {
                     "test": c.test,
                     "design": c.design,
+                    "fault": c.fault,
                     "status": c.status,
                     "expected_violation": c.expected,
                     "points": c.points,
@@ -335,18 +355,35 @@ def explore(
     seeds: Iterable[int] = (7,),
     points: int = 10,
     crash_start: int = DEFAULT_CRASH_START,
+    faults: Sequence | None = None,
 ) -> LitmusReport:
-    """Explore every (test × design × seed) cell; returns the report.
+    """Explore every (test × design × fault × seed) cell.
 
     ``points`` is the crash-grid density per cell (the probe point is
     always included on top).  All grid points across all cells go to the
     campaign as **one batch**, keeping the worker pool saturated.
+
+    ``faults`` replays each cell's crash grid under the given
+    :class:`~repro.faults.models.FaultModel`\\ s on top of the plain
+    power-loss axis.  Only consistency-preserving models make sense
+    here — the postconditions still judge the recovered state — and
+    only on designs the model applies to; anything else is rejected.
     """
+    from repro.common.errors import ConfigError
+
     if tests is None:
         tests = CATALOG
     tests = [t.validate() for t in tests]
     designs = list(designs)
     seeds = list(seeds)
+    faults = list(faults or [])
+    for model in faults:
+        if not model.preserves_consistency:
+            raise ConfigError(
+                f"litmus fault axis needs consistency-preserving models; "
+                f"{model.kind!r} is detection-only (use `python -m "
+                f"repro.harness faults` for it)"
+            )
     encoded = {t.name: t.to_dict() for t in tests}
     conditions = {
         t.name: (
@@ -362,34 +399,59 @@ def explore(
     ]
     probes = campaign.run_litmus(probe_points)
 
-    cells: dict[tuple[str, str], LitmusCell] = {}
+    #: (test, design, fault-kind) -> the fault axis for that design:
+    #: plain power loss plus every applicable requested model.
+    def fault_axis(design: Design) -> list:
+        return [None] + [m for m in faults if m.applicable(design)]
+
+    cells: dict[tuple[str, str, str], LitmusCell] = {}
     for t in tests:
         for d in designs:
-            cells[(t.name, d.value)] = LitmusCell(
-                test=t.name, design=d.value,
-                expected=d.value in t.expect_violation,
-            )
+            for model in fault_axis(d):
+                kind = model.kind if model is not None else "power-loss"
+                cells[(t.name, d.value, kind)] = LitmusCell(
+                    test=t.name, design=d.value, fault=kind,
+                    expected=d.value in t.expect_violation,
+                )
+
+    def cell_key(point: LitmusPoint) -> tuple[str, str, str]:
+        kind = point.fault["kind"] if point.fault else "power-loss"
+        return (point.test["name"], point.design.value, kind)
 
     grid: list[LitmusPoint] = []
     for probe in probes:
-        key = (probe.point.test["name"], probe.point.design.value)
-        cell = cells[key]
-        cell.absorb(probe, *conditions[key[0]])
+        key = cell_key(probe.point)
+        cells[key].absorb(probe, *conditions[key[0]])
         if probe.error:
-            continue  # the cell is already failing; no grid for it
-        grid.extend(
-            LitmusPoint(
-                test=probe.point.test, design=probe.point.design,
-                crash_cycle=cycle, seed=probe.point.seed,
+            # No grid for a failing cell — and the fault cells, which
+            # would have received grid points only, must fail alongside
+            # the power-loss cell rather than render as empty "ok".
+            for model in fault_axis(probe.point.design):
+                if model is not None:
+                    cells[(key[0], key[1], model.kind)].absorb(
+                        probe, *conditions[key[0]]
+                    )
+            continue
+        cycles = crash_cycles_for(probe.finish, points, crash_start)
+        for model in fault_axis(probe.point.design):
+            grid.extend(
+                LitmusPoint(
+                    test=probe.point.test, design=probe.point.design,
+                    crash_cycle=cycle, seed=probe.point.seed,
+                    fault=model.to_dict() if model is not None else None,
+                )
+                for cycle in cycles
             )
-            for cycle in crash_cycles_for(probe.finish, points, crash_start)
-        )
     for outcome in campaign.run_litmus(grid):
-        key = (outcome.point.test["name"], outcome.point.design.value)
+        key = cell_key(outcome.point)
         cells[key].absorb(outcome, *conditions[key[0]])
 
     ordered = [
-        cells[(t.name, d.value)] for t in tests for d in designs
+        cells[(t.name, d.value, kind)]
+        for t in tests for d in designs
+        for kind in (
+            ["power-loss"] + [m.kind for m in faults if m.applicable(d)]
+        )
     ]
     return LitmusReport(
         cells=ordered, points_total=len(probe_points) + len(grid)

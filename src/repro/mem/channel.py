@@ -72,6 +72,17 @@ class Channel:
         self.name = name
         self._read_q: deque[ChannelRequest] = deque()
         self._write_q: deque[ChannelRequest] = deque()
+        #: Writes issued to the device but not yet persisted.  The
+        #: arbiter pops a request from the queue at *issue* time, so
+        #: without this list the write on the wires would be invisible
+        #: to a clean shutdown drain — draining the queue behind it
+        #: while dropping it would persist a record header whose entry
+        #: line never landed (exactly the ordering recovery relies on).
+        #: Tracking costs a closure + deque bookkeeping per write, so it
+        #: is off unless a fault injector (the only drain/drop consumer
+        #: that needs it) flips ``track_inflight_writes`` on.
+        self._inflight_writes: deque[ChannelRequest] = deque()
+        self.track_inflight_writes = False
         self._busy_until = 0
         self._scheduled = False
         #: Callbacks waiting for write-queue space (backpressure).
@@ -158,11 +169,45 @@ class Channel:
         are safely discarded because Invariant 2 guarantees no dependent
         data write persisted either.
         """
-        dropped = len(self._read_q) + len(self._write_q)
+        dropped = (len(self._read_q) + len(self._write_q)
+                   + len(self._inflight_writes))
         self._read_q.clear()
         self._write_q.clear()
+        self._inflight_writes.clear()
         self._write_waiters.clear()
         return dropped
+
+    def drain_pending(self) -> int:
+        """Clean shutdown: complete every pending write, drop the reads.
+
+        The single-controller-loss fault model gives *surviving*
+        controllers time to empty their write path before the machine
+        stops.  Order matters: the write already issued to the device
+        is *older* than anything queued behind it, so it completes
+        first — otherwise a record header could persist over an entry
+        line that never landed, which is exactly the issue-order
+        guarantee recovery's prefix walk relies on.  Completions can
+        free queue slots and re-admit writers parked on backpressure,
+        so the loop runs until device, queue, and waiter list are all
+        empty.  Timing is irrelevant here — the engine is already
+        stopped; only the durable side effects matter.  Returns the
+        number of writes drained.
+        """
+        drained = 0
+        self._read_q.clear()
+        while self._inflight_writes or self._write_q or self._write_waiters:
+            if self._inflight_writes:
+                req = self._inflight_writes.popleft()
+            elif not self._write_q:
+                # Parked writers re-submit synchronously into the queue.
+                self._write_waiters.popleft()()
+                continue
+            else:
+                req = self._write_q.popleft()
+            if req.on_done is not None:
+                req.on_done()
+            drained += 1
+        return drained
 
     # -- arbiter --------------------------------------------------------------
 
@@ -203,7 +248,16 @@ class Channel:
         add_bytes(req.size)
         self._add_queue_wait(now - req.enqueue_time)
         if req.on_done is not None:
-            self.engine.post_at(now + ser + latency, req.on_done)
+            if is_read or not self.track_inflight_writes:
+                self.engine.post_at(now + ser + latency, req.on_done)
+            else:
+                # Track the write while it is in the device so a crash
+                # (drop or clean drain) can account for it; the posted
+                # completion removes it again.  Same single event, same
+                # firing time: timing and event counts are unchanged.
+                self._inflight_writes.append(req)
+                self.engine.post_at(now + ser + latency,
+                                    self._write_completion(req))
         if not is_read:
             self._notify_write_space()
         if self._read_q or self._write_q:
@@ -213,6 +267,27 @@ class Channel:
             self._scheduled = True
             self.engine.post_at(busy if busy > now else now,
                                 self._issue_next)
+
+    def _write_completion(self, req: ChannelRequest):
+        """Completion thunk for a write in the device.
+
+        Removes the request from the in-flight list before running its
+        callback.  Completions normally pop the head (issue order), but
+        mixed request sizes can reorder completion times, so fall back
+        to a scan.
+        """
+        def complete() -> None:
+            inflight = self._inflight_writes
+            if inflight and inflight[0] is req:
+                inflight.popleft()
+            else:
+                try:
+                    inflight.remove(req)
+                except ValueError:
+                    return  # a crash already dropped or drained it
+            req.on_done()
+
+        return complete
 
     def _serialization_cycles(self, size: int) -> int:
         ser = self._ser_cache.get(size)

@@ -58,6 +58,10 @@ class MemoryController:
         ]
         #: Attached log manager (undo designs) — set by the system builder.
         self.logm = None
+        #: Fault injector (set by FaultInjector.install): taps log-region
+        #: writes so torn-write models know the line on the wires.  None
+        #: in normal runs — the hot path pays one predictable branch.
+        self.fault_injector = None
         #: Attached redo backend (REDO design) — set by the system builder.
         self.redo_backend = None
         #: Victim cache (REDO design) — set by the system builder.
@@ -68,6 +72,10 @@ class MemoryController:
         #: REDO backend's in-place applies so the checker can exempt
         #: exactly the rules those writes legitimately relax.
         self.pre_persist_check: Callable[[int, bool], None] | None = None
+        #: True while drain_for_shutdown empties the queues: persists
+        #: update the durable image but fire no callbacks (the machine
+        #: is dead; an ack must not resume a core mid-power-failure).
+        self._quiet_drain = False
 
     # -- channel selection ----------------------------------------------------
 
@@ -190,6 +198,16 @@ class MemoryController:
         as it would overtake its own entry data lines).
         """
         self._add_log_writes()
+        inj = self.fault_injector
+        if inj is not None:
+            inj.note_log_write(self.mc_id, addr, payload)
+            inner = on_persist
+
+            def on_persist() -> None:  # noqa: F811 — deliberate rebind
+                inj.note_log_persisted(self.mc_id, addr)
+                if inner is not None:
+                    inner()
+
         self._submit_write(
             self.log_channel, AccessKind.LOG_WRITE, addr, len(payload),
             lambda: self._persist(addr, payload, on_persist, check=False),
@@ -207,6 +225,15 @@ class MemoryController:
         check: bool,
         backend_apply: bool = False,
     ) -> None:
+        if self._quiet_drain:
+            # Shutdown drain: the write's bytes reach the NVM cells, but
+            # nobody is alive to observe the completion — running the
+            # callback chain here would resume cores (store acks, flush
+            # acks) inside the power-failure window and let them issue
+            # *new* post-crash work.  The invariant hook is skipped too:
+            # it reasons about a running machine, not one mid-teardown.
+            self.image.persist(addr, payload)
+            return
         if check and self.pre_persist_check is not None:
             self.pre_persist_check(addr, backend_apply)
         self.image.persist(addr, payload)
@@ -242,6 +269,25 @@ class MemoryController:
         entry either durable or also still queued.
         """
         return sum(ch.drop_pending() for ch in self._channels)
+
+    def drain_for_shutdown(self) -> int:
+        """Clean shutdown: persist every queued write before stopping.
+
+        The controller-loss fault model's *surviving* controllers take
+        this path instead of :meth:`crash`: their queued writes' bytes
+        reach the NVM cells (data channel first, then the log channel —
+        a gated data write in the queue already has its header durable,
+        so the order is safe either way), but *quietly*: completion
+        callbacks never run, because any ack delivered now would resume
+        a core inside the power-failure window and let it issue new
+        stores whose writebacks could persist without durable undo
+        entries.  Returns the number of writes persisted.
+        """
+        self._quiet_drain = True
+        try:
+            return sum(ch.drain_pending() for ch in self._channels)
+        finally:
+            self._quiet_drain = False
 
     def __repr__(self) -> str:
         return f"MemoryController(id={self.mc_id}, channels={len(self._channels)})"

@@ -126,6 +126,17 @@ class MemoryImage:
             self._check(addr, size)
         self._durable[addr : addr + size] = data
 
+    def persist_torn(self, addr: int, data: bytes, prefix_bytes: int) -> None:
+        """A write interrupted by power failure: only a prefix lands.
+
+        Models a torn line write (the fault subsystem's torn-log-write
+        model): the first ``prefix_bytes`` of ``data`` reach the cells,
+        the rest of the range keeps its old durable contents — the
+        mixed-epoch line that header checksums exist to catch.
+        """
+        if prefix_bytes > 0:
+            self.persist(addr, data[:prefix_bytes])
+
     def persist_equals_volatile(self, addr: int, size: int) -> bool:
         """True if durable and volatile agree over the range (test aid)."""
         self._check(addr, size)

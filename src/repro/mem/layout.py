@@ -54,10 +54,12 @@ class AddressLayout:
         self.log_base = data_bytes
         # ADR block: per AUS a bucket bit vector image plus the current
         # bucket/record registers (2 x u16) and the update-start-seq
-        # register (u32), behind an 8-byte header; line-aligned.
+        # register (u32), behind a 12-byte header (magic, counts, and
+        # the payload checksum that detects truncated flushes);
+        # line-aligned.
         vec_bytes = (log.buckets_per_controller + 7) // 8
         self.adr_block_bytes = align_up(
-            8 + log.aus_per_controller * (vec_bytes + 8), CACHE_LINE_BYTES
+            12 + log.aus_per_controller * (vec_bytes + 8), CACHE_LINE_BYTES
         )
         self.log_region_bytes = self.adr_block_bytes + log.region_bytes
         self.total_bytes = data_bytes + self.log_region_bytes * mem.num_controllers

@@ -26,7 +26,7 @@ from repro.coherence.l1 import L1Cache
 from repro.coherence.victim import VictimCache
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
-from repro.common.units import throughput_per_second
+from repro.common.units import CACHE_LINE_BYTES, throughput_per_second
 from repro.config import Design, SystemConfig
 from repro.cpu.core import Core
 from repro.cpu.lockmgr import LockManager
@@ -132,6 +132,11 @@ class System:
         self.invariant_checker: InvariantChecker | None = None
         if config.debug.check_invariants:
             self.invariant_checker = InvariantChecker(self)
+        #: Optional fault injector (repro.faults.models.FaultInjector):
+        #: turns the whole-machine power cut in crash() into a partial
+        #: failure (controller loss, torn log write, ADR truncation,
+        #: log corruption).  Installed via FaultInjector.install().
+        self.fault_injector = None
         self._crashed = False
         self._done_cores: set[int] = set()
         #: Commit broadcasts in flight: core -> {info, cleared, total}.
@@ -270,9 +275,17 @@ class System:
         window flushes each LogM's critical structures, caches and cores
         simply stop.  After this, only ``image``'s durable contents and
         the flushed ADR blocks represent machine state.
+
+        With a :attr:`fault_injector` installed the cut can be partial:
+        surviving controllers of a controller-loss fault drain their
+        write queues instead of dropping them, the torn-write model
+        persists a prefix of the log line that was on the wires, the
+        ADR flush honours a (possibly truncating) line budget, and the
+        log-corruption model damages the durable image after the cut.
         """
         self._crashed = True
         self.engine.stop()
+        inj = self.fault_injector
         # Complete any partially-broadcast commit truncations: the first
         # controller's clear made rollback impossible, so the remaining
         # clears must land too (done here, inside the ADR window).
@@ -283,12 +296,30 @@ class System:
                         mc.logm.force_truncate(core_id)
                 del self._commit_intents[core_id]
         for mc in self.controllers:
-            mc.crash()
+            if inj is not None and inj.wants_drain() and \
+                    inj.controller_survives(mc.mc_id):
+                inj.note_drained(mc.mc_id, mc.drain_for_shutdown())
+            else:
+                dropped = mc.crash()
+                if inj is not None:
+                    inj.note_controller_dropped(mc.mc_id, dropped)
+        if inj is not None:
+            # Torn line write: happens at the instant of the cut, after
+            # the queues (which held the rest of the FIFO) are gone.
+            inj.at_power_failure(self)
+        for mc in self.controllers:
             if mc.logm is not None:
-                adr_mod.flush_on_power_failure(mc.logm, self.image, self.layout)
+                budget = inj.adr_budget_lines(mc.mc_id) if inj else None
+                blob = adr_mod.flush_on_power_failure(
+                    mc.logm, self.image, self.layout, max_lines=budget
+                )
+                if budget is not None and len(blob) > budget * CACHE_LINE_BYTES:
+                    inj.note_adr_truncated(mc.mc_id)
         if self.redo is not None:
             self.redo.crash()
         self.image.crash()
+        if inj is not None:
+            inj.after_crash(self)
 
     def crash_at(self, cycle: int) -> None:
         """Schedule a crash at an absolute cycle (before running)."""
@@ -300,13 +331,21 @@ class System:
         return self._crashed
 
     def recover(self) -> recovery_mod.RecoveryReport:
-        """Run the post-crash recovery routine on the durable image."""
+        """Run the post-crash recovery routine on the durable image.
+
+        The returned report carries the recovery-time analytics
+        (``report.cost``): log lines scanned, records undone/applied,
+        validation rejections, and the modeled recovery cycles under
+        this machine's NVM timing parameters.
+        """
         if self.config.design is Design.REDO:
-            replayed = self.redo.recover() if self.redo else 0
             report = recovery_mod.RecoveryReport()
-            report.updates_rolled_back = replayed
+            if self.redo is not None:
+                report.updates_rolled_back = self.redo.recover()
+                report.cost = self.redo.last_recovery_cost
             return report
-        return recovery_mod.recover(self.image, self.layout, self.config.log)
+        return recovery_mod.recover(self.image, self.layout, self.config.log,
+                                    mem=self.config.memory)
 
     # -- results --------------------------------------------------------------------------
 

@@ -39,7 +39,7 @@ class TestHeaderCodec:
     @given(
         st.lists(st.integers(min_value=0, max_value=2**40).map(
             lambda a: a & ~63), min_size=1, max_size=7),
-        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=255),  # u8 owner stamp
         st.integers(min_value=0, max_value=2**32 - 1),
     )
     def test_roundtrip_property(self, addresses, owner, seq):
@@ -49,6 +49,29 @@ class TestHeaderCodec:
         back = RecordHeader.decode(header.encode())
         assert back.addresses == list(addresses)
         assert back.owner == owner and back.seq == seq and back.valid
+        assert back.checksum_ok and back.trustworthy
+
+    def test_torn_prefix_over_old_header_fails_checksum(self):
+        """A torn write (new prefix, stale tail) must never verify."""
+        old = RecordHeader(addresses=[0x1000], count=1, flags=FLAG_VALID,
+                           owner=2, seq=0x99AABBCC).encode()
+        new = RecordHeader(addresses=[0x2000, 0x3000], count=2,
+                           flags=FLAG_VALID, owner=2, seq=0x11223344).encode()
+        for prefix in (8, 40, 56, 60, 63):
+            torn = new[:prefix] + old[prefix:]
+            header = RecordHeader.decode(torn)
+            assert not header.checksum_ok, f"prefix {prefix} verified"
+            assert not header.trustworthy
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=1, max_value=255))
+    def test_any_single_byte_corruption_fails_checksum(self, offset, xor):
+        line = bytearray(RecordHeader(
+            addresses=[0x1000, 0x2040], count=2, flags=FLAG_VALID,
+            owner=1, seq=5,
+        ).encode())
+        line[offset] ^= xor
+        assert not RecordHeader.decode(bytes(line)).trustworthy
 
 
 class TestOpenRecord:
