@@ -41,6 +41,69 @@ CTRL_BYTES = 8
 LOG_MSG_BYTES = CACHE_LINE_BYTES + 8  # old-value line + address
 
 
+class _DrainStep:
+    """Per-store drain continuation (``__slots__``, not a closure).
+
+    Carries one SQ head entry through permissions → logging decision →
+    retire; the store drain runs once per store, so the reference
+    kernel's nested closures here were the single biggest allocation
+    source (see ISSUE 5's allocation-free completion chains).
+    """
+
+    __slots__ = ("policy", "core", "entry", "on_retired")
+
+    def __init__(self, policy, core, entry, on_retired):
+        self.policy = policy
+        self.core = core
+        self.entry = entry
+        self.on_retired = on_retired
+
+    def __call__(self, info: FillInfo) -> None:
+        self.policy._after_permissions(
+            self.core, self.entry, info, self.on_retired
+        )
+
+
+class _LogSend:
+    """Undo-entry round trip: deliver to LogM, ack back, retire.
+
+    ``__call__`` fires at the log message's arrival at the controller;
+    ``ack`` at the lock/durability point; ``complete`` at the ack's
+    arrival back at the core.
+    """
+
+    __slots__ = ("policy", "core", "entry", "line", "mc", "mc_tile",
+                 "wait_durable", "on_retired")
+
+    def __init__(self, policy, core, entry, line, mc, mc_tile,
+                 wait_durable, on_retired):
+        self.policy = policy
+        self.core = core
+        self.entry = entry
+        self.line = line
+        self.mc = mc
+        self.mc_tile = mc_tile
+        self.wait_durable = wait_durable
+        self.on_retired = on_retired
+
+    def __call__(self) -> None:
+        entry = self.entry
+        if self.wait_durable:
+            self.mc.logm.append(self.core.core_id, entry.addr,
+                                entry.undo_payload, on_durable=self.ack)
+        else:
+            self.mc.logm.append(self.core.core_id, entry.addr,
+                                entry.undo_payload, on_locked=self.ack)
+
+    def ack(self) -> None:
+        self.policy.mesh.send(self.mc_tile, self.core.core_id, CTRL_BYTES,
+                              self.complete)
+
+    def complete(self) -> None:
+        self.core.l1.set_log_bit(self.line)
+        self.policy._finish_store(self.core, self.on_retired)
+
+
 class DesignPolicy:
     """Base class wiring a policy into the simulated system."""
 
@@ -102,13 +165,27 @@ class DesignPolicy:
         return self.controllers[core.core_id % len(self.controllers)]
 
 
+class _FinishStep:
+    """Drain continuation that retires as soon as permissions arrive."""
+
+    __slots__ = ("policy", "core", "on_retired")
+
+    def __init__(self, policy, core, on_retired):
+        self.policy = policy
+        self.core = core
+        self.on_retired = on_retired
+
+    def __call__(self, info: FillInfo) -> None:
+        self.policy._finish_store(self.core, self.on_retired)
+
+
 class NonAtomicPolicy(DesignPolicy):
     """No logging: upper bound (still flushes data at Atomic_End)."""
 
     def execute_store(self, core, entry, on_retired) -> None:
         line = line_of(entry.addr)
         core.l1.ensure_writable(
-            line, False, lambda info: self._finish_store(core, on_retired)
+            line, False, _FinishStep(self, core, on_retired)
         )
 
 
@@ -185,25 +262,12 @@ class _UndoPolicyBase(DesignPolicy):
             )
         line = line_of(entry.addr)
         mc = self._log_controller(core, line)
-        core_tile = core.core_id
         mc_tile = self._mc_tile[mc.mc_id]
-
-        def ack() -> None:
-            self.mesh.send(mc_tile, core_tile, CTRL_BYTES, complete)
-
-        def complete() -> None:
-            core.l1.set_log_bit(line)
-            self._finish_store(core, on_retired)
-
-        def deliver() -> None:
-            if wait_durable:
-                mc.logm.append(core.core_id, entry.addr, entry.undo_payload,
-                               on_durable=ack)
-            else:
-                mc.logm.append(core.core_id, entry.addr, entry.undo_payload,
-                               on_locked=ack)
-
-        self.mesh.send(core_tile, mc_tile, LOG_MSG_BYTES, deliver)
+        self.mesh.send(
+            core.core_id, mc_tile, LOG_MSG_BYTES,
+            _LogSend(self, core, entry, line, mc, mc_tile, wait_durable,
+                     on_retired),
+        )
 
     def execute_store(self, core, entry, on_retired) -> None:
         line = line_of(entry.addr)
@@ -211,7 +275,7 @@ class _UndoPolicyBase(DesignPolicy):
         core.l1.ensure_writable(
             line,
             atomic_fetch,
-            lambda info: self._after_permissions(core, entry, info, on_retired),
+            _DrainStep(self, core, entry, on_retired),
         )
 
     def _after_permissions(self, core, entry, info: FillInfo,
@@ -257,6 +321,32 @@ class AtomOptPolicy(AtomPolicy):
     source_logging = True
 
 
+class _RedoStep:
+    """REDO drain continuation: permissions → WC append → retire."""
+
+    __slots__ = ("policy", "core", "entry", "on_retired")
+
+    def __init__(self, policy, core, entry, on_retired):
+        self.policy = policy
+        self.core = core
+        self.entry = entry
+        self.on_retired = on_retired
+
+    def __call__(self, info: FillInfo) -> None:
+        entry = self.entry
+        if entry.atomic and entry.redo_words:
+            # Write-combining append; backpressures when log writes
+            # outrun the NVM's write bandwidth.
+            self.policy.system.redo.append(
+                self.core.core_id, entry.redo_words, self.retire
+            )
+        else:
+            self.retire()
+
+    def retire(self) -> None:
+        self.policy._finish_store(self.core, self.on_retired)
+
+
 class RedoPolicy(DesignPolicy):
     """REDO comparator: hardware-issued word redo log, backend apply."""
 
@@ -264,20 +354,10 @@ class RedoPolicy(DesignPolicy):
     needs_flush_at_end = False
 
     def execute_store(self, core, entry, on_retired) -> None:
-        line = line_of(entry.addr)
-
-        def after(info: FillInfo) -> None:
-            if entry.atomic and entry.redo_words:
-                # Write-combining append; backpressures when log writes
-                # outrun the NVM's write bandwidth.
-                self.system.redo.append(
-                    core.core_id, entry.redo_words,
-                    lambda: self._finish_store(core, on_retired),
-                )
-            else:
-                self._finish_store(core, on_retired)
-
-        core.l1.ensure_writable(line, False, after)
+        core.l1.ensure_writable(
+            line_of(entry.addr), False,
+            _RedoStep(self, core, entry, on_retired),
+        )
 
     def atomic_begin(self, core, on_ready) -> None:
         self.system.redo.begin(core.core_id, core.txn_id)

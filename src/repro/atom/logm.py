@@ -43,6 +43,35 @@ from repro.engine import Engine
 from repro.mem.layout import AddressLayout, RecordAddress
 
 
+class _EntryPersist:
+    """Completion of one undo-entry data-line write (``__slots__``
+    continuation instead of a per-append closure)."""
+
+    __slots__ = ("record", "on_durable")
+
+    def __init__(self, record, on_durable):
+        self.record = record
+        self.on_durable = on_durable
+
+    def __call__(self) -> None:
+        self.record.data_persisted += 1
+        if self.on_durable is not None:
+            self.on_durable()
+
+
+class _HeaderPersist:
+    """Completion of one record-header write (the unlock)."""
+
+    __slots__ = ("logm", "record")
+
+    def __init__(self, logm, record):
+        self.logm = logm
+        self.record = record
+
+    def __call__(self) -> None:
+        self.logm._header_persisted(self.record)
+
+
 class LogManager:
     """One memory controller's LogM module."""
 
@@ -215,13 +244,10 @@ class LogManager:
         # Write the entry's data line into the log region (the record's
         # base address was computed once at open).
         entry_addr = record.base_addr + slot_index * CACHE_LINE_BYTES
-
-        def data_persisted() -> None:
-            self._entry_data_persisted(state, record)
-            if durable_at_data is not None:
-                durable_at_data()
-
-        self.mc.write_log_line(entry_addr, payload, on_persist=data_persisted)
+        self.mc.write_log_line(
+            entry_addr, payload,
+            on_persist=_EntryPersist(record, durable_at_data),
+        )
         if len(record.addresses) >= self._close_thresh:
             self._close_record(state, record)
 
@@ -273,9 +299,6 @@ class LogManager:
 
     # -- record closing / header persistence -----------------------------------------
 
-    def _entry_data_persisted(self, state: AusState, record: OpenRecord) -> None:
-        record.data_persisted += 1
-
     def _close_record(self, state: AusState, record: OpenRecord) -> None:
         """Stop collating into ``record`` and write its header out.
 
@@ -303,7 +326,7 @@ class LogManager:
         self.mc.write_log_line(
             header_addr,
             record.header().encode(),
-            on_persist=lambda: self._header_persisted(record),
+            on_persist=_HeaderPersist(self, record),
         )
 
     def _header_persisted(self, record: OpenRecord) -> None:

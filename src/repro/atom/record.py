@@ -85,13 +85,18 @@ class RecordHeader:
 
     def encode(self) -> bytes:
         """Pack into the 64-byte header line image."""
-        addrs = list(self.addresses) + [0] * (7 - len(self.addresses))
-        line = bytearray(_ADDR.pack(*addrs) + _TAIL.pack(
+        line = bytearray(CACHE_LINE_BYTES)
+        addresses = self.addresses
+        _ADDR.pack_into(line, 0, *addresses, *([0] * (7 - len(addresses))))
+        _TAIL.pack_into(
+            line, 56,
             (self.count & 0x0F) | ((self.flags & 0x0F) << 4),
             self.owner, 0, self.seq,
-        ))
-        struct.pack_into("<H", line, _CHECKSUM_OFFSET,
-                         header_checksum(bytes(line)))
+        )
+        # The checksum field is still zero here, so one pass over the
+        # line equals header_checksum() without the slice-and-join.
+        crc = zlib.crc32(bytes(line))
+        struct.pack_into("<H", line, _CHECKSUM_OFFSET, crc & 0xFFFF)
         return bytes(line)
 
     @classmethod

@@ -23,7 +23,9 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.coherence.l1 import FillInfo, L1Cache
+from repro.coherence.l1 import (FILL_EXCLUSIVE, FILL_MODIFIED,
+                                FILL_MODIFIED_SOURCE_LOGGED, FILL_SHARED,
+                                FillInfo, L1Cache)
 from repro.coherence.states import MESI
 from repro.common.stats import Stats
 from repro.common.units import (CACHE_LINE_BYTES, CACHE_LINE_SHIFT,
@@ -39,6 +41,73 @@ from repro.noc.topology import Topology
 #: Payload sizes for timing purposes.
 CTRL_BYTES = 8
 DATA_BYTES = CACHE_LINE_BYTES
+
+
+class _FillDone:
+    """Completion of one directory transaction (release + fill reply).
+
+    ``__slots__`` continuation instead of a closure pair: this fires
+    once per L2 hit/miss — one of the hottest completion chains in the
+    model (see ISSUE 5's allocation-free completion chains).
+    """
+
+    __slots__ = ("l2", "line", "on_fill", "info")
+
+    def __init__(self, l2, line, on_fill, info):
+        self.l2 = l2
+        self.line = line
+        self.on_fill = on_fill
+        self.info = info
+
+    def __call__(self) -> None:
+        self.l2._release(self.line)
+        self.on_fill(self.info)
+
+
+class _MissFetch:
+    """L2-miss continuation pair: forward to the controller, then fill.
+
+    ``__call__`` runs at the request's arrival at the memory controller;
+    ``fetched`` is the controller's data reply.
+    """
+
+    __slots__ = ("l2", "line", "core", "on_fill", "mc", "exclusive",
+                 "atomic", "reply_lat")
+
+    def __init__(self, l2, line, core, on_fill, mc, exclusive, atomic,
+                 reply_lat):
+        self.l2 = l2
+        self.line = line
+        self.core = core
+        self.on_fill = on_fill
+        self.mc = mc
+        self.exclusive = exclusive
+        self.atomic = atomic
+        self.reply_lat = reply_lat
+
+    def __call__(self) -> None:
+        if self.exclusive:
+            self.mc.fetch_line(
+                self.line, self.fetched, exclusive=True,
+                atomic_core=self.core if self.atomic else None,
+            )
+        else:
+            self.mc.fetch_line(self.line, self.fetched)
+
+    def fetched(self, _payload: bytes, source_logged: bool) -> None:
+        l2 = self.l2
+        line = self.line
+        new = l2._insert(line)
+        new.owner = self.core
+        new.waiters.extend(l2._pending_fetch.pop(line, []))
+        if self.exclusive:
+            info = (FILL_MODIFIED_SOURCE_LOGGED if source_logged
+                    else FILL_MODIFIED)
+        else:
+            info = FILL_EXCLUSIVE
+        l2.engine.post(
+            self.reply_lat, _FillDone(l2, line, self.on_fill, info)
+        )
 
 
 @dataclass(slots=True)
@@ -214,7 +283,8 @@ class SharedL2:
                 data_lat = self._data_lat[home][req_tile]
             entry.sharers.add(core)
             total = req_lat + self._l2_lat + extra + data_lat
-            self._complete(line, total, on_fill, FillInfo(MESI.SHARED))
+            self.engine.post(total, _FillDone(self, line, on_fill,
+                                              FILL_SHARED))
             return
         # L2 miss: fetch from memory, requester gets Exclusive.
         if line in self._pending_fetch:
@@ -229,17 +299,10 @@ class SharedL2:
         to_mc = self._ctrl_lat[home][mc_tile]
         from_mc = self._data_lat[mc_tile][home]
         data_lat = self._data_lat[home][req_tile]
-
-        def fetched(_payload: bytes, _source_logged: bool) -> None:
-            new = self._insert(line)
-            new.owner = core
-            new.waiters.extend(self._pending_fetch.pop(line, []))
-            total = from_mc + data_lat
-            self._complete(line, total, on_fill, FillInfo(MESI.EXCLUSIVE))
-
         self.engine.post(
             req_lat + self._l2_lat + to_mc,
-            lambda: mc.fetch_line(line, fetched),
+            _MissFetch(self, line, core, on_fill, mc, False, False,
+                       from_mc + data_lat),
         )
 
     # -- GetX -----------------------------------------------------------------------
@@ -295,7 +358,8 @@ class SharedL2:
             entry.sharers = set()
             data_lat = self._data_lat[home][req_tile]
             total = req_lat + self._l2_lat + extra + data_lat
-            self._complete(line, total, on_fill, FillInfo(MESI.MODIFIED))
+            self.engine.post(total, _FillDone(self, line, on_fill,
+                                              FILL_MODIFIED))
             return
         # L2 miss: fetch-exclusive from memory.  This is the source-logging
         # window: the controller reads the old value from NVM anyway.
@@ -311,30 +375,11 @@ class SharedL2:
         to_mc = self._ctrl_lat[home][mc_tile]
         from_mc = self._data_lat[mc_tile][home]
         data_lat = self._data_lat[home][req_tile]
-
-        def fetched(_payload: bytes, source_logged: bool) -> None:
-            new = self._insert(line)
-            new.owner = core
-            new.waiters.extend(self._pending_fetch.pop(line, []))
-            total = from_mc + data_lat
-            self._complete(
-                line, total, on_fill, FillInfo(MESI.MODIFIED, source_logged)
-            )
-
         self.engine.post(
             req_lat + self._l2_lat + to_mc,
-            lambda: mc.fetch_line(
-                line, fetched, exclusive=True,
-                atomic_core=core if atomic else None,
-            ),
+            _MissFetch(self, line, core, on_fill, mc, True, atomic,
+                       from_mc + data_lat),
         )
-
-    def _complete(self, line, delay, on_fill, info: FillInfo) -> None:
-        def finish() -> None:
-            self._release(line)
-            on_fill(info)
-
-        self.engine.post(delay, finish)
 
     # -- evictions and writebacks ----------------------------------------------------
 

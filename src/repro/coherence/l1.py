@@ -46,6 +46,15 @@ class FillInfo:
     source_logged: bool = False
 
 
+#: Shared immutable FillInfo instances for the non-source-logged cases —
+#: one per fill/hit on the hottest paths, so allocating a fresh object
+#: every time is pure allocator traffic.  Receivers only read them.
+FILL_MODIFIED = FillInfo(MESI.MODIFIED)
+FILL_EXCLUSIVE = FillInfo(MESI.EXCLUSIVE)
+FILL_SHARED = FillInfo(MESI.SHARED)
+FILL_MODIFIED_SOURCE_LOGGED = FillInfo(MESI.MODIFIED, source_logged=True)
+
+
 class L1Cache:
     """One core's private L1 data cache."""
 
@@ -157,7 +166,7 @@ class L1Cache:
             self._use_clock += 1
             entry.last_use = self._use_clock
             self._add_store_hits()
-            on_ready(FillInfo(MESI.MODIFIED, source_logged=False))
+            on_ready(FILL_MODIFIED)
             return
         if entry is None:
             self._add_store_misses()

@@ -124,15 +124,21 @@ class Core:
         horizon = now + self.cfg.max_inline_cycles
         gen_send = self._gen.send
         dispatch = self._dispatch
-        # The two dominant ops — single-line L1-hit loads and computes —
-        # are handled inline (mirroring _do_load's fast path and
-        # _dispatch's Compute case exactly); everything else dispatches.
+        # The three dominant ops — single-line L1-hit loads, computes,
+        # and single-line stores — are handled inline (mirroring
+        # _do_load's and _do_store's fast paths exactly); everything
+        # else dispatches.
         l1 = self.l1
         l1_sets = l1._sets
         l1_nsets = l1.num_sets
         add_load_hit = l1._add_load_hits
-        image_read = self.image.read
+        # Bounds are enforced by the workloads' own allocator; the inline
+        # hit path reads straight off the volatile view (mirrors
+        # MemoryImage.read without the call).
+        vol_view = self.image._vol_view
+        image_size = self.image.size_bytes
         l1_lat = self._l1_latency
+        do_store = self._do_store
         while True:
             if self._t > horizon:
                 value = send_value
@@ -161,13 +167,18 @@ class Core:
                         words = size // WORD_BYTES - 1
                         if words > 0:
                             self._t += words
-                        send_value = image_read(addr, size)
+                        end = addr + size
+                        if addr < 0 or end > image_size:
+                            self.image._check(addr, size)
+                        send_value = vol_view[addr:end].tobytes()
                         continue
                 send_value = self._do_load(op)
             elif cls is ops.Compute:
                 self._t += op.cycles
                 send_value = None
                 continue
+            elif cls is ops.Store:
+                send_value = do_store(op)
             else:
                 send_value = dispatch(op)
             if send_value is _SUSPEND:

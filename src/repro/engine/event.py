@@ -23,6 +23,28 @@ Cancellation is O(1): the :class:`Event` handle is tombstoned (its
 entry is skipped when it surfaces at pop time.  The live counter also
 makes ``pending()``/``idle()`` O(1) — the simulation main loop checks
 ``idle()`` every time ``run`` returns.
+
+Batch-timing support
+--------------------
+Two primitives let hot components retire events without a heap round
+trip, **bit-for-bit exactly** when — and only when — the heap proves no
+other event could interleave:
+
+* :meth:`peek_time` exposes the earliest queued entry's time.  A
+  component that knows its own future work (e.g. the channel arbiter's
+  slot sequence) may perform any slot strictly earlier than that time
+  inline: nothing can dispatch in between, so no observer exists to
+  tell the difference.
+* :meth:`call_soon` fuses a *tail-position* ``post(0, fn)``: when no
+  queued entry shares the current cycle (and no stop is pending),
+  ``fn`` is invoked directly — it would have been the very next
+  dispatch with the same ``now``.
+
+Work retired through either primitive counts as a **virtual dispatch**;
+``events_dispatched`` reports heap plus virtual dispatches, so the
+events/sec figure of merit keeps measuring the same logical event
+stream across kernels that batch differently (see README
+"Performance").
 """
 
 from __future__ import annotations
@@ -31,6 +53,11 @@ import heapq
 from collections.abc import Callable
 
 from repro.common.errors import SimulationError
+
+#: Sentinel returned by :meth:`Engine.peek_time` on an empty heap —
+#: larger than any reachable cycle, so ``t < peek_time()`` stays a
+#: plain int comparison.
+NEVER = 1 << 62
 
 
 class Event:
@@ -75,11 +102,24 @@ class Engine:
         self.now: int = 0
         #: Min-heap of (time, seq, fn, handle-or-None) tuples.
         self._queue: list[tuple] = []
+        #: One-slot bypass lane: a single ``(time, seq, fn)`` entry kept
+        #: out of the heap.  Handle-free posts claim it when free; the
+        #: dispatch loop merges it with the heap by exact ``(time, seq)``
+        #: order, so scheduling semantics are bit-for-bit identical to
+        #: heap-only — chains of causally dependent events (the common
+        #: simulator shape: each callback schedules its continuation)
+        #: flow through the lane and skip both heap operations.
+        self._next: tuple | None = None
         self._seq = 0
         #: Live (non-cancelled, undispatched) events — kept O(1) so the
         #: per-iteration idle check in ``System.run`` is free.
         self._live = 0
         self._dispatched = 0
+        #: Events retired inline by the batch-timing primitives
+        #: (``call_soon`` fusion, ``count_virtual`` from slot batching)
+        #: instead of through the heap.  Each one corresponds to exactly
+        #: one dispatch the reference (unbatched) kernel performs.
+        self._virtual = 0
         self._running = False
         self._stop_requested = False
 
@@ -119,7 +159,17 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._queue, (self.now + delay, seq, fn, None))
+        time = self.now + delay
+        nxt = self._next
+        if nxt is None:
+            self._next = (time, seq, fn)
+        elif time < nxt[0]:
+            # Keep the lane holding the minimum: the displaced entry
+            # pays the heap, the soonest event keeps the fast path.
+            self._next = (time, seq, fn)
+            heapq.heappush(self._queue, (nxt[0], nxt[1], nxt[2], None))
+        else:
+            heapq.heappush(self._queue, (time, seq, fn, None))
 
     def post_at(self, time: int, fn: Callable[[], None]) -> None:
         """Fast path of :meth:`at`: no cancellation handle.
@@ -134,7 +184,67 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._queue, (time, seq, fn, None))
+        nxt = self._next
+        if nxt is None:
+            self._next = (time, seq, fn)
+        elif time < nxt[0]:
+            self._next = (time, seq, fn)
+            heapq.heappush(self._queue, (nxt[0], nxt[1], nxt[2], None))
+        else:
+            heapq.heappush(self._queue, (time, seq, fn, None))
+
+    # -- batch-timing primitives ------------------------------------------
+
+    def peek_time(self) -> int:
+        """Time of the earliest queued entry (``NEVER`` when empty).
+
+        Tombstoned entries are included, which only makes callers
+        conservative: a cancelled event's slot can never be *later*
+        than the live minimum.
+        """
+        queue = self._queue
+        t = queue[0][0] if queue else NEVER
+        nxt = self._next
+        if nxt is not None and nxt[0] < t:
+            return nxt[0]
+        return t
+
+    def count_virtual(self, n: int = 1) -> None:
+        """Account ``n`` events retired inline by a batching component.
+
+        Call once per reference-kernel event whose work was performed
+        without a heap round trip (e.g. one channel arbiter slot folded
+        into a batch).  Keeps ``events_dispatched`` — the benchmark's
+        figure of merit — counting the same logical event stream.
+        """
+        self._virtual += n
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """``post(0, fn)`` with exact tail-call fusion.
+
+        When no queued entry shares the current cycle, ``fn`` would be
+        the very next dispatch at the same ``now`` — so it runs inline,
+        skipping the heap round trip, and is accounted as a virtual
+        dispatch.  Otherwise (same-cycle events pending, a stop
+        requested, or the engine not running) this falls back to a
+        plain ``post(0, fn)``.
+
+        ONLY sound for tail-position continuations: the caller must do
+        nothing observable after this call, or the fused ``fn`` would
+        see state the deferred one would not.
+        """
+        if (
+            self._running
+            and not self._stop_requested
+            and self.peek_time() > self.now
+        ):
+            self._virtual += 1
+            fn()
+            return
+        # Class-level call on purpose: instrumentation (the perf
+        # profiler) patches the instance's ``post``/``call_soon`` and
+        # wraps ``fn`` once — the fallback must not wrap it twice.
+        Engine.post(self, 0, fn)
 
     # -- execution --------------------------------------------------------
 
@@ -153,41 +263,56 @@ class Engine:
         dispatched = 0
         queue = self._queue
         heappop = heapq.heappop
-        # ``until``/``max_events`` are loop-invariant; fold them into a
-        # single horizon so the dispatch loop tests one comparison per
+        # ``until``/``max_events`` are loop-invariant; fold them into
+        # int horizons so the dispatch loop tests plain comparisons per
         # event (the common call is run(until=...) with no event limit).
-        horizon = float("inf") if until is None else until
-        budget = float("inf") if max_events is None else max_events
+        horizon = NEVER if until is None else until
+        budget = NEVER if max_events is None else max_events
         try:
-            while queue:
-                if self._stop_requested:
+            while True:
+                if self._stop_requested or dispatched >= budget:
                     break
-                if dispatched >= budget:
+                # Merge the bypass lane with the heap in exact
+                # (time, seq) order — the lane is just a heap entry
+                # that never paid the heap.
+                nxt = self._next
+                if nxt is not None and (
+                    not queue
+                    or nxt[0] < queue[0][0]
+                    or (nxt[0] == queue[0][0] and nxt[1] < queue[0][1])
+                ):
+                    time, _seq, fn = nxt
+                    if time > horizon:
+                        self.now = until
+                        break
+                    self._next = None
+                elif queue:
+                    time, _seq, fn, handle = queue[0]
+                    if handle is not None and handle.cancelled:
+                        heappop(queue)  # tombstone: off the live count
+                        continue
+                    if time > horizon:
+                        self.now = until
+                        break
+                    heappop(queue)
+                    if handle is not None:
+                        handle._engine = None
+                else:
+                    # Natural exit (nothing pending): advance to the
+                    # horizon — unless a stop was requested by the
+                    # final event, in which case the clock freezes at
+                    # that event's time.
+                    if (
+                        until is not None
+                        and until > self.now
+                        and not self._stop_requested
+                    ):
+                        self.now = until
                     break
-                time, _seq, fn, handle = queue[0]
-                if handle is not None and handle.cancelled:
-                    heappop(queue)  # tombstone: already off the live count
-                    continue
-                if time > horizon:
-                    self.now = until
-                    break
-                heappop(queue)
-                if handle is not None:
-                    handle._engine = None
                 self._live -= 1
                 self.now = time
                 fn()
                 dispatched += 1
-            else:
-                # Natural exit (queue empty): advance to the horizon —
-                # unless a stop was requested by the final event, in
-                # which case the clock freezes at that event's time.
-                if (
-                    until is not None
-                    and until > self.now
-                    and not self._stop_requested
-                ):
-                    self.now = until
         finally:
             self._running = False
             self._dispatched += dispatched
@@ -210,8 +335,18 @@ class Engine:
 
     @property
     def events_dispatched(self) -> int:
-        """Total events dispatched over the engine's lifetime."""
-        return self._dispatched
+        """Total events dispatched over the engine's lifetime.
+
+        Heap dispatches plus virtual dispatches (events retired inline
+        by the batch-timing primitives) — i.e. the size of the logical
+        event stream, invariant to how much of it was batched.
+        """
+        return self._dispatched + self._virtual
+
+    @property
+    def virtual_dispatches(self) -> int:
+        """Events retired inline by batching (subset of the above)."""
+        return self._virtual
 
     def idle(self) -> bool:
         """True when no live events remain (O(1))."""

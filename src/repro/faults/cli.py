@@ -123,7 +123,10 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = Campaign(jobs=args.jobs, cache=cache)
     start = time.time()
-    sweep = fault_sweep(campaign, specs)
+    try:
+        sweep = fault_sweep(campaign, specs)
+    finally:
+        campaign.close()
     print(sweep.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")

@@ -176,13 +176,17 @@ def execute_fault_point(spec: FaultSpec) -> FaultOutcome:
         error = (error + "; " if error else "") + (
             "second recovery changed the durable image"
         )
-    return FaultOutcome(
+    outcome = FaultOutcome(
         spec=spec, ok=ok, applied=injector.applied,
         detections=cost.detections, commits=workload.commits,
         rolled_back=report.updates_rolled_back,
         recovery_cost=cost.to_dict(), idempotent=idempotent,
         detail=injector.detail, error=error,
     )
+    # The system was private to this point and everything the caller
+    # needs is in the outcome: recycle the image buffers.
+    system.image.recycle()
+    return outcome
 
 
 def fault_grid(

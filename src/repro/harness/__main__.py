@@ -193,7 +193,10 @@ def main(argv: list[str] | None = None) -> int:
             seeds=[int(s) for s in args.crash_seeds.split(",") if s],
         )
         start = time.time()
-        sweep = crash_sweep(campaign, specs)
+        try:
+            sweep = crash_sweep(campaign, specs)
+        finally:
+            campaign.close()
         print(sweep.render())
         print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
               f"{cache.hits if cache is not None else 0} cached)")
@@ -205,19 +208,22 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.error("pass --all, at least one --experiment, "
                      "--crash-sweep, or --wipe-cache")
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, scale=args.scale, campaign=campaign)
-        elapsed = time.time() - start
-        if args.markdown:
-            print(f"### {result.name}\n")
-            print(format_markdown(result.headers, result.rows))
-            if result.notes:
-                print(f"\n*{result.notes}*")
-            print()
-        else:
-            print(result.render())
-            print(f"({elapsed:.1f}s)\n")
+    try:
+        for name in names:
+            start = time.time()
+            result = run_experiment(name, scale=args.scale, campaign=campaign)
+            elapsed = time.time() - start
+            if args.markdown:
+                print(f"### {result.name}\n")
+                print(format_markdown(result.headers, result.rows))
+                if result.notes:
+                    print(f"\n*{result.notes}*")
+                print()
+            else:
+                print(result.render())
+                print(f"({elapsed:.1f}s)\n")
+    finally:
+        campaign.close()
     return 0
 
 

@@ -26,13 +26,16 @@ the committed transactions.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import itertools
 import multiprocessing
 import os
+import pickle
 import traceback
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _conn_wait
 
 from repro.common.errors import ReproError, SimulationError, WorkloadError
 from repro.config import Design
@@ -109,6 +112,137 @@ def _crash_worker(spec: "CrashSpec") -> tuple:
     except BaseException as exc:  # noqa: BLE001
         return ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
                        f"{traceback.format_exc()}")
+
+
+# -- the persistent worker pool -----------------------------------------------
+
+
+def _pool_worker_main(task_queue, conn) -> None:
+    """Worker loop: pull tasks from the shared queue, stream replies back.
+
+    Each task is ``(index, worker_fn, spec)``; the reply is one binary
+    pickle frame ``(index, (status, payload))`` written to this worker's
+    private result pipe.  Worker functions arrive by reference, so the
+    model modules they live in are imported once per worker (on first
+    use) and stay warm for every following point — this is what kills
+    the per-batch spawn + import cost of a fork-per-batch pool.
+    """
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            index, worker_fn, spec = task
+            try:
+                reply = worker_fn(spec)
+            except BaseException as exc:  # noqa: BLE001 — surfaced in parent
+                reply = ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
+                                f"{traceback.format_exc()}")
+            conn.send_bytes(
+                pickle.dumps((index, reply), pickle.HIGHEST_PROTOCOL)
+            )
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Persistent campaign worker pool.
+
+    Forked once (lazily) per :class:`Campaign` and reused for every
+    batch it dispatches — unlike ``multiprocessing.Pool`` per batch,
+    workers keep their interpreter, imports, and warm allocator across
+    batches, so small-point campaigns (litmus grids, fault matrices)
+    stop paying process start-up per batch.  Tasks flow through one
+    shared queue (idle workers self-balance); results stream back as
+    binary pickle frames over per-worker pipes multiplexed with
+    ``multiprocessing.connection.wait`` — no chunking, no feeder
+    threads, no per-batch teardown.
+    """
+
+    def __init__(self, procs: int):
+        ctx = multiprocessing.get_context()
+        self._tasks = ctx.SimpleQueue()
+        self._conns = []
+        self._procs = []
+        for _ in range(procs):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_pool_worker_main,
+                args=(self._tasks, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+        atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def map(self, specs: Sequence, worker) -> list[tuple]:
+        """Run ``worker`` over ``specs`` on the pool; order-preserving.
+
+        Submission and collection are interleaved with a bounded
+        in-flight window (a few tasks per worker): enough queued work
+        that no worker ever idles between points, small enough that
+        neither the shared task pipe nor a worker's result pipe can
+        fill while the other side is blocked — an unbounded up-front
+        submit deadlocks once both pipes are full.
+        """
+        if self._closed:
+            raise CampaignError("worker pool already closed")
+        total = len(specs)
+        out: list = [None] * total
+        window = 2 * len(self._procs) + 2
+        submitted = 0
+        while submitted < total and submitted < window:
+            self._tasks.put((submitted, worker, specs[submitted]))
+            submitted += 1
+        remaining = total
+        conns = list(self._conns)
+        while remaining:
+            ready = _conn_wait(conns, timeout=30.0) or []
+            for conn in ready:
+                try:
+                    frame = conn.recv_bytes()
+                except EOFError:
+                    raise CampaignError(
+                        "campaign worker exited mid-batch (killed or "
+                        "crashed hard); re-run with --jobs 1 to debug"
+                    ) from None
+                index, reply = pickle.loads(frame)
+                out[index] = reply
+                remaining -= 1
+            # Top the window back up only after draining: every put
+            # below is covered by a result just received.
+            while submitted < total and submitted - (total - remaining) \
+                    < window:
+                self._tasks.put((submitted, worker, specs[submitted]))
+                submitted += 1
+            if not ready and remaining and \
+                    not any(p.is_alive() for p in self._procs):
+                raise CampaignError("all campaign workers died mid-batch")
+        return out
+
+    def close(self) -> None:
+        """Stop the workers (idempotent; also registered atexit)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for _ in self._procs:
+                self._tasks.put(None)
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+        except (OSError, ValueError):
+            pass
 
 
 # -- seed replication ---------------------------------------------------------
@@ -195,6 +329,29 @@ class Campaign:
         self.cache = cache
         #: Points computed by workers (cache misses) this session.
         self.computed = 0
+        #: Persistent worker pool, forked on the first parallel batch
+        #: and reused for every one after (see :class:`WorkerPool`).
+        self._pool: WorkerPool | None = None
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def pool(self) -> WorkerPool:
+        """The campaign's persistent pool (created on first use)."""
+        if self._pool is None or self._pool._closed:
+            self._pool = WorkerPool(self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (safe to call repeatedly)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- generic cached fan-out ----------------------------------------------
 
@@ -253,10 +410,7 @@ class Campaign:
     def _dispatch(self, specs: list, worker) -> list[tuple]:
         if self.jobs == 1 or len(specs) == 1:
             return [worker(s) for s in specs]
-        procs = min(self.jobs, len(specs))
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=procs) as pool:
-            return pool.map(worker, specs, chunksize=1)
+        return self.pool().map(specs, worker)
 
     # -- simulation points ----------------------------------------------------
 
@@ -400,11 +554,14 @@ def execute_crash_point(spec: CrashSpec) -> CrashOutcome:
         return CrashOutcome(spec=spec, ok=False,
                             error=f"{type(exc).__name__}: {exc}")
     cost = getattr(report, "cost", None)
-    return CrashOutcome(
+    outcome = CrashOutcome(
         spec=spec, ok=True, commits=workload.commits,
         updates_rolled_back=getattr(report, "updates_rolled_back", 0),
         recovery_cost=cost.to_dict() if cost is not None else {},
     )
+    # The system was private to this point; recycle the image buffers.
+    system.image.recycle()
+    return outcome
 
 
 #: Designs with a recovery story (the crash sweep's default axis).

@@ -28,12 +28,116 @@ import math
 import platform
 import sys
 import time
+from collections import defaultdict
 from dataclasses import asdict, dataclass
 
 from repro.config import Design
 from repro.harness.runner import RunSpec, build_config
 from repro.runtime.system import System
 from repro.workloads import make_workload
+
+#: Module -> model layer, for the ``--profile`` attribution.  Callbacks
+#: are bucketed by the module their code lives in; anything unlisted
+#: lands in "other".
+_LAYER_BY_MODULE = {
+    "repro.engine.event": "engine",
+    "repro.mem.channel": "channel",
+    "repro.mem.controller": "channel",
+    "repro.noc.mesh": "mesh",
+    "repro.coherence.directory": "directory",
+    "repro.coherence.l1": "l1",
+    "repro.coherence.victim": "l1",
+    "repro.atom.logm": "logm/redo",
+    "repro.atom.redo": "logm/redo",
+    "repro.atom.designs": "logm/redo",
+    "repro.cpu.core": "core",
+    "repro.cpu.store_queue": "sq",
+    "repro.cpu.lockmgr": "locks",
+}
+
+
+def _layer_of(fn) -> str:
+    """Model layer of a scheduled callback (function, bound method, or
+    ``__slots__`` continuation object)."""
+    func = getattr(fn, "__func__", None)
+    if func is not None:
+        module = func.__module__
+    else:
+        module = getattr(fn, "__module__", None)
+        if module is None or not hasattr(fn, "__name__"):
+            module = type(fn).__module__
+    return _LAYER_BY_MODULE.get(module, "other")
+
+
+class LayerProfiler:
+    """Per-layer event/wall attribution for one simulation run.
+
+    Every scheduled callback is wrapped with a timing shim at post time
+    and bucketed by the layer its code lives in.  Work a callback
+    performs inline (slot-batched channel issues, fused tail calls,
+    synchronous completion chains) is charged to the *dispatching*
+    layer — exactly the attribution a flat-tail hunt wants, since the
+    dispatching layer is where the wall-clock is spent.  The shims cost
+    real time, so profiled runs are measured separately and never feed
+    the events/sec figure or the regression gate.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        #: layer -> [events, wall_seconds]
+        self.buckets: dict[str, list] = defaultdict(lambda: [0, 0.0])
+        self._orig_post = engine.post
+        self._orig_post_at = engine.post_at
+        self._orig_call_soon = engine.call_soon
+        perf_counter = time.perf_counter
+        buckets = self.buckets
+
+        def shim(fn):
+            bucket = buckets[_layer_of(fn)]
+
+            def timed() -> None:
+                start = perf_counter()
+                fn()
+                bucket[1] += perf_counter() - start
+                bucket[0] += 1
+
+            return timed
+
+        def count_only(fn):
+            # Fused tail calls run inside their dispatching callback:
+            # count the event in its own layer, charge the wall to the
+            # dispatcher (no double-counted seconds).
+            bucket = buckets[_layer_of(fn)]
+
+            def counted() -> None:
+                bucket[0] += 1
+                fn()
+
+            return counted
+
+        engine.post = lambda delay, fn: self._orig_post(delay, shim(fn))
+        engine.post_at = lambda t, fn: self._orig_post_at(t, shim(fn))
+        engine.call_soon = lambda fn: self._orig_call_soon(count_only(fn))
+
+    def detach(self) -> None:
+        engine = self.engine
+        engine.post = self._orig_post
+        engine.post_at = self._orig_post_at
+        engine.call_soon = self._orig_call_soon
+
+    def report(self) -> dict:
+        """``layer -> {events, wall_s, wall_pct}``, largest share first."""
+        total = sum(wall for _, wall in self.buckets.values()) or 1.0
+        return {
+            layer: {
+                "events": events,
+                "wall_s": round(wall, 6),
+                "wall_pct": round(100.0 * wall / total, 2),
+            }
+            for layer, (events, wall) in sorted(
+                self.buckets.items(), key=lambda kv: -kv[1][1]
+            )
+        }
 
 #: The pinned kernel matrix.  Perf numbers are only comparable across
 #: commits because these points never change.
@@ -84,11 +188,15 @@ def perf_specs(scale: float = 1.0) -> list[RunSpec]:
     return specs
 
 
-def measure_point(spec: RunSpec, repeats: int = 1) -> PerfPoint:
+def measure_point(spec: RunSpec, repeats: int = 1,
+                  profiler_out: dict | None = None) -> PerfPoint:
     """Run one point ``repeats`` times; keep the fastest wall-clock.
 
     The timer covers only ``System.run`` — the event loop under test —
-    not system construction or workload setup.
+    not system construction or workload setup.  With ``profiler_out``
+    an *extra*, separately-instrumented run attributes events and wall
+    per model layer into it (profiled runs are slower by the shim cost,
+    so they never feed the measured numbers).
     """
     best: PerfPoint | None = None
     for _ in range(max(1, repeats)):
@@ -119,6 +227,30 @@ def measure_point(spec: RunSpec, repeats: int = 1) -> PerfPoint:
         )
         if best is None or point.wall_s < best.wall_s:
             best = point
+        # Recycle the image buffers between repeats: a fresh multi-MB
+        # allocation per repeat means the measured run pays its page
+        # faults, which both slows and — worse — jitters the numbers.
+        system.image.recycle()
+    if profiler_out is not None:
+        system = System(build_config(spec))
+        workload = make_workload(
+            spec.workload, system,
+            entry_bytes=spec.entry_bytes,
+            txns_per_thread=spec.txns_per_thread,
+            threads=spec.threads,
+            initial_items=spec.initial_items,
+            seed=spec.seed,
+            **spec.workload_kw,
+        )
+        workload.setup()
+        system.start_threads(workload.threads())
+        profiler = LayerProfiler(system.engine)
+        try:
+            system.run(max_cycles=spec.max_cycles)
+        finally:
+            profiler.detach()
+        profiler_out.update(profiler.report())
+        system.image.recycle()
     return best
 
 
@@ -131,17 +263,27 @@ def geomean(values: list[float]) -> float:
 
 
 def run_perf(scale: float = 1.0, repeats: int = 1,
-             progress=None) -> dict:
-    """Run the pinned matrix; return the BENCH_kernel report dict."""
+             progress=None, profile: bool = False) -> dict:
+    """Run the pinned matrix; return the BENCH_kernel report dict.
+
+    ``profile`` adds a per-point and aggregated per-layer attribution
+    (engine, channel, mesh, directory, l1, sq, core, logm/redo, locks)
+    from separately-instrumented runs, under the report's ``profile``
+    keys — the starting data for the next flat-tail hunt.
+    """
     points = []
+    profiles: list[dict] = []
     for spec in perf_specs(scale):
-        point = measure_point(spec, repeats=repeats)
+        prof: dict | None = {} if profile else None
+        point = measure_point(spec, repeats=repeats, profiler_out=prof)
         points.append(point)
+        if profile:
+            profiles.append(prof)
         if progress is not None:
             progress(point)
     total_events = sum(p.events for p in points)
     total_wall = sum(p.wall_s for p in points)
-    return {
+    report = {
         "schema": 1,
         "benchmark": "kernel",
         "scale": scale,
@@ -162,6 +304,27 @@ def run_perf(scale: float = 1.0, repeats: int = 1,
             ),
         },
     }
+    if profile:
+        for payload, prof in zip(report["points"], profiles):
+            payload["profile"] = prof
+        merged: dict[str, list] = {}
+        for prof in profiles:
+            for layer, cell in prof.items():
+                bucket = merged.setdefault(layer, [0, 0.0])
+                bucket[0] += cell["events"]
+                bucket[1] += cell["wall_s"]
+        total = sum(wall for _, wall in merged.values()) or 1.0
+        report["profile"] = {
+            layer: {
+                "events": events,
+                "wall_s": round(wall, 6),
+                "wall_pct": round(100.0 * wall / total, 2),
+            }
+            for layer, (events, wall) in sorted(
+                merged.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+    return report
 
 
 def check_regression(report: dict, baseline: dict,
@@ -197,6 +360,15 @@ def format_report(report: dict, baseline: dict | None = None) -> str:
         f"geomean {agg['geomean_events_per_sec']:,.0f} events/sec, "
         f"{agg['total_events']:,} events in {agg['total_wall_s']:.2f}s"
     )
+    profile = report.get("profile")
+    if profile:
+        lines.append("per-layer attribution (instrumented runs):")
+        lines.append("  layer       events      wall     share")
+        for layer, cell in profile.items():
+            lines.append(
+                f"  {layer:<11} {cell['events']:>8,}  {cell['wall_s']:>7.3f}s"
+                f"  {cell['wall_pct']:>5.1f}%"
+            )
     if baseline is not None:
         ref = baseline["aggregate"]["geomean_events_per_sec"]
         if ref > 0:
@@ -224,6 +396,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gate-pct", type=float, default=20.0,
                         help="max tolerated events/sec regression in "
                              "percent (default 20)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run instrumented passes attributing "
+                             "events/wall per model layer (engine, channel, "
+                             "mesh, directory, l1, sq, core, logm/redo) "
+                             "into the artifact and the printed report")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -255,7 +432,7 @@ def main(argv: list[str] | None = None) -> int:
               f"({point.events:,} events, {point.wall_s:.3f}s)")
 
     report = run_perf(scale=args.scale, repeats=args.repeats,
-                      progress=progress)
+                      progress=progress, profile=args.profile)
     print(format_report(report, baseline))
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)

@@ -132,7 +132,7 @@ def run_spec(spec: RunSpec) -> RunResult:
     entries = int(stats.total("entries", prefix="logm"))
     if spec.design is Design.REDO:
         entries = int(stats.domain("redo").get("entries"))
-    return RunResult(
+    result = RunResult(
         spec=spec,
         cycles=measured_cycles,
         txns=measured_txns,
@@ -143,3 +143,7 @@ def run_spec(spec: RunSpec) -> RunResult:
         log_writes=int(log_writes),
         stats=stats.as_dict(),
     )
+    # The system was private to this run and the result carries every
+    # extracted counter: recycle the image buffers for the next point.
+    system.image.recycle()
+    return result

@@ -119,8 +119,11 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = Campaign(jobs=args.jobs, cache=cache)
     start = time.time()
-    report = explore(campaign, tests=tests, designs=designs,
-                     seeds=seeds, points=args.points, faults=faults)
+    try:
+        report = explore(campaign, tests=tests, designs=designs,
+                         seeds=seeds, points=args.points, faults=faults)
+    finally:
+        campaign.close()
     print(report.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")

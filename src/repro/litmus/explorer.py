@@ -154,7 +154,7 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
         system.recover()
         idempotent = system.image.durable_digest() == first
         cost = getattr(report, "cost", None)
-        return LitmusOutcome(
+        outcome = LitmusOutcome(
             point=point,
             state=workload.durable_state(),
             digest=workload.state_digest(),
@@ -164,6 +164,10 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
             idempotent=idempotent,
             recovery_cost=cost.to_dict() if cost is not None else {},
         )
+        # The system was private to this point and the outcome carries
+        # everything extracted from it: recycle the image buffers.
+        system.image.recycle()
+        return outcome
     except ReproError as exc:
         return LitmusOutcome(
             point=point, state=None,

@@ -30,6 +30,122 @@ from repro.mem.image import MemoryImage
 from repro.mem.layout import AddressLayout
 
 
+class _FetchDone:
+    """Continuation of one NVM fill read (channel ``on_done``).
+
+    A ``__slots__`` object instead of a nested closure: the fill path
+    runs once per L2 miss and the reference closures were a measurable
+    share of allocator traffic (see ISSUE 5's allocation-free
+    completion chains).
+    """
+
+    __slots__ = ("mc", "addr", "on_data", "exclusive", "atomic_core")
+
+    def __init__(self, mc, addr, on_data, exclusive, atomic_core):
+        self.mc = mc
+        self.addr = addr
+        self.on_data = on_data
+        self.exclusive = exclusive
+        self.atomic_core = atomic_core
+
+    def __call__(self) -> None:
+        mc = self.mc
+        payload = mc.image.durable_line(self.addr)
+        source_logged = False
+        logm = mc.logm
+        if (
+            self.exclusive
+            and self.atomic_core is not None
+            and logm is not None
+            and logm.supports_source_logging
+        ):
+            source_logged = logm.source_log(
+                self.atomic_core, self.addr, payload
+            )
+        self.on_data(payload, source_logged)
+
+
+class _DataWrite:
+    """Continuation pair of one gated data-line write.
+
+    ``release`` (bound method) runs when the LogM gate opens and
+    submits the write; the object itself is the channel completion
+    (``__call__`` persists the payload).
+    """
+
+    __slots__ = ("mc", "addr", "payload", "on_persist", "backend_apply")
+
+    def __init__(self, mc, addr, payload, on_persist, backend_apply):
+        self.mc = mc
+        self.addr = addr
+        self.payload = payload
+        self.on_persist = on_persist
+        self.backend_apply = backend_apply
+
+    def release(self) -> None:
+        mc = self.mc
+        mc._submit_write(
+            mc.data_channel, AccessKind.DATA_WRITE, self.addr,
+            len(self.payload), self,
+        )
+
+    def __call__(self) -> None:
+        self.mc._persist(
+            self.addr, self.payload, self.on_persist,
+            check=True, backend_apply=self.backend_apply,
+        )
+
+
+class _LogRead:
+    """Channel completion of one log-region read-back."""
+
+    __slots__ = ("mc", "addr", "on_data")
+
+    def __init__(self, mc, addr, on_data):
+        self.mc = mc
+        self.addr = addr
+        self.on_data = on_data
+
+    def __call__(self) -> None:
+        self.on_data(self.mc.image.durable_line(self.addr))
+
+
+class _WriteRetry:
+    """Backpressure retry: re-submit a write whenever a slot frees."""
+
+    __slots__ = ("channel", "kind", "addr", "size", "on_done", "priority")
+
+    def __init__(self, channel, kind, addr, size, on_done, priority):
+        self.channel = channel
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.on_done = on_done
+        self.priority = priority
+
+    def __call__(self) -> None:
+        channel = self.channel
+        if not channel.write(self.kind, self.addr, self.size, self.on_done,
+                             priority=self.priority):
+            channel.when_write_space(self)
+
+
+class _LogWrite:
+    """Channel completion of one log-region write."""
+
+    __slots__ = ("mc", "addr", "payload", "on_persist")
+
+    def __init__(self, mc, addr, payload, on_persist):
+        self.mc = mc
+        self.addr = addr
+        self.payload = payload
+        self.on_persist = on_persist
+
+    def __call__(self) -> None:
+        self.mc._persist(self.addr, self.payload, self.on_persist,
+                         check=False)
+
+
 class MemoryController:
     """One of the (typically four) on-die memory controllers."""
 
@@ -122,27 +238,15 @@ class MemoryController:
             )
             return
 
-        def complete() -> None:
-            payload = self.image.durable_line(addr)
-            source_logged = False
-            if (
-                exclusive
-                and atomic_core is not None
-                and self.logm is not None
-                and self.logm.supports_source_logging
-            ):
-                source_logged = self.logm.source_log(atomic_core, addr, payload)
-            on_data(payload, source_logged)
-
-        self.data_channel.read(AccessKind.DATA_READ, addr, CACHE_LINE_BYTES, complete)
+        self.data_channel.read(
+            AccessKind.DATA_READ, addr, CACHE_LINE_BYTES,
+            _FetchDone(self, addr, on_data, exclusive, atomic_core),
+        )
 
     def read_log_line(self, addr: int, on_data: Callable[[bytes], None]) -> None:
         """Read a log line back from NVM (REDO backend apply path)."""
-
-        def complete() -> None:
-            on_data(self.image.durable_line(addr))
-
-        self.log_channel.read(AccessKind.LOG_READ, addr, CACHE_LINE_BYTES, complete)
+        self.log_channel.read(AccessKind.LOG_READ, addr, CACHE_LINE_BYTES,
+                              _LogRead(self, addr, on_data))
 
     # -- write paths -----------------------------------------------------------
 
@@ -170,19 +274,11 @@ class MemoryController:
         in-place apply).
         """
         self._add_data_writes()
-
-        def release() -> None:
-            self._submit_write(
-                self.data_channel, AccessKind.DATA_WRITE, addr, len(payload),
-                lambda: self._persist(addr, payload, on_persist,
-                                      check=True,
-                                      backend_apply=backend_apply),
-            )
-
+        write = _DataWrite(self, addr, payload, on_persist, backend_apply)
         if self.logm is not None:
-            self.logm.gate_data_write(addr, release)
+            self.logm.gate_data_write(addr, write.release)
         else:
-            release()
+            write.release()
 
     def write_log_line(
         self,
@@ -210,7 +306,7 @@ class MemoryController:
 
         self._submit_write(
             self.log_channel, AccessKind.LOG_WRITE, addr, len(payload),
-            lambda: self._persist(addr, payload, on_persist, check=False),
+            _LogWrite(self, addr, payload, on_persist),
             priority=priority,
         )
 
@@ -252,12 +348,9 @@ class MemoryController:
         """Enqueue a write, retrying transparently under backpressure."""
         if channel.write(kind, addr, size, on_done, priority=priority):
             return
-
-        def attempt() -> None:
-            if not channel.write(kind, addr, size, on_done, priority=priority):
-                channel.when_write_space(attempt)
-
-        channel.when_write_space(attempt)
+        channel.when_write_space(
+            _WriteRetry(channel, kind, addr, size, on_done, priority)
+        )
 
     # -- crash ------------------------------------------------------------------
 

@@ -19,6 +19,17 @@ the state a real NVM would hold.
 
 Addresses are physical; the :class:`~repro.mem.layout.AddressLayout` maps
 them to controllers and log regions.
+
+Touched-line tracking
+---------------------
+Both planes record, at cache-line granularity, which lines have ever
+been written since construction.  A simulated machine touches a tiny
+fraction of its address space, so whole-image operations — the crash
+reset, ``sync_all``, the whole-image digest, and buffer recycling — walk
+the touched set instead of the full array.  This is what makes
+campaign-sized points (litmus grids, fault matrices: thousands of small
+machines per run) cheap: the per-point fixed cost is proportional to
+the state actually used, not to the configured memory size.
 """
 
 from __future__ import annotations
@@ -27,9 +38,20 @@ import hashlib
 import struct
 
 from repro.common.errors import MemoryError_
-from repro.common.units import CACHE_LINE_BYTES, line_of
+from repro.common.units import CACHE_LINE_BYTES
 
 _U64 = struct.Struct("<Q")
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
+_ZERO_LINE = bytes(CACHE_LINE_BYTES)
+
+#: Recycled (volatile, durable) buffer pairs, keyed by size.  A campaign
+#: worker builds thousands of same-shaped machines back to back; zeroing
+#: a retired image's touched lines and reusing its buffers is far
+#: cheaper than two fresh multi-megabyte allocations per point.  Only
+#: :meth:`MemoryImage.recycle` puts buffers here, and only a caller that
+#: owns the image outright (the point executors) may call it.
+_BUFFER_POOL: dict[int, list[tuple[bytearray, bytearray]]] = {}
+_POOL_DEPTH = 2
 
 
 class MemoryImage:
@@ -42,14 +64,23 @@ class MemoryImage:
                 f"{CACHE_LINE_BYTES}, got {size_bytes}"
             )
         self.size_bytes = size_bytes
-        self._volatile = bytearray(size_bytes)
-        self._durable = bytearray(size_bytes)
+        pooled = _BUFFER_POOL.get(size_bytes)
+        if pooled:
+            self._volatile, self._durable = pooled.pop()
+        else:
+            self._volatile = bytearray(size_bytes)
+            self._durable = bytearray(size_bytes)
         # Permanent views for the hot read paths: slicing a memoryview
         # skips one intermediate bytearray copy per read.  The arrays
         # are never resized (resizing would be refused while these
         # exports exist), only mutated in place.
         self._vol_view = memoryview(self._volatile)
         self._dur_view = memoryview(self._durable)
+        #: Line base addresses ever written in each plane (see module
+        #: docstring).  Invariant: any line absent from the set is
+        #: all-zero in its plane.
+        self._vol_touched: set[int] = set()
+        self._dur_touched: set[int] = set()
 
     # -- bounds -----------------------------------------------------------
 
@@ -61,6 +92,11 @@ class MemoryImage:
             )
 
     # -- volatile (latest-value) accessors ---------------------------------
+    #
+    # write()/write_u64()/persist() each inline the same first/last-line
+    # touch-range computation (single-line accesses dominate and these
+    # are the hottest mutation paths) — a change to the range logic must
+    # be applied to all three copies.
 
     def read(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes of the latest value at ``addr``."""
@@ -74,6 +110,15 @@ class MemoryImage:
         if addr < 0 or addr + size > self.size_bytes:
             self._check(addr, size)
         self._volatile[addr : addr + size] = data
+        # Inline single-line touch (word stores dominate).
+        first = addr & _LINE_MASK
+        last = (addr + size - 1) & _LINE_MASK
+        if first == last:
+            self._vol_touched.add(first)
+        else:
+            self._vol_touched.update(
+                range(first, last + 1, CACHE_LINE_BYTES)
+            )
 
     def read_u64(self, addr: int) -> int:
         """Latest 8-byte little-endian word at ``addr``."""
@@ -84,6 +129,7 @@ class MemoryImage:
         """Store an 8-byte little-endian word into the volatile image."""
         self._check(addr, 8)
         _U64.pack_into(self._volatile, addr, value)
+        self._vol_touched.add(addr & _LINE_MASK)
 
     def volatile_line(self, addr: int) -> bytes:
         """Snapshot the 64 B cache line containing ``addr`` (latest value).
@@ -91,7 +137,7 @@ class MemoryImage:
         Used when a writeback/flush message leaves a cache, and when the
         LogI module captures the pre-store value for an undo entry.
         """
-        base = addr & ~(CACHE_LINE_BYTES - 1)
+        base = addr & _LINE_MASK
         if base < 0 or base + CACHE_LINE_BYTES > self.size_bytes:
             self._check(base, CACHE_LINE_BYTES)
         return self._vol_view[base : base + CACHE_LINE_BYTES].tobytes()
@@ -114,7 +160,7 @@ class MemoryImage:
         This is what the memory controller reads on a fill — and the old
         value that *source logging* writes into the undo log.
         """
-        base = addr & ~(CACHE_LINE_BYTES - 1)
+        base = addr & _LINE_MASK
         if base < 0 or base + CACHE_LINE_BYTES > self.size_bytes:
             self._check(base, CACHE_LINE_BYTES)
         return self._dur_view[base : base + CACHE_LINE_BYTES].tobytes()
@@ -125,6 +171,14 @@ class MemoryImage:
         if addr < 0 or addr + size > self.size_bytes:
             self._check(addr, size)
         self._durable[addr : addr + size] = data
+        first = addr & _LINE_MASK
+        last = (addr + size - 1) & _LINE_MASK
+        if first == last:
+            self._dur_touched.add(first)
+        else:
+            self._dur_touched.update(
+                range(first, last + 1, CACHE_LINE_BYTES)
+            )
 
     def persist_torn(self, addr: int, data: bytes, prefix_bytes: int) -> None:
         """A write interrupted by power failure: only a prefix lands.
@@ -162,10 +216,27 @@ class MemoryImage:
         digests the whole durable image (used to check that re-running
         recovery is a no-op).  Range boundaries are hashed along with
         the bytes so two different layouts cannot collide.
+
+        The whole-image digest hashes the sparse encoding — image size
+        plus every *non-zero* touched line with its address — instead of
+        the raw array.  Two images produce equal digests exactly when
+        their full durable contents are byte-identical (untouched lines
+        are all-zero by the touched-set invariant, and touched-but-zero
+        lines are excluded so re-zeroing a line cannot distinguish it
+        from one never written).
         """
         digest = hashlib.sha256()
         if ranges is None:
-            digest.update(self._dur_view)
+            dur = self._dur_view
+            update = digest.update
+            update(b"sparse-durable-v1")
+            update(_U64.pack(self.size_bytes))
+            pack = _U64.pack
+            for base in sorted(self._dur_touched):
+                chunk = dur[base : base + CACHE_LINE_BYTES]
+                if chunk != _ZERO_LINE:
+                    update(pack(base))
+                    update(chunk)
         else:
             for addr, size in ranges:
                 self._check(addr, size)
@@ -181,8 +252,14 @@ class MemoryImage:
 
         Used by the DirectDriver when pre-populating workload structures:
         setup writes are deemed flushed before the timed/crashed phase.
+        Only lines either plane has touched can differ, so the copy
+        walks the touched union.
         """
-        self._durable[:] = self._volatile
+        vol, dur = self._vol_view, self._dur_view
+        line = CACHE_LINE_BYTES
+        for base in self._vol_touched | self._dur_touched:
+            dur[base : base + line] = vol[base : base + line]
+        self._dur_touched |= self._vol_touched
 
     def crash(self) -> None:
         """Power failure: all volatile state is lost.
@@ -190,7 +267,37 @@ class MemoryImage:
         The volatile image is reset to the durable image (after recovery,
         the machine reboots seeing only NVM contents).
         """
-        self._volatile[:] = self._durable
+        vol, dur = self._vol_view, self._dur_view
+        line = CACHE_LINE_BYTES
+        for base in self._vol_touched | self._dur_touched:
+            vol[base : base + line] = dur[base : base + line]
+        self._vol_touched |= self._dur_touched
+
+    def recycle(self) -> None:
+        """Zero the touched lines and donate the buffers to the pool.
+
+        STRICTLY an ownership transfer: the caller must be the sole
+        holder of this image (and of any system built around it) and
+        must not touch either plane afterwards — the buffers will back a
+        *different* machine's memory.  Point executors (litmus, crash,
+        fault workers) call this in their ``finally`` because they build
+        a private system per point and return only extracted values.
+        """
+        pooled = _BUFFER_POOL.setdefault(self.size_bytes, [])
+        if len(pooled) >= _POOL_DEPTH:
+            return
+        touched = self._vol_touched | self._dur_touched
+        # A heavily-written image is cheaper to reallocate than to scrub.
+        if len(touched) * CACHE_LINE_BYTES * 4 > self.size_bytes:
+            return
+        vol, dur = self._vol_view, self._dur_view
+        line = CACHE_LINE_BYTES
+        for base in touched:
+            vol[base : base + line] = _ZERO_LINE
+            dur[base : base + line] = _ZERO_LINE
+        self._vol_touched = set()
+        self._dur_touched = set()
+        pooled.append((self._volatile, self._durable))
 
     def __repr__(self) -> str:
         return f"MemoryImage({self.size_bytes:#x} bytes)"

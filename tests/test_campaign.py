@@ -147,6 +147,39 @@ class TestCampaignPool:
         with pytest.raises(ValueError):
             Campaign(seeds=0)
 
+    def test_pool_persists_across_batches(self):
+        """The tentpole contract: one fork, reused for every batch —
+        the same worker processes serve consecutive campaign batches."""
+        campaign = Campaign(jobs=2, cache=None)
+        try:
+            campaign.run([TINY, TINY.with_seed(101)])
+            pids_first = sorted(p.pid for p in campaign._pool._procs)
+            campaign.run([TINY.with_seed(102), TINY.with_seed(103)])
+            pids_second = sorted(p.pid for p in campaign._pool._procs)
+            assert pids_first == pids_second
+            assert all(p.is_alive() for p in campaign._pool._procs)
+        finally:
+            campaign.close()
+
+    def test_pool_results_preserve_submission_order(self):
+        campaign = Campaign(jobs=2, cache=None)
+        try:
+            seeds = [201, 202, 203, 204, 205]
+            results = campaign.run([TINY.with_seed(s) for s in seeds])
+            assert [r.spec.seed for r in results] == seeds
+        finally:
+            campaign.close()
+
+    def test_close_is_idempotent_and_pool_rebuilds(self):
+        campaign = Campaign(jobs=2, cache=None)
+        campaign.run([TINY, TINY.with_seed(301)])
+        campaign.close()
+        campaign.close()
+        # A batch after close transparently forks a fresh pool.
+        results = campaign.run([TINY.with_seed(302), TINY.with_seed(303)])
+        assert len(results) == 2
+        campaign.close()
+
 
 class TestSeeds:
     def test_run_replicated_distinct_seeds(self, cache):
