@@ -431,6 +431,15 @@ class LogManager:
         """Lines whose undo entries are not yet durable (test aid)."""
         return list(self._locks)
 
+    def posted_log_in_flight(self) -> bool:
+        """True while any log entry write is still on its way to NVM.
+
+        Locked lines are exactly the data lines whose undo entries are
+        posted (or queued) but not yet durable — the "posted-log drain"
+        crash window sampled by ``System.crash``.
+        """
+        return bool(self._locks)
+
     def active_slots(self) -> list[int]:
         """AUS slots holding live update state."""
         return [s.slot for s in self.aus if s.active()]

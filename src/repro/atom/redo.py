@@ -413,6 +413,16 @@ class RedoManager:
 
     # -- crash / recovery ------------------------------------------------------------------
 
+    def backend_apply_pending(self) -> bool:
+        """True while committed lines still await their in-place apply
+        (the "backend apply" crash window sampled by ``System.crash``)."""
+        return bool(self._line_apply_q)
+
+    def log_writes_outstanding(self) -> bool:
+        """True while commit-path log-line writes are not yet durable
+        (REDO's analogue of the posted-log drain window)."""
+        return any(count > 0 for count in self._outstanding.values())
+
     def crash(self) -> None:
         """Power failure: volatile WC buffers and victim cache vanish."""
         self._active.clear()

@@ -87,6 +87,9 @@ class Core:
         self.txn_logged: set[int] = set()
         self.txn_id: int | None = None
         self._txn_counter = 0
+        #: True while the commit-time write-set flush loop is in flight
+        #: (the "flush loop" crash window sampled by System.crash).
+        self.commit_flushing = False
 
         self._l1_latency = l1.cfg.latency
         self._issue_cycles = cfg.issue_cycles
@@ -442,6 +445,7 @@ class Core:
         if not lines:
             self._commit(op)
             return
+        self.commit_flushing = True
         pending = {"outstanding": 0, "next": 0}
 
         window = self.cfg.flush_window
@@ -478,6 +482,8 @@ class Core:
             self.on_commit(self.core_id, info)
 
     def _commit(self, op: ops.AtomicEnd) -> None:
+        self.commit_flushing = False
+
         def committed() -> None:
             self.atomic_depth -= 1
             self.txn_write_lines = set()

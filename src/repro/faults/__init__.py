@@ -15,8 +15,9 @@ This package provides both halves:
 
 * :mod:`repro.faults.models` — declarative :class:`FaultModel`\\ s
   (single-controller loss, torn log-line writes, ADR drain truncation,
-  log-region corruption) and the :class:`FaultInjector` that hooks them
-  into ``System.crash()``;
+  log-region corruption, and ``a+b`` :class:`MultiFault` composites
+  striking in one power failure) and the :class:`FaultInjector` that
+  hooks them into ``System.crash()``;
 * :mod:`repro.faults.analytics` — :class:`RecoveryCost`, the
   per-controller recovery cost report (lines scanned, records
   undone/applied, modeled recovery cycles) that
@@ -43,6 +44,7 @@ _EXPORTS = {
     "FaultInjector": "repro.faults.models",
     "FaultModel": "repro.faults.models",
     "LogCorruption": "repro.faults.models",
+    "MultiFault": "repro.faults.models",
     "TornLogWrite": "repro.faults.models",
     "default_fault_models": "repro.faults.models",
     "fault_from_dict": "repro.faults.models",

@@ -17,8 +17,9 @@ import json
 import sys
 import time
 
+from repro.common.errors import ConfigError
 from repro.config import Design
-from repro.faults.models import FAULT_MODELS, default_fault_models
+from repro.faults.models import FAULT_MODELS, fault_from_dict
 from repro.faults.sweep import (
     FAULT_DESIGNS, FAULT_WORKLOADS, fault_grid, fault_sweep,
 )
@@ -35,6 +36,8 @@ def render_model_listing() -> str:
         contract = ("consistency" if cls.preserves_consistency
                     else "detection")
         lines.append(f"{kind.ljust(width)}  [{contract}] {doc}")
+    lines.append("compose with '+' (e.g. controller-loss+torn-log-write): "
+                 "every member strikes in the same power failure")
     return "\n".join(lines)
 
 
@@ -85,24 +88,43 @@ def main(argv: list[str] | None = None) -> int:
 
     kinds = sorted(FAULT_MODELS)
     if args.faults:
-        unknown = [k for k in args.faults.split(",")
-                   if k and k not in FAULT_MODELS]
-        if unknown:
-            parser.error(f"unknown fault models {','.join(unknown)} "
-                         f"(see --list)")
         kinds = [k for k in args.faults.split(",") if k]
     if args.only is not None:
         kinds = select_only(kinds, args.only)
         if not kinds:
             parser.error(f"--only {args.only!r} matches no fault model "
                          f"(see --list)")
-    models = [m for m in default_fault_models() if m.kind in kinds]
+    # An explicit request must not be silently narrowed; the implicit
+    # default set may shed inapplicable models with a warning.
+    explicit = bool(args.faults) or args.only is not None
+    models = []
+    for kind in kinds:
+        try:
+            models.append(fault_from_dict({"kind": kind}))
+        except ConfigError as exc:
+            parser.error(f"{exc} (see --list)")
 
     try:
         designs = [Design(d) for d in args.designs.split(",") if d]
     except ValueError:
         parser.error(f"--designs must be drawn from "
                      f"{','.join(d.value for d in Design)}")
+    dropped = [m.kind for m in models
+               if not any(m.applicable(d) for d in designs)]
+    if dropped:
+        msg = (f"fault model(s) {', '.join(dropped)} apply to none of "
+               f"the selected designs "
+               f"({','.join(d.value for d in designs)})")
+        if explicit:
+            parser.error(f"{msg} — they would silently vanish from the "
+                         f"verdict table; drop the model or add a design "
+                         f"it applies to")
+        print(f"warning: {msg}; dropping from the default model set",
+              file=sys.stderr)
+        models = [m for m in models if m.kind not in dropped]
+        if not models:
+            parser.error("no applicable fault models remain for the "
+                         "selected designs")
     workloads = [w for w in args.workloads.split(",") if w]
     if not workloads:
         parser.error("--workloads must name at least one workload")

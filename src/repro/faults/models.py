@@ -26,6 +26,13 @@ campaign cache and cross process boundaries to pool workers.
                        record header flip after the crash.  Recovery
                        must detect the corrupt header (checksum), never
                        undo from it, and stay idempotent.
+``a+b`` (composite)    :class:`MultiFault` — several models strike in
+                       the *same* power failure (e.g.
+                       ``controller-loss+torn-log-write``: one
+                       controller loses its queue while another's
+                       in-flight log line tears).  Consistency is
+                       required iff every member preserves it;
+                       detection is expected iff any member expects it.
 =====================  ======================================================
 
 Two axes classify every model and drive the sweep's verdicts:
@@ -177,8 +184,65 @@ class LogCorruption(FaultModel):
         return _uses_undo_log(design)
 
 
+@dataclass
+class MultiFault(FaultModel):
+    """Composite: several member models strike in one power failure.
+
+    Members may be model instances or ``to_dict`` payloads (they are
+    resolved on construction), must be at least two, of distinct kinds,
+    and may not themselves be composites.  The instance ``kind`` is the
+    ``+``-join of the member kinds, so ``fault_from_dict({"kind":
+    "controller-loss+torn-log-write"})`` builds the default-parameter
+    composite and the round-trip through ``to_dict`` is loss-free.
+    """
+
+    models: list
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.models, (list, tuple)):
+            raise ConfigError("multi-fault needs a list of member models")
+        resolved = []
+        for member in self.models:
+            if isinstance(member, dict):
+                member = fault_from_dict(member)
+            if isinstance(member, MultiFault):
+                raise ConfigError("multi-fault members cannot themselves "
+                                  "be composites — flatten the kinds into "
+                                  "one a+b+c instead")
+            if not isinstance(member, FaultModel):
+                raise ConfigError(f"multi-fault member {member!r} is not "
+                                  f"a fault model")
+            resolved.append(member)
+        if len(resolved) < 2:
+            raise ConfigError("a composite fault needs at least two "
+                              "member models (use the member directly "
+                              "otherwise)")
+        kinds = [m.kind for m in resolved]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigError(f"duplicate member kinds in composite "
+                              f"fault {'+'.join(kinds)!r}")
+        self.models = resolved
+        self.kind = "+".join(kinds)
+
+    @property
+    def preserves_consistency(self) -> bool:  # type: ignore[override]
+        return all(m.preserves_consistency for m in self.models)
+
+    @property
+    def expects_detection(self) -> bool:  # type: ignore[override]
+        return any(m.expects_detection for m in self.models)
+
+    def applicable(self, design: Design) -> bool:
+        return all(m.applicable(design) for m in self.models)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind,
+                "models": [m.to_dict() for m in self.models]}
+
+
 #: kind -> model class (the declarative registry, mirror of the litmus
-#: catalog's by-name map).
+#: catalog's by-name map).  Composites are spelled ``a+b`` and resolved
+#: by :func:`fault_from_dict`, not listed here.
 FAULT_MODELS: dict[str, type[FaultModel]] = {
     cls.kind: cls
     for cls in (ControllerLoss, TornLogWrite, AdrTruncation, LogCorruption)
@@ -189,11 +253,27 @@ def fault_from_dict(payload: dict) -> FaultModel:
     """Inverse of :meth:`FaultModel.to_dict` (cache/worker transport)."""
     payload = dict(payload)
     kind = payload.pop("kind", None)
+    if "models" in payload:
+        members = payload.pop("models")
+        if payload:
+            raise ConfigError(f"bad composite fault parameters: "
+                              f"unexpected {', '.join(sorted(payload))}")
+        return MultiFault(models=members)
+    if kind is not None and "+" in kind:
+        if payload:
+            raise ConfigError(
+                f"composite fault {kind!r} takes no flat parameters — "
+                f"pass per-member dicts under 'models' instead"
+            )
+        return MultiFault(
+            models=[{"kind": k} for k in kind.split("+") if k]
+        )
     cls = FAULT_MODELS.get(kind)
     if cls is None:
         raise ConfigError(
             f"unknown fault model {kind!r} "
-            f"(have: {', '.join(sorted(FAULT_MODELS))})"
+            f"(have: {', '.join(sorted(FAULT_MODELS))}; compose with "
+            f"'+', e.g. controller-loss+torn-log-write)"
         )
     try:
         return cls(**payload)
@@ -214,29 +294,52 @@ class FaultInjector:
     which keeps :attr:`_inflight` an exact FIFO of the lines that would
     be lost — or torn — when power dies.  ``System.crash()`` drives the
     hook points in sequence; see that method for the ordering.
+
+    A :class:`MultiFault` model is flattened into its members here: each
+    hook point consults the (at most one) member of the relevant kind,
+    so composites inject every member's damage in the same crash and
+    :attr:`detail` accumulates one clause per member that fired.
     """
 
     def __init__(self, model: FaultModel):
         self.model = model
+        members = model.models if isinstance(model, MultiFault) \
+            else [model]
+        self._loss = next(
+            (m for m in members if isinstance(m, ControllerLoss)), None)
+        self._torn = next(
+            (m for m in members if isinstance(m, TornLogWrite)), None)
+        self._adr = next(
+            (m for m in members if isinstance(m, AdrTruncation)), None)
+        self._corrupt = next(
+            (m for m in members if isinstance(m, LogCorruption)), None)
         #: The fault actually changed something (a vacuity marker: a
         #: torn-write point with no log write in flight applies nothing).
+        #: For composites: *any* member changed something.
         self.applied = False
-        #: Human-readable description of what was injected.
+        #: Human-readable description of what was injected
+        #: ("; "-joined, one clause per member that fired).
         self.detail = ""
         #: Torn-write bookkeeping: did the tear land on a header line?
         self.tore_header = False
         #: Writes completed by surviving controllers' clean drains.
         self.drained_writes = 0
+        #: The controller-loss member already wrote its detail clause.
+        self._loss_marked = False
         self.system = None
         #: mc_id -> OrderedDict[addr, payload] of in-flight log writes.
         self._inflight: dict[int, OrderedDict[int, bytes]] = {}
+
+    def _mark(self, detail: str) -> None:
+        self.applied = True
+        self.detail = f"{self.detail}; {detail}" if self.detail else detail
 
     # -- wiring ---------------------------------------------------------------
 
     def install(self, system) -> "FaultInjector":
         self.system = system
         system.fault_injector = self
-        track = isinstance(self.model, ControllerLoss)
+        track = self._loss is not None
         for mc in system.controllers:
             mc.fault_injector = self
             if track:
@@ -261,45 +364,43 @@ class FaultInjector:
 
     def controller_survives(self, mc_id: int) -> bool:
         """False for the controller that loses its queued writes."""
-        if isinstance(self.model, ControllerLoss):
-            return mc_id != self.model.controller
+        if self._loss is not None:
+            return mc_id != self._loss.controller
         return True
 
     def wants_drain(self) -> bool:
         """Surviving controllers drain cleanly (controller-loss only)."""
-        return isinstance(self.model, ControllerLoss)
+        return self._loss is not None
 
     def note_drained(self, mc_id: int, writes: int) -> None:
         self.drained_writes += writes
-        if writes and not self.applied:
-            self.applied = True
-            self.detail = (
-                f"controller {self.model.controller} lost its queue; "
+        if writes and self._loss is not None and not self._loss_marked:
+            self._loss_marked = True
+            self._mark(
+                f"controller {self._loss.controller} lost its queue; "
                 f"survivors drained {writes}+ writes"
             )
 
     def note_controller_dropped(self, mc_id: int, dropped: int) -> None:
-        if isinstance(self.model, ControllerLoss) and not self.applied:
+        if self._loss is not None and not self._loss_marked:
             # Even with empty survivor queues the loss itself applied if
             # the failed controller actually dropped work.
             if dropped:
-                self.applied = True
-                self.detail = (
+                self._loss_marked = True
+                self._mark(
                     f"controller {mc_id} dropped {dropped} queued requests"
                 )
 
     def adr_budget_lines(self, mc_id: int) -> int | None:
         """ADR flush line budget for ``mc_id`` (None = full flush)."""
-        if isinstance(self.model, AdrTruncation):
-            if mc_id == self.model.controller:
-                return self.model.lines
+        if self._adr is not None and mc_id == self._adr.controller:
+            return self._adr.lines
         return None
 
     def note_adr_truncated(self, mc_id: int) -> None:
-        self.applied = True
-        self.detail = (
+        self._mark(
             f"ADR flush of controller {mc_id} truncated after "
-            f"{self.model.lines} line(s)"
+            f"{self._adr.lines} line(s)"
         )
 
     def at_power_failure(self, system) -> None:
@@ -311,10 +412,10 @@ class FaultInjector:
         behind it in the FIFO is dropped wholesale, everything before it
         already persisted).
         """
-        if not isinstance(self.model, TornLogWrite):
+        if self._torn is None:
             return
         targets = (
-            [self.model.controller] if self.model.controller is not None
+            [self._torn.controller] if self._torn.controller is not None
             else sorted(self._inflight)
         )
         for mc_id in targets:
@@ -322,31 +423,29 @@ class FaultInjector:
             if not queue:
                 continue
             addr, payload = next(iter(queue.items()))
-            system.image.persist_torn(addr, payload, self.model.prefix_bytes)
-            self.applied = True
+            system.image.persist_torn(addr, payload, self._torn.prefix_bytes)
             self.tore_header = self._is_header_line(system.layout, addr)
             what = "header" if self.tore_header else "entry"
-            self.detail = (
+            self._mark(
                 f"tore {what} line {addr:#x} on mc{mc_id} at "
-                f"{self.model.prefix_bytes}/{CACHE_LINE_BYTES} bytes"
+                f"{self._torn.prefix_bytes}/{CACHE_LINE_BYTES} bytes"
             )
             return  # exactly one line is on the wires
 
     def after_crash(self, system) -> None:
         """Apply post-crash media damage (log-corruption model)."""
-        if not isinstance(self.model, LogCorruption):
+        if self._corrupt is None:
             return
         target = self._newest_durable_header(system)
         if target is None:
             return
         addr, mc_id, seq = target
         line = bytearray(system.image.durable_read(addr, CACHE_LINE_BYTES))
-        flip = self.model.flip_bytes
+        flip = self._corrupt.flip_bytes
         for i in range(flip):
             line[i] ^= 0xFF
         system.image.persist(addr, bytes(line))
-        self.applied = True
-        self.detail = (
+        self._mark(
             f"flipped {flip} bytes of header seq={seq} at {addr:#x} "
             f"on mc{mc_id}"
         )
@@ -377,7 +476,8 @@ class FaultInjector:
         layout = system.layout
         cfg = layout.log
         targets = (
-            [self.model.controller] if self.model.controller is not None
+            [self._corrupt.controller]
+            if self._corrupt.controller is not None
             else range(layout.num_controllers)
         )
         best = None

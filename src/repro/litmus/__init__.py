@@ -17,6 +17,9 @@ be visible").  The subsystem has three layers:
   across a spec's whole execution, recovers each crashed machine, dedups
   recovered images by digest and reports the reachable-outcome set per
   design, fanned out through the campaign pool + result cache.
+* :mod:`repro.litmus.generator` — seeded random program generation over
+  the same DSL, with exhaustive golden-model-derived allow-lists and a
+  crash-window coverage metric over the explorer's grids.
 
 ``python -m repro.harness litmus`` runs the built-in catalog
 (:mod:`repro.litmus.catalog`) and writes a per-test × design verdict
@@ -26,18 +29,22 @@ table as a JSON artifact.
 from repro.litmus.catalog import CATALOG, catalog_by_name
 from repro.litmus.explorer import (LITMUS_DESIGNS, LitmusPoint, LitmusReport,
                                    execute_litmus_point, explore)
-from repro.litmus.spec import (LitmusError, LitmusSpec, begin, commit,
+from repro.litmus.generator import (GeneratorParams, generate, generate_spec,
+                                    reachable_states)
+from repro.litmus.spec import (LitmusError, LitmusSpec, begin, br_ne, commit,
                                compile_condition, compute, fill, flush, load,
-                               lock, store, unlock)
+                               loadr, lock, store, unlock)
 
 __all__ = [
     "CATALOG",
     "LITMUS_DESIGNS",
+    "GeneratorParams",
     "LitmusError",
     "LitmusPoint",
     "LitmusReport",
     "LitmusSpec",
     "begin",
+    "br_ne",
     "catalog_by_name",
     "commit",
     "compile_condition",
@@ -46,8 +53,12 @@ __all__ = [
     "explore",
     "fill",
     "flush",
+    "generate",
+    "generate_spec",
     "load",
+    "loadr",
     "lock",
+    "reachable_states",
     "store",
     "unlock",
 ]

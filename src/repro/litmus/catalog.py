@@ -27,8 +27,8 @@ checker's detection proof, not failures.
 
 from __future__ import annotations
 
-from repro.litmus.spec import (LitmusSpec, begin, commit, compute, fill,
-                               flush, lock, store, unlock)
+from repro.litmus.spec import (LitmusSpec, begin, br_ne, commit, compute,
+                               fill, flush, loadr, lock, store, unlock)
 
 #: L1-set + L2-bank + L2-set conflict stride, in lines (see module doc).
 CONFLICT_STRIDE = 256
@@ -198,6 +198,37 @@ CATALOG: list[LitmusSpec] = [
         forbidden=["A0 != A1"],
         allowed=["A0 == 0 and A1 == 0", "A0 == 9 and A1 == 9"],
         expect_violation=_NON_ATOMIC,
+    ),
+    LitmusSpec(
+        name="conditional-publish",
+        description="Dependent control flow across cores: core 1 loads "
+                    "FLAG into a register and publishes OUT only if the "
+                    "branch sees FLAG == 1; OUT durable with DATA still "
+                    "old would break commit-order durability.",
+        vars={"DATA": 0, "FLAG": 1, "OUT": 2},
+        cores=[
+            [begin(), store("DATA", 1), commit(),
+             begin(), store("FLAG", 1), commit()],
+            [compute(400), loadr("FLAG", "r0"), br_ne("r0", 1, 3),
+             begin(), store("OUT", 1), commit()],
+        ],
+        forbidden=["OUT == 1 and DATA == 0"],
+    ),
+    LitmusSpec(
+        name="conditional-local-skip",
+        description="Core-local conditional: a branch on the core's own "
+                    "committed value takes one arm and skips the other; "
+                    "the skipped transaction's store must never appear.",
+        vars={"A": 0, "B": 1, "C": 2},
+        cores=[[begin(), store("A", 1), commit(),
+                loadr("A", "r0"), br_ne("r0", 1, 3),
+                begin(), store("B", 1), commit(),
+                loadr("A", "r1"), br_ne("r1", 7, 3),
+                begin(), store("C", 1), commit()]],
+        forbidden=["C != 0", "B == 1 and A == 0"],
+        allowed=["A == 0 and B == 0 and C == 0",
+                 "A == 1 and B == 0 and C == 0",
+                 "A == 1 and B == 1 and C == 0"],
     ),
     LitmusSpec(
         name="locked-pair-cross-core",

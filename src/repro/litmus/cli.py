@@ -7,6 +7,11 @@ are memoised in the content-addressed result cache, so a warm re-run is
 served from disk.  The exit code is the number of FAILing cells (capped
 at 255); ``detected`` cells — forbidden outcomes reached on designs the
 spec *expects* to break, i.e. the unlogged baseline — count as success.
+
+``python -m repro.harness litmus gen`` explores a seeded *generated*
+batch instead of the catalog (see :mod:`repro.litmus.generator`) and
+reports crash-window coverage; ``--require-coverage`` turns a zero-hit
+instrumented window into a failing exit code.
 """
 
 from __future__ import annotations
@@ -24,9 +29,47 @@ from repro.litmus.catalog import catalog_by_name
 from repro.litmus.explorer import LITMUS_DESIGNS, explore
 
 
+def _parse_faults(parser, raw: str, designs) -> list:
+    """Parse ``--faults`` kinds (incl. ``a+b`` composites) and reject
+    detection-only models and models no selected design can host."""
+    from repro.common.errors import ConfigError
+    from repro.faults.models import fault_from_dict
+
+    faults = []
+    for kind in (k for k in raw.split(",") if k):
+        try:
+            faults.append(fault_from_dict({"kind": kind}))
+        except ConfigError as exc:
+            parser.error(str(exc))
+    bad = [m.kind for m in faults if not m.preserves_consistency]
+    if bad:
+        parser.error(f"litmus postconditions need consistency-"
+                     f"preserving fault models; {','.join(bad)} "
+                     f"is detection-only (use the faults subcommand)")
+    for model in faults:
+        if not any(model.applicable(d) for d in designs):
+            parser.error(
+                f"fault model {model.kind!r} applies to none of the "
+                f"selected designs "
+                f"({','.join(d.value for d in designs)}) — it would "
+                f"silently vanish from the verdict table"
+            )
+    return faults
+
+
+def _parse_designs(parser, raw: str) -> list[Design]:
+    try:
+        return [Design(d) for d in raw.split(",") if d]
+    except ValueError:
+        parser.error(f"--designs must be drawn from "
+                     f"{','.join(d.value for d in Design)}")
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "gen":
+        return gen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness litmus",
         description="Check declarative crash-consistency litmus scenarios "
@@ -50,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--points", type=int, default=10,
                         help="crash points per test x design cell "
                              "(default 10)")
+    parser.add_argument("--densify", type=int, default=0, metavar="ROUNDS",
+                        help="after the uniform grid, bisect the crash "
+                             "axis around outcome transitions for up to "
+                             "ROUNDS rounds (default 0: off)")
     parser.add_argument("--seeds", default="7",
                         help="seeds (comma-separated; default 7)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
@@ -86,27 +133,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--only {args.only!r} matches no test "
                          f"(see --list)")
         tests = [t for t in tests if t.name in selected]
-    faults = []
-    if args.faults:
-        from repro.faults.models import FAULT_MODELS, fault_from_dict
-
-        for kind in (k for k in args.faults.split(",") if k):
-            if kind not in FAULT_MODELS:
-                parser.error(f"unknown fault model {kind!r} (have: "
-                             f"{', '.join(sorted(FAULT_MODELS))})")
-            faults.append(fault_from_dict({"kind": kind}))
-        bad = [m.kind for m in faults if not m.preserves_consistency]
-        if bad:
-            parser.error(f"litmus postconditions need consistency-"
-                         f"preserving fault models; {','.join(bad)} "
-                         f"is detection-only (use the faults subcommand)")
-    try:
-        designs = [Design(d) for d in args.designs.split(",") if d]
-    except ValueError:
-        parser.error(f"--designs must be drawn from "
-                     f"{','.join(d.value for d in Design)}")
+    designs = _parse_designs(parser, args.designs)
+    faults = _parse_faults(parser, args.faults, designs) \
+        if args.faults else []
     if args.points < 1:
         parser.error("--points must be >= 1")
+    if args.densify < 0:
+        parser.error("--densify must be >= 0")
     try:
         seeds = [int(s) for s in args.seeds.split(",") if s]
     except ValueError:
@@ -121,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     try:
         report = explore(campaign, tests=tests, designs=designs,
-                         seeds=seeds, points=args.points, faults=faults)
+                         seeds=seeds, points=args.points, faults=faults,
+                         densify=args.densify)
     finally:
         campaign.close()
     print(report.render())
@@ -131,6 +165,103 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report.to_json(), fh, indent=2, sort_keys=True)
     print(f"wrote {args.out}")
     return min(len(report.failures), 255)
+
+
+def gen_main(argv: list[str]) -> int:
+    """``litmus gen`` — explore a seeded generated batch with coverage."""
+    from repro.litmus.generator import GeneratorParams, generate
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness litmus gen",
+        description="Generate a seeded batch of litmus programs and "
+                    "explore their crash grids with crash-window "
+                    "coverage accounting.",
+    )
+    parser.add_argument("--count", type=int, default=20,
+                        help="programs in the batch (default 20)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="generator seed (default 1); the same "
+                             "(seed, index) always yields the same "
+                             "program")
+    parser.add_argument("--faults", default=None,
+                        help="also replay each cell's crash grid under "
+                             "these fault models (comma-separated kinds; "
+                             "a+b composes, e.g. "
+                             "controller-loss+torn-log-write)")
+    parser.add_argument("--designs",
+                        default=",".join(d.value for d in LITMUS_DESIGNS),
+                        help="designs to check (comma-separated)")
+    parser.add_argument("--points", type=int, default=4,
+                        help="crash points per cell (default 4)")
+    parser.add_argument("--densify", type=int, default=0, metavar="ROUNDS",
+                        help="bisection rounds around outcome transitions "
+                             "(default 0: off)")
+    parser.add_argument("--seeds", default="7",
+                        help="simulator seeds (comma-separated; default 7)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory")
+    parser.add_argument("--out", default="litmus_gen_verdicts.json",
+                        help="verdict artifact path "
+                             "(default litmus_gen_verdicts.json)")
+    parser.add_argument("--require-coverage", action="store_true",
+                        help="fail if any instrumented crash window got "
+                             "zero hits across the whole batch")
+    parser.add_argument("--list", action="store_true",
+                        help="print the generated programs and exit")
+    args = parser.parse_args(argv)
+
+    if args.count < 1:
+        parser.error("--count must be >= 1")
+    if args.points < 1:
+        parser.error("--points must be >= 1")
+    if args.densify < 0:
+        parser.error("--densify must be >= 0")
+    designs = _parse_designs(parser, args.designs)
+    faults = _parse_faults(parser, args.faults, designs) \
+        if args.faults else []
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated integers, "
+                     f"got {args.seeds!r}")
+    if not seeds:
+        parser.error("--seeds must name at least one seed")
+
+    tests = generate(GeneratorParams(count=args.count, seed=args.seed))
+    if args.list:
+        width = max(len(spec.name) for spec in tests)
+        for spec in tests:
+            print(f"{spec.name.ljust(width)}  {spec.description} "
+                  f"({len(spec.allowed)} allowed states)")
+        return 0
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    campaign = Campaign(jobs=args.jobs, cache=cache)
+    start = time.time()
+    try:
+        report = explore(campaign, tests=tests, designs=designs,
+                         seeds=seeds, points=args.points, faults=faults,
+                         densify=args.densify)
+    finally:
+        campaign.close()
+    print(report.render())
+    print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
+          f"{cache.hits if cache is not None else 0} cached)")
+    with open(args.out, "w") as fh:
+        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    status = min(len(report.failures), 255)
+    if args.require_coverage and report.uncovered_windows:
+        print("uncovered crash windows: "
+              + ", ".join(report.uncovered_windows)
+              + " — widen the batch (--count/--points/--densify) until "
+                "every instrumented window is hit", file=sys.stderr)
+        status = max(status, 1)
+    return status
 
 
 if __name__ == "__main__":

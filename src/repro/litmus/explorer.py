@@ -82,6 +82,10 @@ class LitmusOutcome:
     idempotent: bool = True
     #: Recovery-time analytics (``RecoveryCost.to_dict``).
     recovery_cost: dict = field(default_factory=dict)
+    #: Crash windows the machine was inside at the cut (see
+    #: :data:`repro.runtime.system.CRASH_WINDOWS`; ``["quiescent"]``
+    #: when nothing durability-critical was in flight).
+    windows: list = field(default_factory=list)
     error: str = ""
 
 
@@ -103,6 +107,7 @@ def _outcome_from_dict(payload: dict) -> LitmusOutcome:
         finish=payload["finish"],
         idempotent=payload["idempotent"],
         recovery_cost=payload.get("recovery_cost", {}),
+        windows=list(payload.get("windows", [])),
         error=payload["error"],
     )
 
@@ -163,6 +168,7 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
             finish=finish,
             idempotent=idempotent,
             recovery_cost=cost.to_dict() if cost is not None else {},
+            windows=list(system.crash_windows),
         )
         # The system was private to this point and the outcome carries
         # everything extracted from it: recycle the image buffers.
@@ -192,8 +198,12 @@ def crash_cycles_for(finish: int, points: int,
     if finish <= start or points <= 0:
         return []
     last = finish - 1
-    if points == 1 or last == start:
+    if last == start:
         return [start]
+    # Both endpoints are non-negotiable whenever the span holds two
+    # cycles: a points=1 request still yields {start, last}, because a
+    # grid without `last` leaves the durability point itself untested.
+    points = max(points, 2)
     span = last - start
     return sorted({
         start + (i * span) // (points - 1) for i in range(points)
@@ -219,6 +229,8 @@ class LitmusCell:
     forbidden_points: int = 0
     unlisted_points: int = 0
     idempotence_failures: int = 0
+    #: Crash-window coverage: window name -> points that landed in it.
+    window_hits: dict = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -243,6 +255,8 @@ class LitmusCell:
             return
         if not outcome.idempotent:
             self.idempotence_failures += 1
+        for window in outcome.windows:
+            self.window_hits[window] = self.window_hits.get(window, 0) + 1
         state = outcome.state
         matched = [expr for expr, fn in forbidden if fn(state)]
         unlisted = bool(
@@ -272,10 +286,36 @@ class LitmusReport:
 
     cells: list[LitmusCell]
     points_total: int = 0
+    #: Extra grid points contributed by --densify bisection rounds.
+    densify_points: int = 0
 
     @property
     def failures(self) -> list[LitmusCell]:
         return [c for c in self.cells if c.status == "FAIL"]
+
+    @property
+    def window_coverage(self) -> dict[str, int]:
+        """Aggregate crash-window hit counts over every cell.
+
+        Every instrumented window is always present (zero-hit windows
+        are the coverage gaps the metric exists to expose), plus any
+        extra windows observed (``quiescent``).
+        """
+        from repro.runtime.system import CRASH_WINDOWS
+
+        coverage = {window: 0 for window in CRASH_WINDOWS}
+        for cell in self.cells:
+            for window, hits in cell.window_hits.items():
+                coverage[window] = coverage.get(window, 0) + hits
+        return coverage
+
+    @property
+    def uncovered_windows(self) -> list[str]:
+        """Instrumented windows no point of this exploration landed in."""
+        from repro.runtime.system import CRASH_WINDOWS
+
+        coverage = self.window_coverage
+        return [w for w in CRASH_WINDOWS if coverage[w] == 0]
 
     @property
     def detected(self) -> list[LitmusCell]:
@@ -316,12 +356,21 @@ class LitmusReport:
                 out += (f"\nFAIL {where}: "
                         f"{cell.idempotence_failures} points where a second "
                         f"recovery changed the durable image")
+        coverage = self.window_coverage
+        out += "\ncrash-window coverage: " + ", ".join(
+            f"{window} {hits}" for window, hits in coverage.items()
+        )
+        if self.densify_points:
+            out += (f"\ndensify: {self.densify_points} bisection points "
+                    f"added around verdict/window transitions")
         return out
 
     def to_json(self) -> dict:
         """JSON artifact payload (the CLI writes this to ``--out``)."""
         return {
             "points_total": self.points_total,
+            "densify_points": self.densify_points,
+            "coverage": self.window_coverage,
             "summary": {
                 "cells": len(self.cells),
                 "failures": len(self.failures),
@@ -338,6 +387,7 @@ class LitmusReport:
                     "forbidden_points": c.forbidden_points,
                     "unlisted_points": c.unlisted_points,
                     "idempotence_failures": c.idempotence_failures,
+                    "window_hits": dict(c.window_hits),
                     "errors": c.errors,
                     "outcomes": [
                         {"digest": digest, **entry}
@@ -360,6 +410,7 @@ def explore(
     points: int = 10,
     crash_start: int = DEFAULT_CRASH_START,
     faults: Sequence | None = None,
+    densify: int = 0,
 ) -> LitmusReport:
     """Explore every (test × design × fault × seed) cell.
 
@@ -370,8 +421,18 @@ def explore(
     ``faults`` replays each cell's crash grid under the given
     :class:`~repro.faults.models.FaultModel`\\ s on top of the plain
     power-loss axis.  Only consistency-preserving models make sense
-    here — the postconditions still judge the recovered state — and
-    only on designs the model applies to; anything else is rejected.
+    here — the postconditions still judge the recovered state — and a
+    model applicable to *no* selected design is rejected rather than
+    silently dropped (its column would otherwise just vanish from the
+    verdict table and read as covered).
+
+    ``densify`` runs up to that many bisection rounds after the uniform
+    grid: wherever two adjacent sampled crash cycles of one (test ×
+    design × seed × fault) trace disagree — different recovered-state
+    digest, crash-window set, or error — the midpoint is probed, homing
+    in on verdict/window transitions with O(log span) extra points
+    instead of a uniformly denser grid.  All bisection midpoints are
+    deterministic, so re-runs hit the result cache.
     """
     from repro.common.errors import ConfigError
 
@@ -387,6 +448,14 @@ def explore(
                 f"litmus fault axis needs consistency-preserving models; "
                 f"{model.kind!r} is detection-only (use `python -m "
                 f"repro.harness faults` for it)"
+            )
+        if not any(model.applicable(d) for d in designs):
+            raise ConfigError(
+                f"fault model {model.kind!r} applies to none of the "
+                f"selected designs "
+                f"({', '.join(d.value for d in designs)}) — it would "
+                f"silently vanish from the verdict table; drop the "
+                f"model or add a design it applies to"
             )
     encoded = {t.name: t.to_dict() for t in tests}
     conditions = {
@@ -446,9 +515,16 @@ def explore(
                 )
                 for cycle in cycles
             )
-    for outcome in campaign.run_litmus(grid):
+    grid_outcomes = campaign.run_litmus(grid)
+    for outcome in grid_outcomes:
         key = cell_key(outcome.point)
         cells[key].absorb(outcome, *conditions[key[0]])
+
+    densify_points = 0
+    if densify > 0:
+        densify_points = _densify(
+            campaign, cells, conditions, cell_key, grid_outcomes, densify,
+        )
 
     ordered = [
         cells[(t.name, d.value, kind)]
@@ -458,5 +534,76 @@ def explore(
         )
     ]
     return LitmusReport(
-        cells=ordered, points_total=len(probe_points) + len(grid)
+        cells=ordered,
+        points_total=len(probe_points) + len(grid) + densify_points,
+        densify_points=densify_points,
     )
+
+
+def _outcome_class(outcome: LitmusOutcome) -> tuple:
+    """Transition-detection equivalence class of one grid outcome.
+
+    Two crash cycles are "the same" for bisection purposes when they
+    recover to the same state digest, land in the same crash-window
+    set, and agree on error/idempotence — any difference marks an
+    interval worth splitting.
+    """
+    return (
+        outcome.digest,
+        bool(outcome.error),
+        outcome.idempotent,
+        tuple(sorted(outcome.windows)),
+    )
+
+
+def _densify(campaign, cells, conditions, cell_key, seed_outcomes,
+             rounds: int) -> int:
+    """Bisect the crash grid around outcome transitions.
+
+    Per (test × design × seed × fault) trace, every pair of adjacent
+    sampled cycles with differing outcome classes and a gap > 1 gets
+    its midpoint probed; repeated up to ``rounds`` times (or until no
+    interval splits).  New outcomes are absorbed into the cells like
+    uniform grid points.  Returns the number of points added.
+    """
+    import json
+
+    samples: dict[tuple, dict[int, tuple]] = {}
+    prototypes: dict[tuple, LitmusPoint] = {}
+
+    def trace_key(point: LitmusPoint) -> tuple:
+        fault = (json.dumps(point.fault, sort_keys=True)
+                 if point.fault else "")
+        return (point.test["name"], point.design.value, point.seed, fault)
+
+    def note(outcome: LitmusOutcome) -> None:
+        if outcome.point.crash_cycle is None:
+            return
+        key = trace_key(outcome.point)
+        samples.setdefault(key, {})[outcome.point.crash_cycle] = (
+            _outcome_class(outcome)
+        )
+        prototypes.setdefault(key, outcome.point)
+
+    for outcome in seed_outcomes:
+        note(outcome)
+
+    total = 0
+    for _ in range(rounds):
+        batch: list[LitmusPoint] = []
+        for key, trace in samples.items():
+            cycles = sorted(trace)
+            proto = prototypes[key]
+            for lo, hi in zip(cycles, cycles[1:]):
+                if hi - lo > 1 and trace[lo] != trace[hi]:
+                    batch.append(dataclasses.replace(
+                        proto, crash_cycle=(lo + hi) // 2
+                    ))
+        if not batch:
+            break
+        total += len(batch)
+        for outcome in campaign.run_litmus(batch):
+            key = cell_key(outcome.point)
+            cells[key].absorb(outcome, *conditions[key[0]])
+            note(outcome)
+    return total

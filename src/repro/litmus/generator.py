@@ -1,0 +1,284 @@
+"""Seeded random litmus-program generator over the spec DSL.
+
+Hand-written litmus tests only probe the crash windows their authors
+thought of; this module mass-produces programs in the style of generated
+persistency litmus testing, so the explorer's crash grids sweep window
+combinations nobody wrote down.  Every generated spec is:
+
+* **deterministic** — the same ``(seed, index)`` always yields the
+  byte-identical spec, so batches key the content-addressed campaign
+  cache and re-runs are served from disk;
+* **templated** — variable placement is drawn from the same templates
+  the catalog uses (dense lines, page stride alternating memory
+  controllers/AUSs, the L1-set + L2-bank + L2-set conflict stride that
+  forces dirty evictions mid-transaction);
+* **sound by construction** — every store sits inside an atomic region,
+  cross-core shared variables are only written under one global lock
+  (racy unlocked conflicts can legitimately break the commit-order
+  golden model via undo rollback), and every ``br_ne`` is guarded by a
+  core-private variable so :meth:`LitmusSpec.txn_writes` resolves each
+  branch statically;
+* **self-judging** — the postcondition is an *exhaustive* allow-list of
+  every durable state reachable under commit-order atomic durability
+  (some linear extension of the per-core transaction chains, cut at an
+  arbitrary prefix), derived from the commit-ordered golden model via
+  ``txn_writes()``.  Any recovered state outside the list is a
+  violation; on the unlogged baseline that is the expected detection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.litmus.catalog import CONFLICT_STRIDE, PAGE_STRIDE
+from repro.litmus.spec import (LitmusSpec, begin, br_ne, commit, compute,
+                               fill, flush, loadr, lock, store, unlock)
+
+#: Placement templates: (name, line stride between consecutive vars).
+PLACEMENTS = (
+    ("dense", 1),
+    ("page", PAGE_STRIDE),
+    ("conflict", CONFLICT_STRIDE),
+)
+
+#: A compare value no generated store ever produces (branch-not-taken).
+_NEVER = 999_999_937
+
+
+@dataclass
+class GeneratorParams:
+    """Knobs of one generated batch (all covered by the seed)."""
+
+    count: int = 20
+    seed: int = 1
+    max_cores: int = 2
+    max_txns: int = 3
+    max_stores: int = 3
+    #: Probability a transaction carries a loadr/br_ne-guarded block.
+    p_conditional: float = 0.45
+    #: Probability a whole transaction is branch-guarded (skippable).
+    p_skip_txn: float = 0.2
+    p_fill: float = 0.3
+    p_flush: float = 0.35
+    p_compute: float = 0.5
+    #: Cap on the exhaustive allow-list; oversize candidates are
+    #: regenerated from a derived sub-seed (still deterministic).
+    max_states: int = 128
+
+
+def reachable_states(spec: LitmusSpec) -> list[dict]:
+    """Every durable state commit-order atomic durability can expose.
+
+    Breadth-first walk over (per-core committed-prefix counts, state)
+    pairs: a recovered state is some linear extension of the per-core
+    transaction chains applied in commit order, cut after an arbitrary
+    prefix.  This is a superset of the orders the lock discipline
+    actually allows — safe for an allow-list, which only has to contain
+    every genuinely reachable state.
+    """
+    writes = spec.txn_writes()
+    init = tuple(sorted(
+        (var, spec.init.get(var, 0)) for var in spec.vars
+    ))
+    start = (tuple(0 for _ in writes), init)
+    seen = {start}
+    states = {init}
+    stack = [start]
+    while stack:
+        counts, state_t = stack.pop()
+        for cid, done in enumerate(counts):
+            if done >= len(writes[cid]):
+                continue
+            state = dict(state_t)
+            for var, value in writes[cid][done]:
+                state[var] = value
+            nxt = (
+                tuple(d + 1 if i == cid else d
+                      for i, d in enumerate(counts)),
+                tuple(sorted(state.items())),
+            )
+            if nxt not in seen:
+                seen.add(nxt)
+                states.add(nxt[1])
+                stack.append(nxt)
+    return [dict(s) for s in sorted(states)]
+
+
+def _state_condition(state: dict) -> str:
+    return " and ".join(
+        f"{var} == {value}" for var, value in sorted(state.items())
+    )
+
+
+def _build_spec(rng: random.Random, name: str,
+                params: GeneratorParams) -> LitmusSpec:
+    ncores = rng.randint(1, max(1, params.max_cores))
+    placement, stride = PLACEMENTS[rng.randrange(len(PLACEMENTS))]
+    nshared = rng.randint(1, 3)
+    # One private guard variable per core (branch guards must be
+    # core-local for static resolution), then the shared pool.
+    names = [f"L{c}" for c in range(ncores)] + \
+            [f"S{i}" for i in range(nshared)]
+    variables = {nm: i * stride for i, nm in enumerate(names)}
+    line_to_var = {idx: nm for nm, idx in variables.items()}
+    shared = {nm for nm in names if nm.startswith("S")}
+
+    counter = rng.randint(1, 500)
+
+    def next_value() -> int:
+        # Strictly increasing unique values: every write is
+        # distinguishable, so distinct interleaving prefixes yield
+        # distinct states and the allow-list discriminates fully.
+        nonlocal counter
+        counter += rng.randint(1, 9)
+        return counter
+
+    init: dict[str, int] = {}
+    if rng.random() < 0.4:
+        init[rng.choice(names)] = next_value()
+
+    programs: list[list[tuple]] = []
+    for c in range(ncores):
+        prog: list[tuple] = []
+        # Executed-path value image of this core's own view (guards
+        # only ever read L{c}, which no other core writes).
+        model = {nm: init.get(nm, 0) for nm in names}
+        pool = [f"L{c}"] + sorted(shared)
+        reg_counter = 0
+        for t in range(rng.randint(1, max(1, params.max_txns))):
+            if rng.random() < params.p_compute:
+                prog.append(compute(rng.randint(100, 600)))
+            chosen = rng.sample(
+                pool, rng.randint(1, min(params.max_stores, len(pool)))
+            )
+            body: list[tuple] = []
+            taken_writes: list[tuple[str, int]] = []
+            for var in chosen:
+                value = next_value()
+                body.append(store(var, value))
+                taken_writes.append((var, value))
+            if stride == 1 and rng.random() < params.p_fill:
+                # fill spans 2 consecutive lines; only bases whose
+                # covered named vars all belong to this core's pool are
+                # sound (never scribble on another core's guard var).
+                bases = [
+                    nm for nm in pool
+                    if line_to_var.get(variables[nm] + 1, nm) in pool
+                ]
+                if bases:
+                    base = rng.choice(bases)
+                    value = next_value()
+                    body.append(fill(base, value, 2))
+                    taken_writes.append((base, value))
+                    covered = line_to_var.get(variables[base] + 1)
+                    if covered is not None:
+                        taken_writes.append((covered, value))
+            if rng.random() < params.p_conditional:
+                guard = f"L{c}"
+                reg = f"r{c}_{reg_counter}"
+                reg_counter += 1
+                taken = rng.random() < 0.6
+                # The load sees the core's latest volatile value of the
+                # guard — including this txn's own earlier stores to it.
+                guard_value = model[guard]
+                for var, value in taken_writes:
+                    if var == guard:
+                        guard_value = value
+                cmp_value = guard_value if taken else _NEVER
+                var = rng.choice(pool)
+                value = next_value()
+                body += [loadr(guard, reg), br_ne(reg, cmp_value, 1),
+                         store(var, value)]
+                if taken:
+                    taken_writes.append((var, value))
+            txn = [begin(), *body, commit()]
+
+            def writes_shared(instrs: list[tuple]) -> bool:
+                for instr in instrs:
+                    if instr[0] == "store" and instr[1] in shared:
+                        return True
+                    if instr[0] == "fill" and any(
+                        line_to_var.get(variables[instr[1]] + off)
+                        in shared for off in range(instr[3])
+                    ):
+                        return True
+                return False
+
+            needs_lock = ncores > 1 and writes_shared(body)
+            if rng.random() < params.p_skip_txn and t > 0:
+                # Branch-guard the whole transaction: skip the balanced
+                # [begin .. commit] range when the guard mismatches.
+                guard = f"L{c}"
+                reg = f"r{c}_{reg_counter}"
+                reg_counter += 1
+                taken = rng.random() < 0.6
+                cmp_value = model[guard] if taken else _NEVER
+                txn = [loadr(guard, reg),
+                       br_ne(reg, cmp_value, len(txn))] + txn
+                if not taken:
+                    taken_writes = []
+            if needs_lock:
+                txn = [lock(1), *txn, unlock(1)]
+            prog += txn
+            for var, value in taken_writes:
+                model[var] = value
+            if taken_writes and rng.random() < params.p_flush:
+                prog.append(flush(taken_writes[-1][0]))
+        programs.append(prog)
+
+    spec = LitmusSpec(
+        name=name,
+        description=(
+            f"generated: {ncores} core(s), {placement} placement "
+            f"(stride {stride}), exhaustive golden-model allow-list"
+        ),
+        cores=programs,
+        vars=variables,
+        init=init,
+        allowed=[],
+        forbidden=[],
+    )
+    states = reachable_states(spec)
+    spec.allowed = [_state_condition(s) for s in states]
+    # Multi-line transactions are physically breakable without logging:
+    # the unlogged baseline is expected (not failing) to reach partial
+    # states there, proving the checker sees violations.
+    multiline = any(
+        len({var for var, _ in txn}) > 1
+        for core_txns in spec.txn_writes() for txn in core_txns
+    )
+    if multiline:
+        spec.expect_violation = ["non-atomic"]
+    return spec
+
+
+def generate_spec(params: GeneratorParams, index: int) -> LitmusSpec:
+    """Deterministically generate spec ``index`` of the batch."""
+    spec = None
+    for attempt in range(8):
+        rng = random.Random(
+            (params.seed * 1_000_003 + index) * 31 + attempt
+        )
+        spec = _build_spec(
+            rng, f"gen-s{params.seed}-{index:03d}", params
+        )
+        if len(spec.allowed) <= params.max_states:
+            break
+    return spec.validate()
+
+
+def generate(params: GeneratorParams | None = None,
+             **overrides) -> list[LitmusSpec]:
+    """Generate ``params.count`` validated litmus specs.
+
+    ``generate(count=5, seed=3)`` is shorthand for passing a
+    :class:`GeneratorParams`.  Each spec depends only on
+    ``(seed, index)``, never on generation order.
+    """
+    if params is None:
+        params = GeneratorParams(**overrides)
+    elif overrides:
+        raise TypeError("pass GeneratorParams or keyword overrides, "
+                        "not both")
+    return [generate_spec(params, index) for index in range(params.count)]

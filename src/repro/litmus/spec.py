@@ -28,7 +28,17 @@ module-level helpers::
 ``unlock(id)``         release it
 ``fill(var, v, n)``    one store of ``n`` consecutive lines starting at
                        ``var``, each line's words = ``v`` (tearing tests)
+``loadr(var, reg)``    load ``var`` into the program register ``reg``
+``br_ne(reg, v, n)``   if ``reg != v``, skip the next ``n`` instructions
+                       — the conditional op: a loaded value feeding a
+                       branch, so programs express dependent control
+                       flow (conditional stores, skipped transactions)
 =====================  ======================================================
+
+Atomic regions cannot nest: the hardware flattens nesting, but the
+golden model tracks exactly one open transaction per core, so a nested
+``begin`` would silently drop the outer region's writes from the write
+set — :meth:`LitmusSpec.validate` rejects it outright.
 
 **Postconditions** are boolean expressions over the variable names,
 evaluated against the recovered durable values (``"A == 1 and B == 0"``).
@@ -99,14 +109,23 @@ def fill(var: str, value: int, lines: int) -> tuple:
     return ("fill", var, value, lines)
 
 
+def loadr(var: str, reg: str) -> tuple:
+    return ("loadr", var, reg)
+
+
+def br_ne(reg: str, value: int, skip: int) -> tuple:
+    return ("br_ne", reg, value, skip)
+
+
 #: opcode -> operand arity (operand types checked in validate()).
 _OPCODES = {
     "begin": 0, "commit": 0, "store": 2, "load": 1, "flush": 1,
-    "compute": 1, "lock": 1, "unlock": 1, "fill": 3,
+    "compute": 1, "lock": 1, "unlock": 1, "fill": 3, "loadr": 2,
+    "br_ne": 3,
 }
 
 #: Opcodes whose first operand names a variable.
-_VAR_OPS = {"store", "load", "flush", "fill"}
+_VAR_OPS = {"store", "load", "flush", "fill", "loadr"}
 
 
 # -- condition compiler --------------------------------------------------------
@@ -204,34 +223,82 @@ class LitmusSpec:
             2, self.threads
         )
 
+    def _var_writers(self) -> dict[str, set[int]]:
+        """var name -> set of core ids that (may) write it."""
+        line_to_var = {idx: name for name, idx in self.vars.items()}
+        writers: dict[str, set[int]] = {name: set() for name in self.vars}
+        for tid, program in enumerate(self.cores):
+            for instr in program:
+                if instr[0] == "store":
+                    writers[instr[1]].add(tid)
+                elif instr[0] == "fill":
+                    base = self.vars[instr[1]]
+                    for off in range(instr[3]):
+                        var = line_to_var.get(base + off)
+                        if var is not None:
+                            writers[var].add(tid)
+        return writers
+
     def txn_writes(self) -> list[list[list[tuple[str, int]]]]:
         """Statically extracted per-core, per-txn (var, value) writes.
 
-        The program is loop-free, so each transaction's write set is
-        known at compile time; the litmus workload feeds these to the
-        commit-ordered golden model.  ``fill`` writes every covered
-        variable.
+        Each core program is interpreted abstractly: stores apply to a
+        core-local value image (stores hit the volatile image at issue,
+        so a core's own loads always see its latest values), ``loadr``
+        captures the current value into a register, and ``br_ne``
+        follows the resolved direction.  ``fill`` writes every covered
+        variable.  Raises :class:`LitmusError` for a branch guarded by
+        a variable other cores write — its direction depends on cross-
+        core timing, which no static extraction can resolve (the litmus
+        workload records write sets dynamically for exactly that case).
         """
         line_to_var = {idx: name for name, idx in self.vars.items()}
+        writers = self._var_writers()
         out: list[list[list[tuple[str, int]]]] = []
-        for program in self.cores:
+        for tid, program in enumerate(self.cores):
             txns: list[list[tuple[str, int]]] = []
             current: list[tuple[str, int]] | None = None
-            for instr in program:
+            local = {name: self.init.get(name, 0) for name in self.vars}
+            regs: dict[str, int] = {}
+            reg_src: dict[str, str] = {}
+            pc = 0
+            while pc < len(program):
+                instr = program[pc]
+                pc += 1
                 op = instr[0]
                 if op == "begin":
                     current = []
                 elif op == "commit":
                     txns.append(current or [])
                     current = None
-                elif op == "store" and current is not None:
-                    current.append((instr[1], instr[2]))
-                elif op == "fill" and current is not None:
+                elif op == "store":
+                    if current is not None:
+                        current.append((instr[1], instr[2]))
+                    local[instr[1]] = instr[2]
+                elif op == "fill":
                     base = self.vars[instr[1]]
                     for off in range(instr[3]):
                         var = line_to_var.get(base + off)
                         if var is not None:
-                            current.append((var, instr[2]))
+                            if current is not None:
+                                current.append((var, instr[2]))
+                            local[var] = instr[2]
+                elif op == "loadr":
+                    regs[instr[2]] = local[instr[1]]
+                    reg_src[instr[2]] = instr[1]
+                elif op == "br_ne":
+                    src = reg_src.get(instr[1])
+                    if src is not None and writers.get(src, set()) - {tid}:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: branch on register "
+                            f"{instr[1]!r} loaded from {src!r}, which "
+                            f"other cores write — direction depends on "
+                            f"cross-core timing, so the static write set "
+                            f"is undefined (the litmus workload records "
+                            f"writes dynamically instead)"
+                        )
+                    if regs[instr[1]] != instr[2]:
+                        pc += instr[3]
             out.append(txns)
         return out
 
@@ -254,7 +321,8 @@ class LitmusSpec:
             raise LitmusError(f"{self.name}: two variables share a line")
         for tid, program in enumerate(self.cores):
             depth = 0
-            for instr in program:
+            regs: set[str] = set()
+            for index, instr in enumerate(program):
                 op = instr[0] if instr else None
                 if op not in _OPCODES:
                     raise LitmusError(
@@ -271,11 +339,62 @@ class LitmusSpec:
                     )
                 if op == "begin":
                     depth += 1
+                    if depth > 1:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: nested atomic "
+                            f"regions are not supported — the hardware "
+                            f"flattens them, but the golden model tracks "
+                            f"one open transaction per core, so the "
+                            f"outer region's writes would be dropped; "
+                            f"commit the open region before op {index}"
+                        )
                 elif op == "commit":
                     depth -= 1
                     if depth < 0:
                         raise LitmusError(
                             f"{self.name}: core {tid}: commit without begin"
+                        )
+                elif op == "loadr":
+                    if not isinstance(instr[2], str) or not instr[2]:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: loadr register "
+                            f"must be a non-empty string, got {instr!r}"
+                        )
+                    regs.add(instr[2])
+                elif op == "br_ne":
+                    if instr[1] not in regs:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: br_ne on register "
+                            f"{instr[1]!r} before any loadr defines it"
+                        )
+                    skip = instr[3]
+                    if not isinstance(skip, int) or skip < 1:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: br_ne skip count "
+                            f"must be >= 1, got {instr!r}"
+                        )
+                    if index + 1 + skip > len(program):
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: br_ne at op "
+                            f"{index} skips past the end of the program"
+                        )
+                    # The skipped range must be region-balanced: taking
+                    # the branch must not jump out of (or half-way into)
+                    # an atomic region.
+                    delta = 0
+                    for skipped in program[index + 1:index + 1 + skip]:
+                        if skipped and skipped[0] == "begin":
+                            delta += 1
+                        elif skipped and skipped[0] == "commit":
+                            delta -= 1
+                        if delta < 0:
+                            break
+                    if delta != 0:
+                        raise LitmusError(
+                            f"{self.name}: core {tid}: br_ne at op "
+                            f"{index} skips an unbalanced begin/commit "
+                            f"range (it would jump across an atomic "
+                            f"region boundary)"
                         )
             if depth != 0:
                 raise LitmusError(

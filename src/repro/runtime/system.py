@@ -38,6 +38,18 @@ from repro.noc.mesh import Mesh
 from repro.noc.topology import Topology
 from repro.runtime.heap import Heap
 
+#: Microarchitectural crash windows sampled at the instant of a power
+#: cut (see System.sample_crash_windows).  The litmus coverage layer
+#: aggregates hit counts per window; a generated batch is expected to
+#: land crashes inside every one of them.
+CRASH_WINDOWS = (
+    "flush-loop",       # a core mid commit-time write-set flush
+    "posted-log-drain",  # log-entry writes posted but not yet durable
+    "backend-apply",    # REDO in-place applies of committed lines queued
+    "adr-drain",        # live AUS state / a mid-broadcast truncation the
+                        # ADR window must carry over the cut
+)
+
 
 @dataclass
 class SimResult:
@@ -137,6 +149,9 @@ class System:
         #: failure (controller loss, torn log write, ADR truncation,
         #: log corruption).  Installed via FaultInjector.install().
         self.fault_injector = None
+        #: Crash windows the machine was inside at the cut (sampled at
+        #: the top of crash(), before any state mutates).
+        self.crash_windows: list[str] = []
         self._crashed = False
         self._done_cores: set[int] = set()
         #: Commit broadcasts in flight: core -> {info, cleared, total}.
@@ -268,6 +283,35 @@ class System:
 
     # -- crash & recovery -------------------------------------------------------------
 
+    def sample_crash_windows(self) -> list[str]:
+        """Which modelled crash windows the machine is inside right now.
+
+        Sampled at the top of :meth:`crash` — before the cut mutates
+        any state — so the litmus coverage layer can attribute each
+        crash point to the hardware activity it interrupted (see
+        :data:`CRASH_WINDOWS`).  ``["quiescent"]`` when nothing
+        durability-critical was in flight.
+        """
+        windows: list[str] = []
+        if any(core.commit_flushing for core in self.cores):
+            windows.append("flush-loop")
+        posted = any(
+            mc.logm is not None and mc.logm.posted_log_in_flight()
+            for mc in self.controllers
+        )
+        if self.redo is not None and self.redo.log_writes_outstanding():
+            posted = True
+        if posted:
+            windows.append("posted-log-drain")
+        if self.redo is not None and self.redo.backend_apply_pending():
+            windows.append("backend-apply")
+        if self._commit_intents or any(
+            mc.logm is not None and mc.logm.active_slots()
+            for mc in self.controllers
+        ):
+            windows.append("adr-drain")
+        return windows or ["quiescent"]
+
     def crash(self) -> None:
         """Power failure *now*: freeze the machine, drop volatile state.
 
@@ -283,6 +327,7 @@ class System:
         ADR flush honours a (possibly truncating) line budget, and the
         log-corruption model damages the durable image after the cut.
         """
+        self.crash_windows = self.sample_crash_windows()
         self._crashed = True
         self.engine.stop()
         inj = self.fault_injector

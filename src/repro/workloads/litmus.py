@@ -9,8 +9,13 @@ shortcut functional model.
 The workload allocates one contiguous region from the NVM heap and
 places every symbolic variable at its spec-assigned line index, which is
 what lets conflict tests force genuine dirty evictions.  The golden
-model applies each transaction's statically-known write set in global
-commit order (``System.on_commit``), like every other workload.
+model applies each transaction's write set in global commit order
+(``System.on_commit``), like every other workload; write sets are
+recorded *dynamically* as each thread executes, so conditional programs
+(``loadr``/``br_ne``) stay exact even when a branch direction depends on
+another core's timing — by the time a commit reaches its durability
+point, every store of that transaction has already been issued and
+recorded.
 """
 
 from __future__ import annotations
@@ -50,8 +55,10 @@ class LitmusWorkload(Workload):
         self.base = self.heap.alloc(
             spec.span_lines * CACHE_LINE_BYTES, arena=0
         )
-        #: Per-core, per-txn write sets for the golden model.
-        self._txn_writes = spec.txn_writes()
+        #: Per-(tid, txn-index) write sets, recorded as the threads
+        #: execute (complete before each commit's durability point).
+        self._recorded_writes: dict[tuple[int, int],
+                                    list[tuple[str, int]]] = {}
         #: Golden state: committed var values (init state until then).
         self.golden = {name: spec.init.get(name, 0) for name in spec.vars}
         #: Vars also written outside any atomic region (their durable
@@ -103,18 +110,36 @@ class LitmusWorkload(Workload):
     # -- execution --------------------------------------------------------------
 
     def thread_body(self, tid: int):
+        program = self.spec.cores[tid]
+        line_to_var = {idx: name for name, idx in self.spec.vars.items()}
         txn_index = 0
-        for instr in self.spec.cores[tid]:
+        regs: dict[str, int] = {}
+        current: list[tuple[str, int]] | None = None
+        pc = 0
+        while pc < len(program):
+            instr = program[pc]
+            pc += 1
             op = instr[0]
             if op == "begin":
+                current = self._recorded_writes[(tid, txn_index)] = []
                 yield from PMem.atomic_begin()
             elif op == "commit":
+                current = None
                 yield from PMem.atomic_end((tid, txn_index))
                 txn_index += 1
             elif op == "store":
+                if current is not None:
+                    current.append((instr[1], instr[2]))
                 yield from PMem.store_u64(self.addr_of(instr[1]), instr[2])
             elif op == "load":
                 yield from PMem.load_u64(self.addr_of(instr[1]))
+            elif op == "loadr":
+                regs[instr[2]] = yield from PMem.load_u64(
+                    self.addr_of(instr[1])
+                )
+            elif op == "br_ne":
+                if regs[instr[1]] != instr[2]:
+                    pc += instr[3]
             elif op == "flush":
                 yield ops.Flush(self.addr_of(instr[1]))
             elif op == "compute":
@@ -124,6 +149,12 @@ class LitmusWorkload(Workload):
             elif op == "unlock":
                 yield from PMem.unlock(_LOCK_NS | instr[1])
             elif op == "fill":
+                if current is not None:
+                    base = self.spec.vars[instr[1]]
+                    for off in range(instr[3]):
+                        var = line_to_var.get(base + off)
+                        if var is not None:
+                            current.append((var, instr[2]))
                 word = _U64.pack(instr[2])
                 data = word * (instr[3] * CACHE_LINE_BYTES // 8)
                 yield from PMem.store_bytes(self.addr_of(instr[1]), data)
@@ -131,8 +162,7 @@ class LitmusWorkload(Workload):
     # -- golden model -----------------------------------------------------------
 
     def golden_apply(self, info) -> None:
-        tid, txn_index = info
-        for var, value in self._txn_writes[tid][txn_index]:
+        for var, value in self._recorded_writes.get(tuple(info), ()):
             self.golden[var] = value
 
     # -- recovered-state extraction ---------------------------------------------

@@ -488,6 +488,113 @@ class TestCli:
             main(["--only", "zzz-no-such-test", "--points", "1"])
 
 
+class TestMultiFault:
+    """Composite ``a+b`` models: codec, contracts, end-to-end injection."""
+
+    def test_plus_kind_builds_and_roundtrips(self):
+        from repro.faults.models import MultiFault
+
+        model = fault_from_dict({"kind": "controller-loss+torn-log-write"})
+        assert isinstance(model, MultiFault)
+        assert model.kind == "controller-loss+torn-log-write"
+        assert [m.kind for m in model.models] == ["controller-loss",
+                                                  "torn-log-write"]
+        clone = fault_from_dict(model.to_dict())
+        assert clone.to_dict() == model.to_dict()
+
+    def test_member_parameters_survive_the_roundtrip(self):
+        from repro.faults.models import MultiFault
+
+        model = MultiFault(models=[ControllerLoss(controller=1),
+                                   TornLogWrite(prefix_bytes=17)])
+        clone = fault_from_dict(model.to_dict())
+        assert clone.models[0].controller == 1
+        assert clone.models[1].prefix_bytes == 17
+
+    def test_contract_axes_aggregate_over_members(self):
+        from repro.faults.models import MultiFault
+
+        consistent = MultiFault(models=[ControllerLoss(), TornLogWrite()])
+        assert consistent.preserves_consistency
+        assert not consistent.expects_detection
+        detecting = MultiFault(models=[ControllerLoss(), AdrTruncation()])
+        assert not detecting.preserves_consistency
+        assert detecting.expects_detection
+
+    def test_applicable_only_where_every_member_applies(self):
+        from repro.faults.models import MultiFault
+
+        model = MultiFault(models=[ControllerLoss(), TornLogWrite()])
+        assert model.applicable(Design.ATOM_OPT)
+        assert not model.applicable(Design.REDO)  # torn needs undo logs
+
+    def test_malformed_composites_rejected(self):
+        from repro.faults.models import MultiFault
+
+        with pytest.raises(ConfigError, match="at least two"):
+            fault_from_dict({"kind": "controller-loss+"})
+        with pytest.raises(ConfigError, match="duplicate member"):
+            fault_from_dict({"kind": "controller-loss+controller-loss"})
+        with pytest.raises(ConfigError, match="cannot themselves"):
+            MultiFault(models=[
+                ControllerLoss(),
+                MultiFault(models=[TornLogWrite(), AdrTruncation()]),
+            ])
+        with pytest.raises(ConfigError, match="no flat parameters"):
+            fault_from_dict({"kind": "controller-loss+torn-log-write",
+                             "controller": 1})
+
+    def test_injector_flattens_members_onto_the_hooks(self):
+        from repro.faults.models import MultiFault
+
+        injector = FaultInjector(MultiFault(models=[
+            ControllerLoss(controller=1), AdrTruncation(controller=0),
+        ]))
+        assert not injector.controller_survives(1)
+        assert injector.controller_survives(0)
+        assert injector.wants_drain()
+        assert injector.adr_budget_lines(0) == 1
+        assert injector.adr_budget_lines(1) is None
+
+    def test_detail_accumulates_one_clause_per_member(self):
+        injector = FaultInjector(ControllerLoss())
+        injector._mark("first thing")
+        injector._mark("second thing")
+        assert injector.applied
+        assert injector.detail == "first thing; second thing"
+
+    def test_composite_end_to_end_applies_both_members(self):
+        out = execute_fault_point(FaultSpec(
+            design=Design.ATOM, workload="queue",
+            fault={"kind": "controller-loss+torn-log-write"},
+            crash_cycle=6_000,
+        ))
+        assert out.ok, out.detail
+        assert out.applied
+        # Both members left their clause in the detail.
+        assert "controller 0" in out.detail and "tore" in out.detail
+
+    def test_cli_rejects_explicitly_requested_inapplicable_models(
+            self, capsys):
+        from repro.faults.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--faults", "torn-log-write", "--designs", "non-atomic"])
+        assert "apply to none" in capsys.readouterr().err
+
+    def test_cli_warns_and_drops_from_the_default_set(self, tmp_path,
+                                                      capsys):
+        from repro.faults.cli import main
+
+        rc = main(["--designs", "redo", "--workloads", "hash",
+                   "--crash-grid", "6000:10000:4000", "--no-cache",
+                   "--out", str(tmp_path / "v.json")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "dropping from the default model set" in captured.err
+        assert "controller-loss" in captured.out
+
+
 class TestDrainSemantics:
     def test_surviving_drain_persists_queued_writes(self):
         """A controller-loss crash leaves survivors' queues empty and

@@ -13,9 +13,9 @@ import pytest
 from repro.common.errors import WorkloadError
 from repro.config import Design
 from repro.harness.campaign import Campaign
-from repro.litmus import (CATALOG, LitmusError, LitmusSpec, begin,
+from repro.litmus import (CATALOG, LitmusError, LitmusSpec, begin, br_ne,
                           catalog_by_name, commit, compile_condition, compute,
-                          explore, fill, store)
+                          explore, fill, loadr, store)
 from repro.litmus.explorer import (LitmusPoint, crash_cycles_for,
                                    execute_litmus_point)
 from repro.litmus.spec import flush, load, lock, unlock
@@ -116,6 +116,78 @@ class TestSpecValidation:
         ).validate()
         assert spec.span_lines == 7
 
+    def test_nested_begin_rejected(self):
+        # Regression: begin/begin used to validate, then txn_writes
+        # silently dropped the outer region's writes.
+        with pytest.raises(LitmusError, match="nested atomic region"):
+            tiny_spec(cores=[[begin(), store("A", 1),
+                              begin(), store("B", 1),
+                              commit(), commit()]]).validate()
+
+
+class TestConditionalOps:
+    """loadr/br_ne: validation, static txn_writes resolution, execution."""
+
+    def cond_spec(self, cmp_value: int, **overrides) -> LitmusSpec:
+        base = dict(
+            name="cond", description="",
+            vars={"A": 0, "B": 1},
+            cores=[[begin(), store("A", 1), commit(),
+                    loadr("A", "r0"), br_ne("r0", cmp_value, 3),
+                    begin(), store("B", 1), commit()]],
+            forbidden=["B == 1 and A == 0"],
+            allowed=["A == 0 and B == 0", "A == 1 and B == 0",
+                     "A == 1 and B == 1"],
+        )
+        base.update(overrides)
+        return LitmusSpec(**base)
+
+    def test_branch_on_undefined_register_rejected(self):
+        with pytest.raises(LitmusError, match="before any loadr"):
+            tiny_spec(cores=[[br_ne("r0", 1, 1), begin(), store("A", 1),
+                              commit()]]).validate()
+
+    def test_skip_past_program_end_rejected(self):
+        with pytest.raises(LitmusError, match="past the end"):
+            tiny_spec(cores=[[loadr("A", "r0"), br_ne("r0", 1, 9),
+                              begin(), store("A", 1), commit()]]).validate()
+
+    def test_unbalanced_skip_range_rejected(self):
+        # Skipping the begin but not the commit would leave the region
+        # machinery unbalanced on the not-taken path.
+        with pytest.raises(LitmusError, match="balanced"):
+            tiny_spec(cores=[[loadr("A", "r0"), br_ne("r0", 1, 2),
+                              begin(), store("A", 1), commit()]]).validate()
+
+    def test_txn_writes_resolves_taken_and_skipped_branches(self):
+        taken = self.cond_spec(1).validate().txn_writes()
+        assert taken[0] == [[("A", 1)], [("B", 1)]]
+        skipped = self.cond_spec(42).validate().txn_writes()
+        assert skipped[0] == [[("A", 1)]]
+
+    def test_txn_writes_rejects_cross_core_guard(self):
+        spec = LitmusSpec(
+            name="xcore", description="",
+            vars={"F": 0, "O": 1},
+            cores=[[begin(), store("F", 1), commit()],
+                   [loadr("F", "r0"), br_ne("r0", 1, 3),
+                    begin(), store("O", 1), commit()]],
+            forbidden=["O == 2"],
+        ).validate()
+        with pytest.raises(LitmusError, match="other cores write"):
+            spec.txn_writes()
+
+    def test_conditional_executes_taken_arm_only(self):
+        cat = catalog_by_name()
+        out = execute_litmus_point(LitmusPoint(
+            test=cat["conditional-local-skip"].to_dict(),
+            design=Design.ATOM_OPT, crash_cycle=None,
+        ))
+        assert out.error == ""
+        # The A == 1 guard takes the B arm and skips the C arm.
+        assert out.state == {"A": 1, "B": 1, "C": 0}
+        assert out.commits == 2
+
 
 class TestLitmusWorkload:
     def test_completion_state_matches_golden(self):
@@ -212,7 +284,16 @@ class TestExplorerPoints:
         assert short[0] == 50 and short[-1] == 154
         assert len(short) <= 100
         assert crash_cycles_for(51, 5) == [50]
-        assert crash_cycles_for(5_000, 1) == [50]
+
+    def test_crash_cycles_single_point_still_reaches_last_cycle(self):
+        # Regression: points=1 used to collapse to [start] and never
+        # sample the commit/truncation window at finish-1 the docstring
+        # promises.  Both endpoints are non-negotiable.
+        assert crash_cycles_for(5_000, 1) == [50, 4_999]
+        for points in (1, 2, 3, 7):
+            grid = crash_cycles_for(700, points)
+            assert grid[0] == 50 and grid[-1] == 699, points
+            assert grid == sorted(set(grid))
 
 
 class TestExploration:
@@ -294,6 +375,92 @@ class TestExploration:
         for outcome in cell["outcomes"]:
             assert set(outcome) >= {"digest", "state", "points",
                                     "forbidden", "unlisted"}
+        assert set(payload["coverage"]) >= {"flush-loop", "posted-log-drain",
+                                            "backend-apply", "adr-drain"}
+        assert "window_hits" in cell
+
+    def test_inapplicable_fault_model_is_an_error_not_a_silent_drop(self):
+        # Regression: a requested fault model no selected design could
+        # host used to vanish from the verdict table without a trace.
+        from repro.common.errors import ConfigError
+        from repro.faults.models import TornLogWrite
+
+        with pytest.raises(ConfigError, match="applies to none"):
+            explore(Campaign(jobs=1), tests=[tiny_spec()],
+                    designs=[Design.NON_ATOMIC], points=2,
+                    faults=[TornLogWrite()])
+
+
+class TestCrashWindowCoverage:
+    def test_crash_points_record_their_window(self):
+        cat = catalog_by_name()
+        report = explore(
+            Campaign(jobs=1), tests=[cat["atomicity-pair"]],
+            designs=[Design.ATOM_OPT], points=10,
+        )
+        coverage = report.window_coverage
+        # The two-store transaction must at least be caught mid-flush
+        # or draining posted log writes somewhere on a 10-point grid.
+        assert sum(coverage.values()) > 0
+        assert coverage["flush-loop"] + coverage["posted-log-drain"] > 0
+        assert "crash-window coverage:" in report.render()
+
+    def test_probe_points_land_in_the_quiescent_window(self):
+        out = execute_litmus_point(LitmusPoint(
+            test=tiny_spec().to_dict(), design=Design.ATOM_OPT,
+            crash_cycle=None,
+        ))
+        assert out.windows == ["quiescent"]
+
+    def test_densify_bisects_around_transitions(self):
+        cat = catalog_by_name()
+        coarse = explore(
+            Campaign(jobs=1), tests=[cat["atomicity-pair"]],
+            designs=[Design.ATOM_OPT], points=4,
+        )
+        dense = explore(
+            Campaign(jobs=1), tests=[cat["atomicity-pair"]],
+            designs=[Design.ATOM_OPT], points=4, densify=4,
+        )
+        assert dense.densify_points > 0
+        assert dense.points_total == coarse.points_total + dense.densify_points
+        assert dense.failures == []
+        # Densification refines the same cell, never invents new ones.
+        assert len(dense.cells) == len(coarse.cells) == 1
+        assert "bisection points" in dense.render()
+
+    def test_densify_pinpoints_a_transition_cheaper_than_uniform(self):
+        from repro.litmus.explorer import _outcome_class
+
+        recorded = []
+
+        class Recording(Campaign):
+            def run_litmus(self, points):
+                outcomes = super().run_litmus(points)
+                recorded.extend(outcomes)
+                return outcomes
+
+        report = explore(
+            Recording(jobs=1),
+            tests=[catalog_by_name()["atomicity-pair"]],
+            designs=[Design.ATOM_OPT], points=4, densify=16,
+        )
+        samples = sorted(
+            (o.point.crash_cycle, _outcome_class(o))
+            for o in recorded if o.point.crash_cycle is not None
+        )
+        transition_gaps = [
+            later[0] - earlier[0]
+            for earlier, later in zip(samples, samples[1:])
+            if earlier[1] != later[1]
+        ]
+        # Bisection localized at least one outcome transition down to
+        # adjacent cycles...
+        assert transition_gaps and min(transition_gaps) == 1
+        # ...with far fewer points than the uniform grid would need for
+        # the same resolution (one point per cycle of the span).
+        span = samples[-1][0] - samples[0][0]
+        assert report.points_total < span
 
 
 class TestHarnessCli:
@@ -333,3 +500,34 @@ class TestHarnessCli:
 
         with pytest.raises(SystemExit):
             main(["--tests", "not-a-test", "--no-cache"])
+
+    def test_litmus_cli_rejects_inapplicable_fault_model(self, capsys):
+        from repro.litmus.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--faults", "torn-log-write",
+                  "--designs", "non-atomic", "--no-cache"])
+        assert "applies to none" in capsys.readouterr().err
+
+    def test_litmus_gen_cli_list(self, capsys):
+        from repro.litmus.cli import main
+
+        assert main(["gen", "--list", "--count", "3", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "gen-s9-000" in out and "gen-s9-002" in out
+
+    def test_litmus_gen_cli_runs_and_writes_coverage(self, tmp_path,
+                                                     capsys):
+        import json
+
+        from repro.litmus.cli import main
+
+        out_path = tmp_path / "gen.json"
+        code = main(["gen", "--count", "2", "--seed", "3",
+                     "--points", "3", "--designs", "atom-opt,non-atomic",
+                     "--no-cache", "--out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["failures"] == 0
+        assert set(payload["coverage"]) >= {"flush-loop", "adr-drain"}
+        assert "crash-window coverage:" in capsys.readouterr().out
