@@ -19,13 +19,32 @@ import time
 
 from repro.common.errors import ConfigError
 from repro.config import Design
-from repro.faults.models import FAULT_MODELS, fault_from_dict
+from repro.faults.models import (
+    FAULT_MODELS, MultiFault, TornLogWrite, fault_from_dict,
+)
 from repro.faults.sweep import (
     FAULT_DESIGNS, FAULT_WORKLOADS, fault_grid, fault_sweep,
 )
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
 from repro.harness.report import select_only
+from repro.harness.supervise import RetryPolicy
+
+
+def apply_torn_seed(model, seed: int):
+    """Rebuild ``model`` with seed-derived torn-prefix lengths.
+
+    Replaces every :class:`TornLogWrite` (including members of a
+    composite) with one whose prefix is derived from ``seed``; other
+    models pass through unchanged.
+    """
+    if isinstance(model, TornLogWrite):
+        return TornLogWrite(controller=model.controller, prefix_seed=seed)
+    if isinstance(model, MultiFault):
+        members = [apply_torn_seed(m, seed) for m in model.models]
+        if any(m is not old for m, old in zip(members, model.models)):
+            return MultiFault(models=members)
+    return model
 
 
 def render_model_listing() -> str:
@@ -69,8 +88,22 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2000:30000:4000)")
     parser.add_argument("--seeds", default="7",
                         help="seeds (comma-separated; default 7)")
+    parser.add_argument("--torn-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="derive torn-log-write prefix lengths from "
+                             "this seed instead of the fixed 60-byte "
+                             "split (keys the cache)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-runs of a point after a worker "
+                             "death/hang before it is quarantined "
+                             "(default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft per-point deadline; a worker stuck "
+                             "longer is killed and the point retried "
+                             "(default: per-kind)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -103,6 +136,12 @@ def main(argv: list[str] | None = None) -> int:
             models.append(fault_from_dict({"kind": kind}))
         except ConfigError as exc:
             parser.error(f"{exc} (see --list)")
+    if args.torn_seed is not None:
+        seeded = [apply_torn_seed(m, args.torn_seed) for m in models]
+        if all(m is old for m, old in zip(seeded, models)):
+            parser.error("--torn-seed requires a torn-log-write model in "
+                         "the selected set")
+        models = seeded
 
     try:
         designs = [Design(d) for d in args.designs.split(",") if d]
@@ -142,8 +181,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("the requested (design x fault) combinations are all "
                      "inapplicable — nothing to run")
 
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    campaign = Campaign(jobs=args.jobs, cache=cache)
+    campaign = Campaign(jobs=args.jobs, cache=cache,
+                        retry=RetryPolicy(max_retries=args.max_retries,
+                                          task_timeout=args.task_timeout))
     start = time.time()
     try:
         sweep = fault_sweep(campaign, specs)

@@ -57,6 +57,7 @@ power-failure sequence.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
@@ -106,6 +107,17 @@ class ControllerLoss(FaultModel):
         return True  # every design has per-controller write queues
 
 
+def torn_prefix_from_seed(seed: int) -> int:
+    """Deterministic tear point in ``[1, 63]`` derived from a seed.
+
+    SHA-256 based (not ``hash()``) so the same seed maps to the same
+    prefix in every interpreter and worker process — the derived length
+    is part of the model's ``to_dict`` and therefore of the cache key.
+    """
+    digest = hashlib.sha256(f"torn-prefix:{seed}".encode()).digest()
+    return 1 + int.from_bytes(digest[:4], "big") % (CACHE_LINE_BYTES - 1)
+
+
 @dataclass
 class TornLogWrite(FaultModel):
     """The in-flight log line persists only a prefix of its bytes."""
@@ -119,8 +131,14 @@ class TornLogWrite(FaultModel):
     controller: int | None = None
     #: Bytes of the line that reach the cells before power dies.
     prefix_bytes: int = 60
+    #: When set, ``prefix_bytes`` is *derived* from this seed
+    #: (:func:`torn_prefix_from_seed`): randomized tear points that stay
+    #: deterministic per seed and key the campaign cache.
+    prefix_seed: int | None = None
 
     def __post_init__(self) -> None:
+        if self.prefix_seed is not None:
+            self.prefix_bytes = torn_prefix_from_seed(self.prefix_seed)
         if not 1 <= self.prefix_bytes < CACHE_LINE_BYTES:
             # 0 bytes is a dropped write, 64 a completed one — neither
             # is a *tear*, and both would mis-mark the point 'applied'.

@@ -43,6 +43,7 @@ from repro.harness.campaign import (
 )
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import format_markdown
+from repro.harness.supervise import RetryPolicy
 
 
 def _parse_grid(text: str) -> range:
@@ -132,6 +133,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit markdown tables")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-runs of a point after a worker "
+                             "death/hang before it is quarantined "
+                             "(default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft per-point deadline; a worker stuck "
+                             "longer is killed and the point retried "
+                             "(default: per-kind)")
     parser.add_argument("--seeds", type=int, default=1,
                         help="seeds per point, reported as the mean "
                              "(default 1)")
@@ -168,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 0")
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.wipe_cache:
@@ -176,7 +190,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wiped {wiped} cached results")
         if not (args.all or args.experiment or args.crash_sweep):
             return 0
-    campaign = Campaign(jobs=args.jobs, seeds=args.seeds, cache=cache)
+    campaign = Campaign(
+        jobs=args.jobs, seeds=args.seeds, cache=cache,
+        retry=RetryPolicy(max_retries=args.max_retries,
+                          task_timeout=args.task_timeout),
+    )
 
     if args.crash_sweep:
         try:

@@ -14,9 +14,15 @@ key is therefore a SHA-256 over:
 Entries live under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-campaign``) as ``<key[:2]>/<key>.json``; writes are
 atomic (temp file + rename) so concurrent workers never observe a torn
-entry, and corrupt entries read as misses and are removed.  Wipe the
-cache with ``python -m repro.harness --wipe-cache`` or by deleting the
-directory.
+entry.  Each entry wraps its payload with a SHA-256 checksum that
+``get`` verifies, so torn or bit-rotted entries — like any other
+corruption — read as misses and are removed.  The cache layer is
+*fail-soft*: a ``put`` that hits a sick filesystem (``ENOSPC``,
+permissions) degrades the cache to off with a single warning instead of
+crashing the campaign, temp files from interrupted writers are reaped
+on init, and a disabled or corrupt cache only ever costs recomputation.
+Wipe the cache with ``python -m repro.harness --wipe-cache`` or by
+deleting the directory.
 """
 
 from __future__ import annotations
@@ -25,9 +31,15 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
+import time
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
+
+#: Temp files older than this are strays from dead writers and are
+#: reaped on cache init (a live writer holds one for milliseconds).
+STALE_TMP_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -82,26 +94,66 @@ def spec_key(spec: object, kind: str = "run") -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def payload_digest(payload: dict) -> str:
+    """Canonical SHA-256 of a payload (the entry's integrity checksum)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 class ResultCache:
-    """Directory of content-addressed JSON result payloads."""
+    """Directory of content-addressed, checksummed JSON result payloads."""
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Set after a failed write: the cache degrades to off (every
+        #: ``get`` misses, every ``put`` is a no-op) rather than killing
+        #: the campaign over a full disk.
+        self.disabled = False
+        self._reap_stale_tmps()
+
+    def _reap_stale_tmps(self) -> None:
+        """Delete temp files stranded by writers that died mid-``put``."""
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for path in self.root.rglob("*.tmp.*"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass  # racing writer or vanished file — not our stray
+
+    def _degrade(self, why: str) -> None:
+        if not self.disabled:
+            self.disabled = True
+            print(f"warning: result cache disabled: {why}; campaign "
+                  f"continues without caching", file=sys.stderr)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """Fetch a payload; corrupt or absent entries read as misses."""
+        """Fetch a payload; corrupt or absent entries read as misses.
+
+        Corrupt covers torn JSON, a missing or mismatching checksum,
+        and pre-checksum envelope formats — all are removed and missed,
+        never returned.
+        """
+        if self.disabled:
+            self.misses += 1
+            return None
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+            if entry.get("sha256") != payload_digest(payload):
+                raise ValueError("checksum mismatch")
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError, KeyError, TypeError):
             path.unlink(missing_ok=True)
             self.misses += 1
             return None
@@ -109,12 +161,30 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Store a payload atomically (rename, never a partial file)."""
+        """Store a payload atomically (rename, never a partial file).
+
+        A write failure (``ENOSPC``, permissions, a file squatting on
+        the directory path) cleans up its temp file and degrades the
+        cache to off with one warning — campaigns outlive sick disks.
+        """
+        if self.disabled:
+            return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(
+                {"sha256": payload_digest(payload), "payload": payload},
+                sort_keys=True,
+            ))
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._degrade(f"write failed ({exc})")
+        finally:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def wipe(self) -> int:
         """Delete every cached entry; returns the number removed."""

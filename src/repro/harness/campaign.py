@@ -28,11 +28,15 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import heapq
 import itertools
 import multiprocessing
 import os
 import pickle
+import sys
+import time
 import traceback
+from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _conn_wait
@@ -40,8 +44,9 @@ from multiprocessing.connection import wait as _conn_wait
 from repro.common.errors import ReproError, SimulationError, WorkloadError
 from repro.config import Design
 from repro.harness.cache import ResultCache, spec_key
-from repro.harness.report import format_table, mean_ci
+from repro.harness.report import describe_spec, format_table, mean_ci
 from repro.harness.runner import RunResult, RunSpec, run_spec
+from repro.harness.supervise import FailedOutcome, RetryPolicy
 
 
 class CampaignError(ReproError):
@@ -114,119 +119,351 @@ def _crash_worker(spec: "CrashSpec") -> tuple:
                        f"{traceback.format_exc()}")
 
 
-# -- the persistent worker pool -----------------------------------------------
+# -- the supervised persistent worker pool ------------------------------------
 
 
-def _pool_worker_main(task_queue, conn) -> None:
-    """Worker loop: pull tasks from the shared queue, stream replies back.
+def _pool_worker_main(conn, chaos=None) -> None:
+    """Worker loop: receive tasks on a private duplex pipe, reply inline.
 
-    Each task is ``(index, worker_fn, spec)``; the reply is one binary
-    pickle frame ``(index, (status, payload))`` written to this worker's
-    private result pipe.  Worker functions arrive by reference, so the
-    model modules they live in are imported once per worker (on first
-    use) and stay warm for every following point — this is what kills
-    the per-batch spawn + import cost of a fork-per-batch pool.
+    Each task frame is ``(index, attempt, worker_fn, spec)``; the reply
+    is one binary pickle frame ``(index, attempt, (status, payload))``.
+    An empty frame is the shutdown sentinel.  Worker functions arrive by
+    reference, so the model modules they live in are imported once per
+    worker (on first use) and stay warm for every following point —
+    this is what kills the per-batch spawn + import cost of a
+    fork-per-batch pool.
+
+    ``chaos`` is an optional :class:`repro.harness.chaos.ChaosPlan`:
+    injected fabric faults (worker death, hangs, torn result frames)
+    fire here, keyed deterministically by (task index, attempt), so the
+    supervisor in the parent can be tested against real process death.
     """
     try:
         while True:
-            task = task_queue.get()
-            if task is None:
+            frame = conn.recv_bytes()
+            if not frame:
                 break
-            index, worker_fn, spec = task
+            index, attempt, worker_fn, spec = pickle.loads(frame)
+            action = (chaos.action_for(index, attempt)
+                      if chaos is not None else None)
+            if action is not None:
+                if action.kind == "kill":
+                    os._exit(137)
+                elif action.kind == "hang":
+                    time.sleep(action.seconds)
             try:
                 reply = worker_fn(spec)
             except BaseException as exc:  # noqa: BLE001 — surfaced in parent
                 reply = ("err", f"{spec!r}\n{type(exc).__name__}: {exc}\n"
                                 f"{traceback.format_exc()}")
-            conn.send_bytes(
-                pickle.dumps((index, reply), pickle.HIGHEST_PROTOCOL)
-            )
-    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+            if action is not None and action.kind == "corrupt-frame":
+                from repro.harness.chaos import CHAOS_GARBAGE_FRAME
+
+                conn.send_bytes(CHAOS_GARBAGE_FRAME)
+            else:
+                conn.send_bytes(
+                    pickle.dumps((index, attempt, reply),
+                                 pickle.HIGHEST_PROTOCOL)
+                )
+    except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):
         pass
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Worker:
+    """Parent-side record of one pool worker and its in-flight tasks."""
+
+    __slots__ = ("proc", "conn", "inflight", "head_started")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        #: FIFO of ``(index, attempt)`` sent but not yet answered.  The
+        #: head is the task the worker is executing *right now* (tasks
+        #: behind it sit unread in the pipe) — exact in-flight
+        #: attribution, which is what makes supervision possible.
+        self.inflight: deque = deque()
+        #: Monotonic time the current head became head (watchdog clock).
+        self.head_started = 0.0
 
 
 class WorkerPool:
-    """Persistent campaign worker pool.
+    """Supervised, self-healing persistent campaign worker pool.
 
     Forked once (lazily) per :class:`Campaign` and reused for every
-    batch it dispatches — unlike ``multiprocessing.Pool`` per batch,
-    workers keep their interpreter, imports, and warm allocator across
-    batches, so small-point campaigns (litmus grids, fault matrices)
-    stop paying process start-up per batch.  Tasks flow through one
-    shared queue (idle workers self-balance); results stream back as
-    binary pickle frames over per-worker pipes multiplexed with
-    ``multiprocessing.connection.wait`` — no chunking, no feeder
-    threads, no per-batch teardown.
+    batch it dispatches — workers keep their interpreter, imports, and
+    warm allocator across batches, so small-point campaigns (litmus
+    grids, fault matrices) don't pay process start-up per batch.  The
+    parent dispatches tasks directly to idle workers over per-worker
+    duplex pipes (bounded depth, so a worker never idles between
+    points) and multiplexes replies with
+    ``multiprocessing.connection.wait``.
+
+    Directed dispatch is what makes the pool *supervisable*: the parent
+    always knows exactly which (index, spec) each worker holds, and no
+    state is shared between workers, so killing one can never corrupt
+    another.  The supervisor reacts to three fault classes, all driven
+    by the :class:`~repro.harness.supervise.RetryPolicy`:
+
+    * **death** (SIGKILL, segfault, OOM): the pipe EOFs; the worker is
+      respawned and its in-flight task requeued with deterministic
+      exponential backoff.
+    * **hang**: a worker whose head task outlives the kind's soft
+      deadline is killed, logged with the spec it held, and replaced;
+      the task is retried.
+    * **corrupt result frame**: an unparseable reply discredits the
+      worker — it is killed and replaced, and the task re-executed.
+
+    A task that fails ``max_retries + 1`` times is *poison*: it is
+    quarantined with a ``("failed", ...)`` reply so the batch completes
+    and only that cell is marked failed.  When respawns exhaust the
+    pool's budget, the pool degrades to inline execution in the parent
+    and still finishes the batch.
     """
 
-    def __init__(self, procs: int):
-        ctx = multiprocessing.get_context()
-        self._tasks = ctx.SimpleQueue()
-        self._conns = []
-        self._procs = []
-        for _ in range(procs):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_pool_worker_main,
-                args=(self._tasks, child_conn),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+    def __init__(self, procs: int, retry: "RetryPolicy | None" = None,
+                 chaos=None):
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
+        self._ctx = multiprocessing.get_context()
+        self._workers: list[_Worker] = []
+        self._size = procs
+        self._respawns = 0
+        self._degraded = False
         self._closed = False
+        for _ in range(procs):
+            self._spawn_worker()
         atexit.register(self.close)
 
-    def __len__(self) -> int:
-        return len(self._procs)
+    # Kept as a property: tests and tooling identify the pool's
+    # processes through ``pool._procs``.
+    @property
+    def _procs(self) -> list:
+        return [w.proc for w in self._workers]
 
-    def map(self, specs: Sequence, worker) -> list[tuple]:
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self.chaos),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _retire(self, worker: _Worker, kill: bool = False) -> None:
+        """Remove a worker from service (its tasks already requeued)."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            if kill and worker.proc.is_alive():
+                worker.proc.kill()
+            worker.conn.close()
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+
+    def _respawn_or_degrade(self) -> None:
+        """Replace a lost worker, or give up on process parallelism."""
+        if self._degraded:
+            return
+        budget = self.retry.budget_for(self._size)
+        if self._respawns >= budget:
+            print(f"warning: campaign pool spent its respawn budget "
+                  f"({budget}); degrading to inline execution to finish "
+                  f"the batch", file=sys.stderr)
+            self._degraded = True
+            for worker in list(self._workers):
+                self._retire(worker, kill=True)
+            return
+        self._respawns += 1
+        try:
+            self._spawn_worker()
+        except OSError as exc:
+            print(f"warning: campaign pool could not respawn a worker "
+                  f"({exc}); degrading to inline execution",
+                  file=sys.stderr)
+            self._degraded = True
+            for worker in list(self._workers):
+                self._retire(worker, kill=True)
+
+    # -- the supervised map loop ----------------------------------------------
+
+    def map(self, specs: Sequence, worker, kind: str = "task") -> list[tuple]:
         """Run ``worker`` over ``specs`` on the pool; order-preserving.
 
-        Submission and collection are interleaved with a bounded
-        in-flight window (a few tasks per worker): enough queued work
-        that no worker ever idles between points, small enough that
-        neither the shared task pipe nor a worker's result pipe can
-        fill while the other side is blocked — an unbounded up-front
-        submit deadlocks once both pipes are full.
+        Every reply is ``(status, payload)``: ``"ok"``/``"err"`` from
+        the worker function itself, or ``"failed"`` synthesised here for
+        a quarantined poison task.  The batch always completes — worker
+        death, hangs, and torn frames are absorbed by retry/backoff,
+        quarantine, and (past the respawn budget) inline fallback.
         """
         if self._closed:
             raise CampaignError("worker pool already closed")
+        retry = self.retry
         total = len(specs)
         out: list = [None] * total
-        window = 2 * len(self._procs) + 2
-        submitted = 0
-        while submitted < total and submitted < window:
-            self._tasks.put((submitted, worker, specs[submitted]))
-            submitted += 1
+        done = [False] * total
+        attempts = [0] * total
         remaining = total
-        conns = list(self._conns)
+        ready: deque[int] = deque(range(total))
+        delayed: list[tuple[float, int]] = []  # (due, index) heap
+        depth = 2  # tasks buffered per worker: one running, one queued
+        deadline = retry.timeout_for(kind)
+
+        def describe(index: int) -> str:
+            return describe_spec(specs[index], kind=kind, index=index)
+
+        def finish(index: int, reply: tuple) -> None:
+            nonlocal remaining
+            if done[index]:
+                return  # stale duplicate (task was requeued) — ignore
+            done[index] = True
+            out[index] = reply
+            remaining -= 1
+
+        def task_failed(index: int, reason: str) -> None:
+            if done[index]:
+                return
+            attempts[index] += 1
+            if attempts[index] > retry.max_retries:
+                print(f"warning: quarantined poison task after "
+                      f"{attempts[index]} attempt(s): {describe(index)} "
+                      f"({reason})", file=sys.stderr)
+                finish(index, ("failed", {
+                    "error": reason,
+                    "attempts": attempts[index],
+                    "spec": describe(index),
+                }))
+                return
+            delay = retry.backoff(attempts[index])
+            print(f"warning: {reason}; retrying in "
+                  f"{delay:.2f}s (attempt {attempts[index]}/"
+                  f"{retry.max_retries})", file=sys.stderr)
+            heapq.heappush(delayed, (time.monotonic() + delay, index))
+
+        def worker_lost(lost: _Worker, reason: str, kill: bool = False,
+                        ) -> None:
+            """Retire + replace a worker; requeue everything it held.
+
+            Only the head task — the one actually executing — takes the
+            failure penalty; tasks still buffered in the pipe were
+            innocent bystanders and requeue freely.
+            """
+            inflight = list(lost.inflight)
+            lost.inflight.clear()
+            self._retire(lost, kill=kill)
+            if inflight:
+                task_failed(inflight[0][0], reason)
+                for index, _attempt in inflight[1:]:
+                    if not done[index]:
+                        ready.appendleft(index)
+            self._respawn_or_degrade()
+
         while remaining:
-            ready = _conn_wait(conns, timeout=30.0) or []
-            for conn in ready:
+            if self._degraded or not self._workers:
+                self._finish_inline(specs, worker, done, finish)
+                break
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index = heapq.heappop(delayed)
+                if not done[index]:
+                    ready.append(index)
+            # Dispatch to idle capacity (round-robin over the workers).
+            for w in list(self._workers):
+                while ready and len(w.inflight) < depth:
+                    index = ready.popleft()
+                    if done[index]:
+                        continue
+                    try:
+                        w.conn.send_bytes(pickle.dumps(
+                            (index, attempts[index], worker, specs[index]),
+                            pickle.HIGHEST_PROTOCOL,
+                        ))
+                    except (OSError, ValueError):
+                        ready.appendleft(index)
+                        worker_lost(w, "campaign worker died (task send "
+                                       "failed)")
+                        break
+                    w.inflight.append((index, attempts[index]))
+                    if len(w.inflight) == 1:
+                        w.head_started = time.monotonic()
+            if not remaining:
+                break
+            if self._degraded or not self._workers:
+                continue
+            # Sleep until the next event can possibly need us: a reply,
+            # a due requeue, or a watchdog deadline.
+            wakeups = [due for due, _ in delayed[:1]]
+            wakeups += [w.head_started + deadline
+                        for w in self._workers if w.inflight]
+            now = time.monotonic()
+            timeout = max(0.0, min(wakeups) - now) if wakeups else 5.0
+            conns = {w.conn: w for w in self._workers}
+            for conn in _conn_wait(list(conns), timeout=timeout) or []:
+                w = conns[conn]
                 try:
                     frame = conn.recv_bytes()
-                except EOFError:
-                    raise CampaignError(
-                        "campaign worker exited mid-batch (killed or "
-                        "crashed hard); re-run with --jobs 1 to debug"
-                    ) from None
-                index, reply = pickle.loads(frame)
-                out[index] = reply
-                remaining -= 1
-            # Top the window back up only after draining: every put
-            # below is covered by a result just received.
-            while submitted < total and submitted - (total - remaining) \
-                    < window:
-                self._tasks.put((submitted, worker, specs[submitted]))
-                submitted += 1
-            if not ready and remaining and \
-                    not any(p.is_alive() for p in self._procs):
-                raise CampaignError("all campaign workers died mid-batch")
+                except (EOFError, OSError):
+                    head = (f" on {describe(w.inflight[0][0])}"
+                            if w.inflight else "")
+                    worker_lost(w, f"campaign worker exited mid-batch "
+                                   f"(killed or crashed hard){head}")
+                    continue
+                try:
+                    index, _attempt, reply = pickle.loads(frame)
+                except Exception:  # noqa: BLE001 — any decode failure
+                    head = (f" for {describe(w.inflight[0][0])}"
+                            if w.inflight else "")
+                    worker_lost(w, f"campaign worker sent a corrupt "
+                                   f"result frame{head}", kill=True)
+                    continue
+                if w.inflight and w.inflight[0][0] == index:
+                    w.inflight.popleft()
+                else:  # defensive: out-of-order reply
+                    w.inflight = deque(
+                        entry for entry in w.inflight if entry[0] != index
+                    )
+                w.head_started = time.monotonic()
+                finish(index, reply)
+            # Watchdog: kill workers whose head task blew its deadline.
+            now = time.monotonic()
+            for w in list(self._workers):
+                if w.inflight and now - w.head_started > deadline:
+                    worker_lost(
+                        w, f"campaign worker hung >{deadline:.0f}s on "
+                           f"{describe(w.inflight[0][0])}; killed",
+                        kill=True,
+                    )
         return out
+
+    def _finish_inline(self, specs, worker, done, finish) -> None:
+        """Degraded mode: execute every unfinished task in-process."""
+        for index in range(len(specs)):
+            if done[index]:
+                continue
+            try:
+                reply = worker(specs[index])
+            except BaseException as exc:  # noqa: BLE001
+                reply = ("err", f"{specs[index]!r}\n"
+                                f"{type(exc).__name__}: {exc}\n"
+                                f"{traceback.format_exc()}")
+            finish(index, reply)
 
     def close(self) -> None:
         """Stop the workers (idempotent; also registered atexit)."""
@@ -234,13 +471,22 @@ class WorkerPool:
             return
         self._closed = True
         try:
-            for _ in self._procs:
-                self._tasks.put(None)
-            for proc in self._procs:
-                proc.join(timeout=2.0)
-            for proc in self._procs:
-                if proc.is_alive():
-                    proc.terminate()
+            for w in self._workers:
+                try:
+                    w.conn.send_bytes(b"")  # shutdown sentinel
+                except (OSError, ValueError):
+                    pass
+            for w in self._workers:
+                w.proc.join(timeout=2.0)
+            for w in self._workers:
+                if w.proc.is_alive():
+                    w.proc.kill()
+                    w.proc.join(timeout=2.0)
+                try:
+                    w.conn.close()
+                except OSError:
+                    pass
+            self._workers = []
         except (OSError, ValueError):
             pass
 
@@ -281,6 +527,15 @@ def aggregate_results(results: Sequence[RunResult]) -> RunResult:
     """
     if len(results) == 1:
         return results[0]
+    # Quarantined replicas (poison seeds) don't contribute numbers; if
+    # every replica failed, the group's verdict is the first failure.
+    failed = [r for r in results if isinstance(r, FailedOutcome)]
+    if failed:
+        results = [r for r in results if not isinstance(r, FailedOutcome)]
+        if not results:
+            return failed[0]
+        if len(results) == 1:
+            return results[0]
     tp_mean, tp_ci = mean_ci([r.throughput for r in results])
 
     def imean(fn) -> int:
@@ -316,10 +571,15 @@ class Campaign:
                ``spec.seed .. spec.seed + seeds - 1`` and ``run()``
                returns the mean-aggregated result per point.
     ``cache``: a :class:`ResultCache`, or ``None`` to disable caching.
+    ``retry``: a :class:`~repro.harness.supervise.RetryPolicy` for the
+               supervised pool (``None`` = defaults).
+    ``chaos``: a :class:`~repro.harness.chaos.ChaosPlan` injected into
+               pool workers (test net only; ``None`` in production).
     """
 
     def __init__(self, jobs: int = 1, seeds: int = 1,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 retry: RetryPolicy | None = None, chaos=None):
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         if seeds < 1:
@@ -327,8 +587,14 @@ class Campaign:
         self.jobs = jobs or (os.cpu_count() or 1)
         self.seeds = seeds
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
         #: Points computed by workers (cache misses) this session.
         self.computed = 0
+        #: Quarantined poison points (:class:`FailedOutcome` records),
+        #: accumulated across batches.  Never cached — a poison verdict
+        #: is an infrastructure observation, not a simulation result.
+        self.quarantined: list[FailedOutcome] = []
         #: Persistent worker pool, forked on the first parallel batch
         #: and reused for every one after (see :class:`WorkerPool`).
         self._pool: WorkerPool | None = None
@@ -338,7 +604,8 @@ class Campaign:
     def pool(self) -> WorkerPool:
         """The campaign's persistent pool (created on first use)."""
         if self._pool is None or self._pool._closed:
-            self._pool = WorkerPool(self.jobs)
+            self._pool = WorkerPool(self.jobs, retry=self.retry,
+                                    chaos=self.chaos)
         return self._pool
 
     def close(self) -> None:
@@ -392,12 +659,20 @@ class Campaign:
                 todo_indices.append(i)
             replies = dict(zip(
                 todo_indices,
-                self._dispatch([pending[i] for i in todo_indices], worker),
+                self._dispatch([pending[i] for i in todo_indices], worker,
+                               kind),
             ))
             for i, (status, payload) in replies.items():
+                if status == "failed":
+                    # Quarantined poison point: the batch completes and
+                    # only this cell carries the failure (never cached).
+                    out[i] = self._failed_outcome(kind, pending[i], payload)
+                    continue
                 if status != "ok":
                     raise CampaignError(
-                        f"campaign worker failed on point:\n{payload}"
+                        f"campaign worker failed on point "
+                        f"[{describe_spec(pending[i], kind=kind)}]:"
+                        f"\n{payload}"
                     )
                 self.computed += 1
                 if keys[i] is not None:
@@ -407,10 +682,36 @@ class Campaign:
                 out[i] = out[src]
         return out
 
-    def _dispatch(self, specs: list, worker) -> list[tuple]:
+    def _dispatch(self, specs: list, worker, kind: str) -> list[tuple]:
         if self.jobs == 1 or len(specs) == 1:
             return [worker(s) for s in specs]
-        return self.pool().map(specs, worker)
+        return self.pool().map(specs, worker, kind=kind)
+
+    def _failed_outcome(self, kind: str, spec, info: dict):
+        """Fold a quarantined task into the kind's outcome type.
+
+        Sweep kinds have a structured per-point verdict with an
+        ``error`` field, so the existing renderers and failure counts
+        pick the poison cell up unchanged; plain ``run`` points return
+        the generic :class:`FailedOutcome`.  Every quarantine is also
+        recorded on :attr:`quarantined`.
+        """
+        error = (f"quarantined after {info['attempts']} attempt(s): "
+                 f"{info['error']}")
+        failed = FailedOutcome(kind=kind, spec=spec, error=error,
+                               attempts=info["attempts"])
+        self.quarantined.append(failed)
+        if kind == "crash":
+            return CrashOutcome(spec=spec, ok=False, error=error)
+        if kind == "fault":
+            from repro.faults.sweep import FaultOutcome
+
+            return FaultOutcome(spec=spec, ok=False, error=error)
+        if kind == "litmus":
+            from repro.litmus.explorer import LitmusOutcome
+
+            return LitmusOutcome(point=spec, state=None, error=error)
+        return failed
 
     # -- simulation points ----------------------------------------------------
 

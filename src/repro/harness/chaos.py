@@ -1,0 +1,134 @@
+"""Deterministic chaos injection for the campaign worker pool.
+
+A :class:`ChaosPlan` is a declarative, picklable list of faults to
+inject into the *scheduling fabric* (not the simulated hardware — the
+:mod:`repro.faults` subsystem owns that).  The plan travels into every
+pool worker at fork time; each worker consults it per task, keyed by
+``(task index, attempt)``, so a fault fires at exactly one deterministic
+point in the batch and — because retries bump the attempt — exactly
+once unless the plan says otherwise:
+
+=====================  ====================================================
+``kill``               the worker ``os._exit``\\ s before executing the
+                       task: indistinguishable from a SIGKILL / OOM
+                       kill mid-batch.
+``hang``               the worker sleeps ``seconds`` before executing:
+                       the supervisor's watchdog must kill it once the
+                       task's soft deadline passes.
+``corrupt-frame``      the worker computes the task but replies with a
+                       garbage (unpicklable) result frame: the
+                       supervisor must discard the frame, kill the
+                       compromised worker, and re-execute the task.
+=====================  ====================================================
+
+``attempt=None`` makes an action fire on *every* attempt — that is a
+poison task, and the supervisor must quarantine it after its retry
+budget instead of aborting the campaign.
+
+Task indexes are **batch-local**: a campaign that dispatches several
+``map()`` batches (a litmus explore's probe pass then grid pass, say)
+re-counts from 0 each batch, so an action fires in every batch whose
+``(index, attempt)`` matches.  That is the useful behaviour for chaos
+coverage — and the respawn budget (``2 × procs + 4`` by default) is
+sized to absorb it.
+
+:func:`tear_cache_entry` covers the remaining plan item from the issue
+— a torn on-disk cache entry — which lives at the cache layer rather
+than in the workers: it truncates a stored entry mid-file, and
+:meth:`repro.harness.cache.ResultCache.get` must read it as a miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Frame bytes a ``corrupt-frame`` action sends instead of its result.
+#: Not a valid pickle, so the parent's frame decode always rejects it.
+CHAOS_GARBAGE_FRAME = b"\xff\xfechaos: torn result frame\xfe\xff"
+
+_ACTION_KINDS = ("kill", "hang", "corrupt-frame")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One injected fabric fault, keyed by (task index, attempt)."""
+
+    kind: str
+    #: Batch index of the task the fault fires on.
+    task: int
+    #: Attempt the fault fires on (0 = first execution); ``None`` fires
+    #: on every attempt — a poison task.
+    attempt: int | None = 0
+    #: ``hang`` only: how long the worker sleeps.
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ACTION_KINDS:
+            raise ConfigError(
+                f"unknown chaos action {self.kind!r} "
+                f"(have: {', '.join(_ACTION_KINDS)})"
+            )
+        if self.task < 0:
+            raise ConfigError("chaos action task index must be >= 0")
+        if self.seconds <= 0:
+            raise ConfigError("chaos hang seconds must be > 0")
+
+    def matches(self, task: int, attempt: int) -> bool:
+        return self.task == task and (
+            self.attempt is None or self.attempt == attempt
+        )
+
+
+class ChaosPlan:
+    """An ordered set of :class:`ChaosAction`\\ s for one batch."""
+
+    def __init__(self, actions: list[ChaosAction] | tuple = ()):
+        self.actions = list(actions)
+        for action in self.actions:
+            if not isinstance(action, ChaosAction):
+                raise ConfigError(f"not a chaos action: {action!r}")
+
+    def action_for(self, task: int, attempt: int) -> ChaosAction | None:
+        """First action firing on ``(task, attempt)``, or ``None``."""
+        for action in self.actions:
+            if action.matches(task, attempt):
+                return action
+        return None
+
+    def __repr__(self) -> str:
+        return f"ChaosPlan({self.actions!r})"
+
+
+def kill_worker_on(task: int, attempt: int = 0) -> ChaosAction:
+    """SIGKILL-equivalent worker death on task ``task``."""
+    return ChaosAction("kill", task, attempt)
+
+
+def hang_on(task: int, seconds: float = 30.0,
+            attempt: int = 0) -> ChaosAction:
+    """Worker hangs ``seconds`` before executing task ``task``."""
+    return ChaosAction("hang", task, attempt, seconds)
+
+
+def corrupt_frame_on(task: int, attempt: int = 0) -> ChaosAction:
+    """Worker replies to task ``task`` with a garbage result frame."""
+    return ChaosAction("corrupt-frame", task, attempt)
+
+
+def poison_on(task: int) -> ChaosAction:
+    """Worker dies on *every* attempt of task ``task`` (poison task)."""
+    return ChaosAction("kill", task, attempt=None)
+
+
+def tear_cache_entry(cache, key: str, keep_bytes: int = 16) -> None:
+    """Truncate a stored cache entry to ``keep_bytes`` (a torn write).
+
+    Models a crash mid-``write_text`` on a filesystem that reordered the
+    rename: the entry exists but holds a prefix.  ``cache.get`` must
+    treat it as a miss (and remove it), never return partial JSON.
+    """
+    path = cache.path_for(key)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:keep_bytes])

@@ -79,6 +79,38 @@ def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
     return (mean, z * math.sqrt(var / len(vals)))
 
 
+def describe_spec(spec: object, kind: str = "", index: int | None = None,
+                  ) -> str:
+    """One-line identity of a campaign point for failure messages.
+
+    Pulls the fields shared by the spec dataclasses (design, workload,
+    crash cycle, seed — plus the litmus test name and fault kind where
+    present) so a worker failure names *which* point it was on, instead
+    of only "a worker died".  Falls back to ``repr`` for foreign specs.
+    """
+    parts = []
+    if kind:
+        parts.append(f"kind={kind}")
+    if index is not None:
+        parts.append(f"index={index}")
+    test = getattr(spec, "test", None)
+    if isinstance(test, dict) and test.get("name"):
+        parts.append(f"test={test['name']}")
+    fault = getattr(spec, "fault", None)
+    if isinstance(fault, dict) and fault.get("kind"):
+        parts.append(f"fault={fault['kind']}")
+    known = False
+    for attr in ("design", "workload", "crash_cycle", "seed"):
+        value = getattr(spec, attr, None)
+        if value is None:
+            continue
+        known = True
+        parts.append(f"{attr}={getattr(value, 'value', value)}")
+    if not (known or isinstance(test, dict)):
+        parts.append(repr(spec))
+    return " ".join(parts)
+
+
 def select_only(names: Sequence[str], pattern: str) -> list[str]:
     """Filter ``names`` by an ``--only`` CLI pattern.
 

@@ -1,0 +1,111 @@
+"""Supervision policy for the self-healing campaign worker pool.
+
+The :class:`~repro.harness.campaign.WorkerPool` treats worker processes
+as crash-only components: a worker that dies (SIGKILL, segfault, OOM
+kill), hangs past its soft deadline, or emits an unparseable result
+frame is killed and respawned, and the task it held is requeued under
+the :class:`RetryPolicy` here — bounded retries with deterministic
+exponential backoff.  A task that keeps killing workers is *poison*:
+after ``max_retries`` re-executions it is quarantined and the campaign
+completes with a structured :class:`FailedOutcome` for that one point
+instead of aborting the whole batch.  When respawns exhaust the budget
+(the machine itself is sick, not one task), the pool degrades to inline
+single-process execution and still finishes the batch.
+
+Everything here is deliberately deterministic — backoff has no jitter —
+so a chaos plan (:mod:`repro.harness.chaos`) replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Per-kind soft deadlines (seconds) for one campaign point.  Generous:
+#: the watchdog exists to catch *hung* workers (a deadlocked import, a
+#: chaos-injected sleep), not slow points — a legitimate point finishes
+#: orders of magnitude sooner.
+DEFAULT_TASK_TIMEOUTS: dict[str, float] = {
+    "run": 900.0,
+    "crash": 600.0,
+    "litmus": 600.0,
+    "fault": 600.0,
+}
+_FALLBACK_TASK_TIMEOUT = 600.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool reacts to worker death, hangs, and poison tasks.
+
+    ``max_retries``:     re-executions of a task after a worker failure
+                         before it is quarantined (0 = first failure
+                         quarantines).
+    ``backoff_base``:    first retry delay in seconds; retry *k* waits
+                         ``backoff_base * 2**(k-1)``, capped at
+                         ``backoff_max``.  No jitter: supervision is
+                         deterministic so chaos tests replay exactly.
+    ``task_timeout``:    soft per-point deadline in seconds; ``None``
+                         selects the per-kind default
+                         (:data:`DEFAULT_TASK_TIMEOUTS`).  A worker
+                         stuck longer is killed and its task retried.
+    ``respawn_budget``:  total worker respawns a pool may spend before
+                         degrading to inline execution; ``None`` scales
+                         with the pool size (``2 * procs + 4``).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.1
+    backoff_max: float = 5.0
+    task_timeout: float | None = None
+    respawn_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_max")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be > 0 (None = default)")
+        if self.respawn_budget is not None and self.respawn_budget < 0:
+            raise ValueError("respawn_budget must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), capped."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+
+    def timeout_for(self, kind: str) -> float:
+        """Soft deadline for one point of ``kind``."""
+        if self.task_timeout is not None:
+            return self.task_timeout
+        return DEFAULT_TASK_TIMEOUTS.get(kind, _FALLBACK_TASK_TIMEOUT)
+
+    def budget_for(self, procs: int) -> int:
+        """Respawn budget for a pool of ``procs`` workers."""
+        if self.respawn_budget is not None:
+            return self.respawn_budget
+        return 2 * procs + 4
+
+
+@dataclass
+class FailedOutcome:
+    """Structured verdict for a quarantined (poison) campaign point.
+
+    Returned in place of the real result when a task exhausted its
+    retries — the batch completes and only this cell is marked failed.
+    Sweep kinds with their own outcome types (crash/litmus/fault) get
+    the failure folded into that type's ``error`` field instead; this
+    class is the generic carrier (plain ``run`` points) and the record
+    kept in :attr:`repro.harness.campaign.Campaign.quarantined`.
+    """
+
+    kind: str
+    spec: object
+    error: str
+    attempts: int
+    ok: bool = field(default=False, init=False)
+
+    def __str__(self) -> str:
+        return (f"FailedOutcome({self.kind}: {self.error} "
+                f"after {self.attempts} attempt(s))")

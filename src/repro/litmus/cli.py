@@ -25,8 +25,30 @@ from repro.config import Design
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
 from repro.harness.report import select_only
+from repro.harness.supervise import RetryPolicy
 from repro.litmus.catalog import catalog_by_name
 from repro.litmus.explorer import LITMUS_DESIGNS, explore
+
+
+def _add_supervision_flags(parser) -> None:
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-runs of a point after a worker "
+                             "death/hang before it is quarantined "
+                             "(default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft per-point deadline; a worker stuck "
+                             "longer is killed and the point retried "
+                             "(default: per-kind)")
+
+
+def _retry_policy(parser, args) -> RetryPolicy:
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
+    return RetryPolicy(max_retries=args.max_retries,
+                       task_timeout=args.task_timeout)
 
 
 def _parse_faults(parser, raw: str, designs) -> list:
@@ -101,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="seeds (comma-separated; default 7)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
+    _add_supervision_flags(parser)
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -150,7 +173,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seeds must name at least one seed")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    campaign = Campaign(jobs=args.jobs, cache=cache)
+    campaign = Campaign(jobs=args.jobs, cache=cache,
+                        retry=_retry_policy(parser, args))
     start = time.time()
     try:
         report = explore(campaign, tests=tests, designs=designs,
@@ -200,6 +224,7 @@ def gen_main(argv: list[str]) -> int:
                         help="simulator seeds (comma-separated; default 7)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
+    _add_supervision_flags(parser)
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -240,7 +265,8 @@ def gen_main(argv: list[str]) -> int:
         return 0
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    campaign = Campaign(jobs=args.jobs, cache=cache)
+    campaign = Campaign(jobs=args.jobs, cache=cache,
+                        retry=_retry_policy(parser, args))
     start = time.time()
     try:
         report = explore(campaign, tests=tests, designs=designs,

@@ -2,16 +2,23 @@
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
 import time
 
 import pytest
 
 from repro.config import Design
-from repro.harness.cache import ResultCache, canonicalize, spec_key
+from repro.harness.cache import (
+    ResultCache, canonicalize, payload_digest, spec_key,
+)
 from repro.harness.campaign import (
     Campaign,
     CampaignError,
     CrashSpec,
+    WorkerPool,
+    _run_worker,
     aggregate_results,
     crash_grid,
     crash_sweep,
@@ -78,6 +85,54 @@ class TestResultCache:
         cache.put("cd" * 32, {"y": 2})
         assert cache.wipe() == 2
         assert cache.count() == 0
+
+    def test_checksum_mismatch_reads_as_miss_and_is_removed(self, cache):
+        key = "ef" * 32
+        cache.put(key, {"x": 1})
+        path = cache.path_for(key)
+        # A valid envelope whose digest does not match its payload:
+        # silent bit-rot, not a torn write.
+        path.write_text(json.dumps(
+            {"sha256": payload_digest({"x": 2}), "payload": {"x": 1}}
+        ))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_old_format_entry_reads_as_miss(self, cache):
+        key = "aa" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text(json.dumps({"x": 1}))
+        assert cache.get(key) is None
+
+    def test_stale_tmps_reaped_on_init(self, tmp_path):
+        root = tmp_path / "cache"
+        stale = root / "ab" / "entry.json.tmp.123"
+        fresh = root / "ab" / "entry.json.tmp.456"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("{}")
+        fresh.write_text("{}")
+        past = time.time() - 7200
+        os.utime(stale, (past, past))
+        ResultCache(root)
+        assert not stale.exists()
+        assert fresh.exists()  # could belong to a live writer
+
+    def test_put_failure_degrades_to_cache_off(self, tmp_path, capsys):
+        # The cache root is a plain file, so put()'s mkdir hits OSError
+        # — which must degrade the cache, not crash the campaign.
+        root = tmp_path / "cache"
+        root.write_text("not a directory")
+        cache = ResultCache(root)
+        cache.put("cd" * 32, {"y": 2})
+        assert cache.disabled
+        assert "cache disabled" in capsys.readouterr().err
+        assert cache.get("cd" * 32) is None
+        cache.put("ef" * 32, {"z": 3})  # degraded: silent no-op
+        assert "cache disabled" not in capsys.readouterr().err
+
+    def test_put_tmp_files_never_linger(self, cache):
+        cache.put("ab" * 32, {"x": 1})
+        assert not list(cache.root.rglob("*.tmp.*"))
 
 
 class TestCampaignCache:
@@ -179,6 +234,43 @@ class TestCampaignPool:
         results = campaign.run([TINY.with_seed(302), TINY.with_seed(303)])
         assert len(results) == 2
         campaign.close()
+
+
+class TestPoolLifecycle:
+    """Edge cases of the supervised pool's own lifecycle."""
+
+    def test_double_close_is_safe(self):
+        # close() is atexit-registered, so an explicit close followed by
+        # the interpreter-exit close must be a no-op, not an error.
+        pool = WorkerPool(2)
+        pool.map([TINY], _run_worker, kind="run")
+        pool.close()
+        pool.close()
+        assert len(pool) == 0
+
+    def test_close_with_tasks_still_queued_returns_promptly(self):
+        pool = WorkerPool(1)
+        frame = pickle.dumps((0, 0, _run_worker, TINY),
+                             protocol=pickle.HIGHEST_PROTOCOL)
+        procs = pool._procs
+        pool._workers[0].conn.send_bytes(frame)
+        start = time.monotonic()
+        pool.close()  # must not wait for the in-flight task's reply
+        assert time.monotonic() - start < 10.0
+        for proc in procs:
+            assert not proc.is_alive()
+
+    def test_map_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(CampaignError, match="already closed"):
+            pool.map([TINY], _run_worker, kind="run")
+
+    def test_shutdown_sentinel_exits_workers_cleanly(self):
+        pool = WorkerPool(2)
+        procs = pool._procs
+        pool.close()
+        assert all(proc.exitcode == 0 for proc in procs)
 
 
 class TestSeeds:
