@@ -125,6 +125,9 @@ class LogManager:
         #: AUS's update_start_seq register this lets recovery reject
         #: stale headers in reallocated buckets.
         self._seq = 0
+        #: Lifecycle tracer (repro.obs.trace.Tracer) or None — the
+        #: injector-gate pattern; checked per append/header-persist.
+        self.tracer = None
 
     # -- atomic update lifecycle ------------------------------------------------
 
@@ -154,6 +157,9 @@ class LogManager:
             state.reset()
             self.stats.add("commits")
             self._retry_overflow_waiters()
+        trc = self.tracer
+        if trc is not None:
+            trc.log_truncate(self, core, self.engine.now)
         if self.on_truncate is not None:
             self.on_truncate(core)
         self.engine.post(1, on_done)
@@ -176,6 +182,10 @@ class LogManager:
         """Drop an open record at commit; release any gate waiters."""
         record = state.open_record
         state.open_record = None
+        trc = self.tracer
+        if trc is not None:
+            trc.log_record_discarded(record, len(record.addresses),
+                                     self.engine.now)
         for addr in record.addresses:
             self._release_gate(addr)
         for fn in record.on_durable:
@@ -237,6 +247,9 @@ class LogManager:
             else:
                 record.on_durable.append(on_durable)
         self._add_entries()
+        trc = self.tracer
+        if trc is not None:
+            trc.log_append(self, record, core, self.engine.now)
         if source:
             self._add_source_logged()
         if on_locked is not None:
@@ -331,6 +344,10 @@ class LogManager:
 
     def _header_persisted(self, record: OpenRecord) -> None:
         """The unlock: entries are durable, gated data writes may go."""
+        trc = self.tracer
+        if trc is not None:
+            trc.log_record_durable(record, len(record.addresses),
+                                   self.engine.now)
         for addr in record.addresses:
             self._release_gate(addr)
         for fn in record.on_durable:

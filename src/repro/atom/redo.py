@@ -147,6 +147,9 @@ class RedoManager:
         ) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
         #: Analytics of the last :meth:`recover` call (replay traffic).
         self.last_recovery_cost = RecoveryCost()
+        #: Lifecycle tracer (repro.obs.trace.Tracer) or None — checked
+        #: at commit/apply events only (the injector-gate pattern).
+        self.tracer = None
 
     # -- transaction lifecycle --------------------------------------------------------
 
@@ -267,6 +270,9 @@ class RedoManager:
         engaged = sorted(txn.log_lines) or [core % len(self.controllers)]
         remaining = {"count": len(engaged)}
         core_tile = self.topology.core_tile(core)
+        trc = self.tracer
+        if trc is not None:
+            trc.redo_commit_begin(core, txn.txn_id, self.engine.now)
 
         def record_persisted() -> None:
             remaining["count"] -= 1
@@ -276,6 +282,9 @@ class RedoManager:
             self._durable_commits[txn.txn_id] = list(txn.words)
             self._commit_order.append(txn.txn_id)
             self.dom.add("commits")
+            trc = self.tracer
+            if trc is not None:
+                trc.redo_commit_durable(txn.txn_id, self.engine.now)
             self.system.cores[core].notify_commit(info)
             on_done()
             self._backend_apply(txn)
@@ -311,6 +320,10 @@ class RedoManager:
         by_line: dict[int, list[tuple[int, bytes]]] = defaultdict(list)
         for addr, value in txn.words:
             by_line[line_of(addr)].append((addr, value))
+        trc = self.tracer
+        if trc is not None:
+            trc.backend_apply_begin(txn.txn_id, len(by_line),
+                                    self.engine.now)
         if not by_line:
             self._mark_applied(txn)
             return
@@ -383,6 +396,9 @@ class RedoManager:
     def _mark_applied(self, txn: _TxnState) -> None:
         self._applied.add(txn.txn_id)
         self.dom.add("applied")
+        trc = self.tracer
+        if trc is not None:
+            trc.backend_apply_end(txn.txn_id, self.engine.now)
         for line_addr in [
             l for l, txns in self._line_txns.items() if txn.txn_id in txns
         ]:

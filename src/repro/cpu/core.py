@@ -90,6 +90,10 @@ class Core:
         #: True while the commit-time write-set flush loop is in flight
         #: (the "flush loop" crash window sampled by System.crash).
         self.commit_flushing = False
+        #: Lifecycle tracer (repro.obs.trace.Tracer) or None.  Checked
+        #: only at transaction-level events — begin, flush window,
+        #: durability, commit — never in the per-op interpreter loop.
+        self.tracer = None
 
         self._l1_latency = l1.cfg.latency
         self._issue_cycles = cfg.issue_cycles
@@ -421,6 +425,9 @@ class Core:
         self.txn_logged = set()
         self.txn_id = self._next_txn_id()
         self.stats.add("atomic_begins")
+        trc = self.tracer
+        if trc is not None:
+            trc.txn_begin(self.core_id, self.txn_id, self.engine.now)
         self.policy.atomic_begin(self, self._resume)
         return _SUSPEND
 
@@ -446,6 +453,9 @@ class Core:
             self._commit(op)
             return
         self.commit_flushing = True
+        trc = self.tracer
+        if trc is not None:
+            trc.flush_begin(self.core_id, self.txn_id, self.engine.now)
         pending = {"outstanding": 0, "next": 0}
 
         window = self.cfg.flush_window
@@ -478,13 +488,22 @@ class Core:
         flush completion for NON-ATOMIC.
         """
         self.stats.add("txns_committed")
+        trc = self.tracer
+        if trc is not None:
+            trc.txn_durable(self.core_id, self.txn_id, self.engine.now)
         if self.on_commit is not None:
             self.on_commit(self.core_id, info)
 
     def _commit(self, op: ops.AtomicEnd) -> None:
         self.commit_flushing = False
+        trc = self.tracer
+        if trc is not None:
+            trc.flush_end(self.core_id, self.engine.now)
 
         def committed() -> None:
+            trc = self.tracer
+            if trc is not None:
+                trc.txn_end(self.core_id, self.txn_id, self.engine.now)
             self.atomic_depth -= 1
             self.txn_write_lines = set()
             self.txn_logged = set()

@@ -93,6 +93,9 @@ class StoreQueue:
         # pure allocator traffic.
         self._drain_cb = self._drain_head
         self._retire_cb = self._retire_head
+        #: Lifecycle tracer (repro.obs.trace.Tracer) or None — one
+        #: predictable branch per push/retire, the injector-gate cost.
+        self.tracer = None
 
     # -- producer side -----------------------------------------------------
 
@@ -104,6 +107,9 @@ class StoreQueue:
         self._entries.append(entry)
         self._used_slots += entry.slots
         self._peak_slots(self._used_slots)
+        trc = self.tracer
+        if trc is not None:
+            trc.sq_push(self, self._used_slots, self.engine.now)
         self._start_drain()
         return True
 
@@ -148,6 +154,10 @@ class StoreQueue:
         self._used_slots -= entry.slots
         self._add_retired()
         self._add_latency(self.engine.now - entry.issue_time)
+        trc = self.tracer
+        if trc is not None:
+            trc.sq_retire(self, entry.issue_time, self._used_slots,
+                          self.engine.now)
         while self._space_waiters and self._used_slots < self.capacity:
             self.engine.post(0, self._space_waiters.popleft())
         if self._entries:

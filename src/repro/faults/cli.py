@@ -13,11 +13,11 @@ but do not fail the run.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 from repro.common.errors import ConfigError
+from repro.common.log import add_log_flags, apply_log_flags, get_logger
 from repro.config import Design
 from repro.faults.models import (
     FAULT_MODELS, MultiFault, TornLogWrite, fault_from_dict,
@@ -27,8 +27,10 @@ from repro.faults.sweep import (
 )
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
-from repro.harness.report import select_only
+from repro.harness.report import select_only, write_artifact
 from repro.harness.supervise import RetryPolicy
+
+log = get_logger("faults")
 
 
 def apply_torn_seed(model, seed: int):
@@ -111,9 +113,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="fault_verdicts.json",
                         help="verdict + recovery-cost artifact path "
                              "(default fault_verdicts.json)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line batch progress on stderr")
+    parser.add_argument("--fabric-log", default=None, metavar="PATH",
+                        help="append campaign-fabric telemetry events "
+                             "(dispatch/retry/quarantine/cache) as JSONL")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also trace the first fault point to "
+                             "Chrome-trace JSON")
     parser.add_argument("--list", action="store_true",
                         help="list fault models and exit")
+    add_log_flags(parser)
     args = parser.parse_args(argv)
+    apply_log_flags(args)
 
     if args.list:
         print(render_model_listing())
@@ -158,8 +170,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"{msg} — they would silently vanish from the "
                          f"verdict table; drop the model or add a design "
                          f"it applies to")
-        print(f"warning: {msg}; dropping from the default model set",
-              file=sys.stderr)
+        log.warning(f"{msg}; dropping from the default model set")
         models = [m for m in models if m.kind not in dropped]
         if not models:
             parser.error("no applicable fault models remain for the "
@@ -188,17 +199,31 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = Campaign(jobs=args.jobs, cache=cache,
                         retry=RetryPolicy(max_retries=args.max_retries,
-                                          task_timeout=args.task_timeout))
+                                          task_timeout=args.task_timeout),
+                        telemetry_log=args.fabric_log,
+                        progress=args.progress)
     start = time.time()
     try:
         sweep = fault_sweep(campaign, specs)
     finally:
         campaign.close()
+    if args.trace is not None:
+        from repro.faults.models import FaultInjector
+        from repro.obs.cli import trace_crash_spec
+
+        first = specs[0]
+        events = trace_crash_spec(
+            first, args.trace,
+            injector=FaultInjector(fault_from_dict(first.fault)),
+        )
+        print(f"trace written: {args.trace} ({events} events; "
+              f"first fault point)", file=sys.stderr)
     print(sweep.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")
-    with open(args.out, "w") as fh:
-        json.dump(sweep.to_json(), fh, indent=2, sort_keys=True)
+    payload = sweep.to_json()
+    payload["campaign"] = campaign.metrics
+    write_artifact(args.out, payload)
     print(f"wrote {args.out}")
     return min(len(sweep.failures), 255)
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness perf                    # kernel benchmark
     python -m repro.harness litmus --jobs 2         # litmus catalog
     python -m repro.harness faults --jobs 2         # fault-injection matrix
+    python -m repro.harness trace --out trace.json  # lifecycle trace
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
     python -m repro.harness --all --jobs 8          # parallel campaign
@@ -36,6 +37,7 @@ import argparse
 import sys
 import time
 
+from repro.common.log import add_log_flags, apply_log_flags
 from repro.config import Design
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import (
@@ -73,6 +75,7 @@ def render_listing() -> str:
     lines.append("  perf    kernel events/sec benchmark")
     lines.append("  litmus  crash-consistency litmus catalog")
     lines.append("  faults  fault-injection matrix + recovery analytics")
+    lines.append("  trace   transaction-lifecycle Chrome-trace export")
     # The litmus workload is deliberately absent here: it needs a
     # ``program`` and only runs through the litmus subcommand.
     lines.append("workloads (--workloads for --crash-sweep):")
@@ -116,6 +119,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.cli import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Transaction-lifecycle tracing of one simulated machine to
+        # Chrome-trace/Perfetto JSON (an observability tool, not a
+        # figure experiment).
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate ATOM (HPCA 2017) evaluation results.",
@@ -167,10 +177,21 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2000:30000:4000)")
     parser.add_argument("--crash-seeds", default="7",
                         help="crash-sweep seeds (comma-separated)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line batch progress on stderr")
+    parser.add_argument("--fabric-log", default=None, metavar="PATH",
+                        help="append campaign-fabric telemetry events "
+                             "(dispatch/retry/quarantine/cache) as JSONL")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="with --crash-sweep: also trace the first "
+                             "sweep point to Chrome-trace JSON (for "
+                             "plain runs use the trace subcommand)")
     parser.add_argument("--list", action="store_true",
                         help="list experiments, workloads, designs and "
                              "litmus tests, then exit")
+    add_log_flags(parser)
     args = parser.parse_args(argv)
+    apply_log_flags(args)
     if args.list:
         print(render_listing())
         return 0
@@ -182,6 +203,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error("--task-timeout must be > 0")
+    if args.trace is not None and not args.crash_sweep:
+        parser.error("--trace here requires --crash-sweep; trace a plain "
+                     "run with the trace subcommand instead")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.wipe_cache:
@@ -194,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs, seeds=args.seeds, cache=cache,
         retry=RetryPolicy(max_retries=args.max_retries,
                           task_timeout=args.task_timeout),
+        telemetry_log=args.fabric_log, progress=args.progress,
     )
 
     if args.crash_sweep:
@@ -215,6 +240,12 @@ def main(argv: list[str] | None = None) -> int:
             sweep = crash_sweep(campaign, specs)
         finally:
             campaign.close()
+        if args.trace is not None and specs:
+            from repro.obs.cli import trace_crash_spec
+
+            events = trace_crash_spec(specs[0], args.trace)
+            print(f"trace written: {args.trace} ({events} events; "
+                  f"first sweep point)", file=sys.stderr)
         print(sweep.render())
         print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
               f"{cache.hits if cache is not None else 0} cached)")

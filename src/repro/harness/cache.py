@@ -31,11 +31,14 @@ import dataclasses
 import hashlib
 import json
 import os
-import sys
 import time
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
+
+from repro.common.log import get_logger
+
+log = get_logger("cache")
 
 #: Temp files older than this are strays from dead writers and are
 #: reaped on cache init (a live writer holds one for milliseconds).
@@ -107,6 +110,9 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries found by ``get`` and unlinked (torn JSON,
+        #: checksum mismatch): each reads as a miss and is evicted.
+        self.corrupt_evictions = 0
         #: Set after a failed write: the cache degrades to off (every
         #: ``get`` misses, every ``put`` is a no-op) rather than killing
         #: the campaign over a full disk.
@@ -128,8 +134,8 @@ class ResultCache:
     def _degrade(self, why: str) -> None:
         if not self.disabled:
             self.disabled = True
-            print(f"warning: result cache disabled: {why}; campaign "
-                  f"continues without caching", file=sys.stderr)
+            log.warning(f"result cache disabled: {why}; campaign "
+                        f"continues without caching")
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -155,6 +161,7 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             path.unlink(missing_ok=True)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         self.hits += 1

@@ -33,7 +33,6 @@ import itertools
 import multiprocessing
 import os
 import pickle
-import sys
 import time
 import traceback
 from collections import deque
@@ -42,11 +41,15 @@ from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _conn_wait
 
 from repro.common.errors import ReproError, SimulationError, WorkloadError
+from repro.common.log import get_logger
 from repro.config import Design
 from repro.harness.cache import ResultCache, spec_key
 from repro.harness.report import describe_spec, format_table, mean_ci
 from repro.harness.runner import RunResult, RunSpec, run_spec
 from repro.harness.supervise import FailedOutcome, RetryPolicy
+from repro.obs.fabric import FabricTelemetry
+
+log = get_logger("campaign")
 
 
 class CampaignError(ReproError):
@@ -226,9 +229,13 @@ class WorkerPool:
     """
 
     def __init__(self, procs: int, retry: "RetryPolicy | None" = None,
-                 chaos=None):
+                 chaos=None, telemetry: FabricTelemetry | None = None):
         self.retry = retry if retry is not None else RetryPolicy()
         self.chaos = chaos
+        #: Fabric telemetry sink (shared with the owning Campaign so
+        #: counts aggregate across batches).
+        self.telemetry = telemetry if telemetry is not None \
+            else FabricTelemetry()
         self._ctx = multiprocessing.get_context()
         self._workers: list[_Worker] = []
         self._size = procs
@@ -284,9 +291,10 @@ class WorkerPool:
             return
         budget = self.retry.budget_for(self._size)
         if self._respawns >= budget:
-            print(f"warning: campaign pool spent its respawn budget "
-                  f"({budget}); degrading to inline execution to finish "
-                  f"the batch", file=sys.stderr)
+            log.warning(f"campaign pool spent its respawn budget "
+                        f"({budget}); degrading to inline execution to "
+                        f"finish the batch")
+            self.telemetry.emit("degrade", budget=budget)
             self._degraded = True
             for worker in list(self._workers):
                 self._retire(worker, kill=True)
@@ -294,10 +302,12 @@ class WorkerPool:
         self._respawns += 1
         try:
             self._spawn_worker()
+            self.telemetry.emit("respawn", respawns=self._respawns,
+                                budget=budget)
         except OSError as exc:
-            print(f"warning: campaign pool could not respawn a worker "
-                  f"({exc}); degrading to inline execution",
-                  file=sys.stderr)
+            log.warning(f"campaign pool could not respawn a worker "
+                        f"({exc}); degrading to inline execution")
+            self.telemetry.emit("degrade", error=str(exc))
             self._degraded = True
             for worker in list(self._workers):
                 self._retire(worker, kill=True)
@@ -316,6 +326,7 @@ class WorkerPool:
         if self._closed:
             raise CampaignError("worker pool already closed")
         retry = self.retry
+        tel = self.telemetry
         total = len(specs)
         out: list = [None] * total
         done = [False] * total
@@ -336,15 +347,22 @@ class WorkerPool:
             done[index] = True
             out[index] = reply
             remaining -= 1
+            # attempts[] counts failed executions; a non-failed reply
+            # means one more execution succeeded after them.
+            executions = attempts[index] + (reply[0] != "failed")
+            tel.task_finished(index, status=reply[0], kind=kind,
+                              attempts=executions)
 
         def task_failed(index: int, reason: str) -> None:
             if done[index]:
                 return
             attempts[index] += 1
             if attempts[index] > retry.max_retries:
-                print(f"warning: quarantined poison task after "
-                      f"{attempts[index]} attempt(s): {describe(index)} "
-                      f"({reason})", file=sys.stderr)
+                log.warning(f"quarantined poison task after "
+                            f"{attempts[index]} attempt(s): "
+                            f"{describe(index)} ({reason})")
+                tel.emit("quarantine", task=index,
+                         attempts=attempts[index], reason=reason)
                 finish(index, ("failed", {
                     "error": reason,
                     "attempts": attempts[index],
@@ -352,13 +370,15 @@ class WorkerPool:
                 }))
                 return
             delay = retry.backoff(attempts[index])
-            print(f"warning: {reason}; retrying in "
-                  f"{delay:.2f}s (attempt {attempts[index]}/"
-                  f"{retry.max_retries})", file=sys.stderr)
+            log.warning(f"{reason}; retrying in "
+                        f"{delay:.2f}s (attempt {attempts[index]}/"
+                        f"{retry.max_retries})")
+            tel.emit("retry", task=index, attempt=attempts[index],
+                     delay_s=round(delay, 3))
             heapq.heappush(delayed, (time.monotonic() + delay, index))
 
         def worker_lost(lost: _Worker, reason: str, kill: bool = False,
-                        ) -> None:
+                        event: str = "worker-death") -> None:
             """Retire + replace a worker; requeue everything it held.
 
             Only the head task — the one actually executing — takes the
@@ -367,6 +387,9 @@ class WorkerPool:
             """
             inflight = list(lost.inflight)
             lost.inflight.clear()
+            tel.emit(event,
+                     task=inflight[0][0] if inflight else None,
+                     reason=reason)
             self._retire(lost, kill=kill)
             if inflight:
                 task_failed(inflight[0][0], reason)
@@ -400,6 +423,7 @@ class WorkerPool:
                         worker_lost(w, "campaign worker died (task send "
                                        "failed)")
                         break
+                    tel.task_dispatched(index, attempts[index], kind=kind)
                     w.inflight.append((index, attempts[index]))
                     if len(w.inflight) == 1:
                         w.head_started = time.monotonic()
@@ -431,7 +455,8 @@ class WorkerPool:
                     head = (f" for {describe(w.inflight[0][0])}"
                             if w.inflight else "")
                     worker_lost(w, f"campaign worker sent a corrupt "
-                                   f"result frame{head}", kill=True)
+                                   f"result frame{head}", kill=True,
+                                event="corrupt-frame")
                     continue
                 if w.inflight and w.inflight[0][0] == index:
                     w.inflight.popleft()
@@ -448,7 +473,7 @@ class WorkerPool:
                     worker_lost(
                         w, f"campaign worker hung >{deadline:.0f}s on "
                            f"{describe(w.inflight[0][0])}; killed",
-                        kill=True,
+                        kill=True, event="watchdog-kill",
                     )
         return out
 
@@ -457,6 +482,7 @@ class WorkerPool:
         for index in range(len(specs)):
             if done[index]:
                 continue
+            self.telemetry.emit("inline-exec", task=index)
             try:
                 reply = worker(specs[index])
             except BaseException as exc:  # noqa: BLE001
@@ -575,11 +601,16 @@ class Campaign:
                supervised pool (``None`` = defaults).
     ``chaos``: a :class:`~repro.harness.chaos.ChaosPlan` injected into
                pool workers (test net only; ``None`` in production).
+    ``telemetry_log``: path for an append-only JSONL stream of fabric
+               events (``None`` = in-memory telemetry only).
+    ``progress``: repaint a live status line on stderr while batches
+               run (for long campaigns; off by default).
     """
 
     def __init__(self, jobs: int = 1, seeds: int = 1,
                  cache: ResultCache | None = None,
-                 retry: RetryPolicy | None = None, chaos=None):
+                 retry: RetryPolicy | None = None, chaos=None,
+                 telemetry_log=None, progress: bool = False):
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         if seeds < 1:
@@ -589,6 +620,10 @@ class Campaign:
         self.cache = cache
         self.retry = retry if retry is not None else RetryPolicy()
         self.chaos = chaos
+        #: Supervision event log + counts, shared with the worker pool
+        #: and summarised by :attr:`metrics`.
+        self.telemetry = FabricTelemetry(jsonl_path=telemetry_log,
+                                         progress=progress)
         #: Points computed by workers (cache misses) this session.
         self.computed = 0
         #: Quarantined poison points (:class:`FailedOutcome` records),
@@ -605,7 +640,8 @@ class Campaign:
         """The campaign's persistent pool (created on first use)."""
         if self._pool is None or self._pool._closed:
             self._pool = WorkerPool(self.jobs, retry=self.retry,
-                                    chaos=self.chaos)
+                                    chaos=self.chaos,
+                                    telemetry=self.telemetry)
         return self._pool
 
     def close(self) -> None:
@@ -613,6 +649,30 @@ class Campaign:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self.telemetry.close()
+
+    @property
+    def metrics(self) -> dict:
+        """Fabric telemetry summary, embedded in report artifacts.
+
+        Combines the supervision event counts and per-task wall timing
+        with the campaign's compute/cache balance, so any artifact
+        records how its numbers were produced (cold vs. warm, how many
+        retries/quarantines the fabric absorbed).
+        """
+        summary = self.telemetry.metrics()
+        summary["computed"] = self.computed
+        summary["quarantined"] = len(self.quarantined)
+        summary["jobs"] = self.jobs
+        summary["seeds"] = self.seeds
+        if self.cache is not None:
+            summary["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "corrupt_evictions": self.cache.corrupt_evictions,
+                "disabled": self.cache.disabled,
+            }
+        return summary
 
     def __enter__(self) -> "Campaign":
         return self
@@ -624,6 +684,19 @@ class Campaign:
 
     def _map(self, specs: Sequence, worker, from_dict, kind: str) -> list:
         """Resolve each spec via cache or worker pool; order-preserving."""
+        tel = self.telemetry
+        tel.begin_batch(len(specs), kind)
+        try:
+            return self._map_inner(specs, worker, from_dict, kind)
+        finally:
+            tel.end_batch()
+
+    def _map_inner(self, specs: Sequence, worker, from_dict,
+                   kind: str) -> list:
+        tel = self.telemetry
+        evictions_before = (
+            self.cache.corrupt_evictions if self.cache is not None else 0
+        )
         keys = [
             spec_key(s, kind=kind) if self.cache is not None else None
             for s in specs
@@ -635,13 +708,21 @@ class Campaign:
             if key is not None:
                 if key in resolved_keys:
                     out[i] = resolved_keys[key]
+                    tel.emit("cache-alias", kind=kind, task=i)
+                    tel.note_cached()
                     continue
                 payload = self.cache.get(key)
                 if payload is not None:
                     out[i] = from_dict(payload)
                     resolved_keys[key] = out[i]
+                    tel.emit("cache-hit", kind=kind, task=i)
+                    tel.note_cached()
                     continue
+                tel.emit("cache-miss", kind=kind, task=i)
             pending[i] = spec
+        for _ in range(self.cache.corrupt_evictions - evictions_before
+                       if self.cache is not None else 0):
+            tel.emit("cache-corrupt-evict", kind=kind)
 
         if pending:
             # Identical points in one batch compute once: duplicates
@@ -684,7 +765,15 @@ class Campaign:
 
     def _dispatch(self, specs: list, worker, kind: str) -> list[tuple]:
         if self.jobs == 1 or len(specs) == 1:
-            return [worker(s) for s in specs]
+            tel = self.telemetry
+            out = []
+            for i, s in enumerate(specs):
+                tel.task_dispatched(i, 0, kind=kind, mode="inline")
+                reply = worker(s)
+                tel.task_finished(i, status=reply[0], kind=kind,
+                                  attempts=1)
+                out.append(reply)
+            return out
         return self.pool().map(specs, worker, kind=kind)
 
     def _failed_outcome(self, kind: str, spec, info: dict):

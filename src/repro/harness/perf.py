@@ -254,6 +254,35 @@ def measure_point(spec: RunSpec, repeats: int = 1,
     return best
 
 
+def sample_point(spec: RunSpec, interval: int) -> dict:
+    """Extra instrumented run producing one point's stat timeline.
+
+    Installs a :class:`repro.obs.sample.StatSampler` on a fresh system
+    and returns its timeline dict (channel occupancy, SQ depth, log
+    writes in flight, throughput deltas).  Sampled runs post real
+    engine events, so — like ``--profile`` runs — they are separate
+    and never feed the measured numbers or the regression gate.
+    """
+    from repro.obs.sample import StatSampler
+
+    system = System(build_config(spec))
+    sampler = StatSampler(system, interval=interval).install()
+    workload = make_workload(
+        spec.workload, system,
+        entry_bytes=spec.entry_bytes,
+        txns_per_thread=spec.txns_per_thread,
+        threads=spec.threads,
+        initial_items=spec.initial_items,
+        seed=spec.seed,
+        **spec.workload_kw,
+    )
+    workload.setup()
+    system.start_threads(workload.threads())
+    system.run(max_cycles=spec.max_cycles)
+    system.image.recycle()
+    return sampler.to_dict()
+
+
 def geomean(values: list[float]) -> float:
     """Geometric mean (0.0 for an empty or non-positive input)."""
     positive = [v for v in values if v > 0]
@@ -263,22 +292,30 @@ def geomean(values: list[float]) -> float:
 
 
 def run_perf(scale: float = 1.0, repeats: int = 1,
-             progress=None, profile: bool = False) -> dict:
+             progress=None, profile: bool = False,
+             sample_interval: int = 0) -> dict:
     """Run the pinned matrix; return the BENCH_kernel report dict.
 
     ``profile`` adds a per-point and aggregated per-layer attribution
     (engine, channel, mesh, directory, l1, sq, core, logm/redo, locks)
     from separately-instrumented runs, under the report's ``profile``
     keys — the starting data for the next flat-tail hunt.
+
+    ``sample_interval > 0`` attaches a per-point ``timeline`` (stat
+    deltas every N cycles from an extra sampled run — see
+    :func:`sample_point`).
     """
     points = []
     profiles: list[dict] = []
+    timelines: list[dict] = []
     for spec in perf_specs(scale):
         prof: dict | None = {} if profile else None
         point = measure_point(spec, repeats=repeats, profiler_out=prof)
         points.append(point)
         if profile:
             profiles.append(prof)
+        if sample_interval > 0:
+            timelines.append(sample_point(spec, sample_interval))
         if progress is not None:
             progress(point)
     total_events = sum(p.events for p in points)
@@ -304,6 +341,10 @@ def run_perf(scale: float = 1.0, repeats: int = 1,
             ),
         },
     }
+    if sample_interval > 0:
+        report["sample_interval"] = sample_interval
+        for payload, timeline in zip(report["points"], timelines):
+            payload["timeline"] = timeline
     if profile:
         for payload, prof in zip(report["points"], profiles):
             payload["profile"] = prof
@@ -401,9 +442,16 @@ def main(argv: list[str] | None = None) -> int:
                              "events/wall per model layer (engine, channel, "
                              "mesh, directory, l1, sq, core, logm/redo) "
                              "into the artifact and the printed report")
+    parser.add_argument("--sample-interval", type=int, default=0,
+                        metavar="CYCLES",
+                        help="attach a per-point stat timeline sampled "
+                             "every CYCLES cycles from extra instrumented "
+                             "runs (default 0: off)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.sample_interval < 0:
+        parser.error("--sample-interval must be >= 0")
 
     # Load the baseline *before* the (expensive) benchmark run, and fail
     # with a readable one-liner: a missing or corrupt baseline is an
@@ -432,7 +480,8 @@ def main(argv: list[str] | None = None) -> int:
               f"({point.events:,} events, {point.wall_s:.3f}s)")
 
     report = run_perf(scale=args.scale, repeats=args.repeats,
-                      progress=progress, profile=args.profile)
+                      progress=progress, profile=args.profile,
+                      sample_interval=args.sample_interval)
     print(format_report(report, baseline))
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)

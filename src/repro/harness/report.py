@@ -1,9 +1,25 @@
-"""Plain-text and markdown table rendering for experiment reports."""
+"""Plain-text and markdown table rendering for experiment reports,
+plus the deterministic JSON artifact writer every CLI shares."""
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Sequence
+from pathlib import Path
+
+
+def stable_json(payload: object) -> str:
+    """Canonical artifact encoding: sorted keys, 2-space indent, one
+    trailing newline.  Byte-identical output for equal payloads is what
+    makes artifacts diffable across runs and machines."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(path: str | Path, payload: object) -> None:
+    """Write ``payload`` to ``path`` as deterministic JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(stable_json(payload))
 
 
 def format_table(

@@ -89,9 +89,17 @@ def build_config(spec: RunSpec) -> SystemConfig:
     return cfg.validate()
 
 
-def run_spec(spec: RunSpec) -> RunResult:
-    """Execute one run and return its measurement-window results."""
+def run_spec(spec: RunSpec, *, instrument=None) -> RunResult:
+    """Execute one run and return its measurement-window results.
+
+    ``instrument``, when given, is called with the built ``System``
+    before any thread starts — the hook the observability layer uses
+    to install a :class:`~repro.obs.trace.Tracer` or
+    :class:`~repro.obs.sample.StatSampler` without perturbing the run.
+    """
     system = System(build_config(spec))
+    if instrument is not None:
+        instrument(system)
     workload = make_workload(
         spec.workload,
         system,

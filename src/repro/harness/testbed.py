@@ -74,7 +74,7 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
               entry_bytes: int = 512, seed: int = 7, threads: int = 4,
               txns_per_thread: int = 8, initial_items: int = 12,
               num_cores: int = 4, max_cycles: int = 30_000_000,
-              injector=None, verify: bool = True, **kw):
+              injector=None, verify: bool = True, instrument=None, **kw):
     """Run a workload, crash it, recover, and differential-check.
 
     Builds a scaled-down machine, runs ``threads`` worker threads, cuts
@@ -88,11 +88,16 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
     ``verify=False`` and applies its own per-model verdict instead of
     the unconditional differential check.
 
+    ``instrument`` (an observability hook, e.g. ``Tracer.install``) is
+    called with the built system before the workload starts.
+
     Returns ``(system, workload, recovery_report)``.
     """
     from repro.workloads import make_workload
 
     system = build_system(design=design, num_cores=num_cores)
+    if instrument is not None:
+        instrument(system)
     if injector is not None:
         injector.install(system)
     workload = make_workload(

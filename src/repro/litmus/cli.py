@@ -17,17 +17,43 @@ instrumented window into a failing exit code.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
+from repro.common.log import add_log_flags, apply_log_flags
 from repro.config import Design
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
-from repro.harness.report import select_only
+from repro.harness.report import select_only, write_artifact
 from repro.harness.supervise import RetryPolicy
 from repro.litmus.catalog import catalog_by_name
 from repro.litmus.explorer import LITMUS_DESIGNS, explore
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line batch progress on stderr")
+    parser.add_argument("--fabric-log", default=None, metavar="PATH",
+                        help="append campaign-fabric telemetry events "
+                             "(dispatch/retry/quarantine/cache) as JSONL")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also trace the first (test x design) cell "
+                             "to Chrome-trace JSON")
+    add_log_flags(parser)
+
+
+def _trace_first_cell(args, tests, designs, seeds) -> None:
+    """``--trace``: trace the batch's first cell (probe run) inline."""
+    from repro.litmus.explorer import LitmusPoint, execute_litmus_point
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    point = LitmusPoint(test=tests[0].to_dict(), design=designs[0],
+                        crash_cycle=None, seed=seeds[0])
+    execute_litmus_point(point, instrument=tracer.install)
+    events = tracer.write(args.trace)
+    print(f"trace written: {args.trace} ({events} events; "
+          f"{tests[0].name} x {designs[0].value} probe)", file=sys.stderr)
 
 
 def _add_supervision_flags(parser) -> None:
@@ -133,7 +159,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default litmus_verdicts.json)")
     parser.add_argument("--list", action="store_true",
                         help="list catalog tests and exit")
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
+    apply_log_flags(args)
 
     catalog = catalog_by_name()
     if args.list:
@@ -174,7 +202,9 @@ def main(argv: list[str] | None = None) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = Campaign(jobs=args.jobs, cache=cache,
-                        retry=_retry_policy(parser, args))
+                        retry=_retry_policy(parser, args),
+                        telemetry_log=args.fabric_log,
+                        progress=args.progress)
     start = time.time()
     try:
         report = explore(campaign, tests=tests, designs=designs,
@@ -182,11 +212,14 @@ def main(argv: list[str] | None = None) -> int:
                          densify=args.densify)
     finally:
         campaign.close()
+    if args.trace is not None:
+        _trace_first_cell(args, tests, designs, seeds)
     print(report.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")
-    with open(args.out, "w") as fh:
-        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+    payload = report.to_json()
+    payload["campaign"] = campaign.metrics
+    write_artifact(args.out, payload)
     print(f"wrote {args.out}")
     return min(len(report.failures), 255)
 
@@ -237,7 +270,9 @@ def gen_main(argv: list[str]) -> int:
                              "zero hits across the whole batch")
     parser.add_argument("--list", action="store_true",
                         help="print the generated programs and exit")
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
+    apply_log_flags(args)
 
     if args.count < 1:
         parser.error("--count must be >= 1")
@@ -266,7 +301,9 @@ def gen_main(argv: list[str]) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     campaign = Campaign(jobs=args.jobs, cache=cache,
-                        retry=_retry_policy(parser, args))
+                        retry=_retry_policy(parser, args),
+                        telemetry_log=args.fabric_log,
+                        progress=args.progress)
     start = time.time()
     try:
         report = explore(campaign, tests=tests, designs=designs,
@@ -274,11 +311,14 @@ def gen_main(argv: list[str]) -> int:
                          densify=args.densify)
     finally:
         campaign.close()
+    if args.trace is not None:
+        _trace_first_cell(args, tests, designs, seeds)
     print(report.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")
-    with open(args.out, "w") as fh:
-        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+    payload = report.to_json()
+    payload["campaign"] = campaign.metrics
+    write_artifact(args.out, payload)
     print(f"wrote {args.out}")
     status = min(len(report.failures), 255)
     if args.require_coverage and report.uncovered_windows:

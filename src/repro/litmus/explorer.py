@@ -123,12 +123,17 @@ def litmus_worker(point: LitmusPoint) -> tuple:
                        f"{traceback.format_exc()}")
 
 
-def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
+def execute_litmus_point(point: LitmusPoint, *,
+                         instrument=None) -> LitmusOutcome:
     """Run one point: build, (maybe) crash, recover, extract, re-recover.
 
     A modelled-hardware failure (deadlock, invariant violation, workload
     inconsistency) is an *outcome*, recorded in ``error`` — the explorer
     reports it per cell instead of aborting the whole exploration.
+
+    ``instrument``, when given, is called with the built ``System``
+    before the program starts (observability hook: a traced litmus
+    cell installs its :class:`~repro.obs.trace.Tracer` here).
     """
     from repro.harness.testbed import build_litmus_system
 
@@ -137,6 +142,8 @@ def execute_litmus_point(point: LitmusPoint) -> LitmusOutcome:
         system, workload = build_litmus_system(
             point.design, spec, seed=point.seed
         )
+        if instrument is not None:
+            instrument(system)
         if point.fault is not None:
             from repro.faults.models import FaultInjector, fault_from_dict
 

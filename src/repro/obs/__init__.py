@@ -1,0 +1,33 @@
+"""Observability for the simulated machine and the campaign fabric.
+
+Three layers, one package:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` threaded
+  through the simulated machine at injector-style hook points,
+  recording per-transaction lifecycle spans in simulated cycles and
+  exporting Chrome-trace/Perfetto JSON.
+* :mod:`repro.obs.sample` — a :class:`~repro.obs.sample.StatSampler`
+  that delta-samples :class:`~repro.common.stats.StatDomain` counters
+  on an engine-scheduled tick, producing occupancy/throughput
+  timelines.
+* :mod:`repro.obs.fabric` — :class:`~repro.obs.fabric.FabricTelemetry`,
+  the campaign supervisor's structured event log (dispatch, retry,
+  watchdog kill, quarantine, cache hit/miss) and ``Campaign.metrics``.
+
+The tracer and sampler are strictly opt-in: every hook in the
+simulator is a nullable attribute checked with one predictable branch
+(the same gate the fault injector pays), and an installed tracer only
+*reads* simulated state — golden kernel digests are bit-identical with
+tracing on and off.
+"""
+
+from repro.obs.fabric import FabricTelemetry
+from repro.obs.sample import StatSampler
+from repro.obs.trace import Tracer, validate_chrome_trace
+
+__all__ = [
+    "FabricTelemetry",
+    "StatSampler",
+    "Tracer",
+    "validate_chrome_trace",
+]

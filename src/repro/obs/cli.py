@@ -1,0 +1,197 @@
+"""``python -m repro.harness trace`` — produce a lifecycle trace.
+
+Runs one simulated machine with a :class:`~repro.obs.trace.Tracer`
+(and, by default, a :class:`~repro.obs.sample.StatSampler`) installed
+and writes Chrome-trace/Perfetto JSON.  Three point shapes:
+
+* a plain run (``--design``/``--workload`` + size knobs),
+* the pinned kernel-benchmark machine (``--perf``), so the trace shows
+  exactly the configuration the perf gate measures, or
+* one litmus cell (``--litmus NAME`` with an optional
+  ``--crash-cycle``), tracing the run up to the power cut.
+
+Open the output at https://ui.perfetto.dev (or ``chrome://tracing``).
+Timestamps are simulated cycles (1 "us" on the timeline = 1 cycle).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.log import add_log_flags, apply_log_flags, get_logger
+from repro.config import Design
+from repro.obs.sample import StatSampler
+from repro.obs.trace import Tracer
+
+log = get_logger("trace")
+
+
+def trace_crash_spec(spec, out: str, *, injector=None) -> int:
+    """Trace one crash/fault sweep point inline; returns event count.
+
+    Used by the ``--trace`` flags on the crash-sweep and faults CLIs to
+    trace the first point of the batch.  Runs unverified (the sweep
+    itself delivers the verdicts) so a divergent point still yields its
+    trace.
+    """
+    from repro.harness.testbed import crash_run
+
+    tracer = Tracer()
+    system, _workload, _report = crash_run(
+        spec.workload, spec.design, spec.crash_cycle, seed=spec.seed,
+        entry_bytes=spec.entry_bytes, threads=spec.threads,
+        txns_per_thread=spec.txns_per_thread,
+        initial_items=spec.initial_items, num_cores=spec.num_cores,
+        injector=injector, verify=False, instrument=tracer.install,
+        **spec.workload_kw,
+    )
+    system.image.recycle()
+    return tracer.write(out)
+
+
+def _trace_run(args, tracer: Tracer) -> tuple[StatSampler | None, dict]:
+    """Trace a plain run (or the pinned perf point with ``--perf``)."""
+    from repro.harness.runner import RunSpec, run_spec
+
+    if args.perf:
+        from repro.harness.perf import perf_specs
+
+        for spec in perf_specs(args.scale):
+            if (spec.design is args.design
+                    and spec.workload == args.workload):
+                break
+        else:
+            raise SystemExit(
+                f"no perf point for {args.design.value}/{args.workload}"
+            )
+    else:
+        spec = RunSpec(
+            design=args.design, workload=args.workload,
+            entry_bytes=args.entry_bytes, num_cores=args.cores,
+            txns_per_thread=args.txns, warmup_per_thread=0,
+            initial_items=args.initial_items, seed=args.seed,
+        )
+    holder: dict = {}
+
+    def instrument(system) -> None:
+        tracer.install(system)
+        if args.sample_interval > 0:
+            holder["sampler"] = StatSampler(
+                system, interval=args.sample_interval
+            ).install()
+
+    result = run_spec(spec, instrument=instrument)
+    summary = {"kind": "run", "design": spec.design.value,
+               "workload": spec.workload, "cycles": result.cycles,
+               "txns": result.txns}
+    return holder.get("sampler"), summary
+
+
+def _trace_litmus(args, tracer: Tracer) -> tuple[StatSampler | None, dict]:
+    """Trace one litmus cell (probe or a specific crash cycle)."""
+    from repro.litmus.catalog import catalog_by_name
+    from repro.litmus.explorer import LitmusPoint, execute_litmus_point
+
+    catalog = catalog_by_name()
+    if args.litmus not in catalog:
+        raise SystemExit(
+            f"unknown litmus test {args.litmus!r} "
+            f"(have: {', '.join(sorted(catalog))})"
+        )
+    point = LitmusPoint(
+        test=catalog[args.litmus].to_dict(), design=args.design,
+        crash_cycle=args.crash_cycle, seed=args.seed,
+    )
+    holder: dict = {}
+
+    def instrument(system) -> None:
+        tracer.install(system)
+        if args.sample_interval > 0:
+            holder["sampler"] = StatSampler(
+                system, interval=args.sample_interval
+            ).install()
+
+    outcome = execute_litmus_point(point, instrument=instrument)
+    summary = {"kind": "litmus", "test": args.litmus,
+               "design": args.design.value,
+               "crash_cycle": args.crash_cycle,
+               "windows": outcome.windows, "error": outcome.error}
+    return holder.get("sampler"), summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description="Trace one simulated machine to Chrome-trace JSON.",
+    )
+    parser.add_argument("--design", type=Design,
+                        default=Design.ATOM_OPT,
+                        choices=list(Design),
+                        help="hardware design (default atom-opt)")
+    parser.add_argument("--workload", default="hash",
+                        help="workload name (default hash)")
+    parser.add_argument("--out", default="trace.json",
+                        help="output trace path (default trace.json)")
+    parser.add_argument("--txns", type=int, default=6,
+                        help="transactions per thread (default 6)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="cores/threads (default 4)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="workload seed (default 11)")
+    parser.add_argument("--entry-bytes", type=int, default=256,
+                        help="workload entry size (default 256)")
+    parser.add_argument("--initial-items", type=int, default=16,
+                        help="pre-populated structure items (default 16)")
+    parser.add_argument("--sample-interval", type=int, default=1_000,
+                        metavar="CYCLES",
+                        help="StatSampler tick; 0 disables the timeline "
+                             "(default 1000)")
+    parser.add_argument("--samples-out", default=None, metavar="PATH",
+                        help="also write the raw sampler timeline JSON")
+    parser.add_argument("--perf", action="store_true",
+                        help="trace the pinned kernel-benchmark machine "
+                             "for --design/--workload instead of a small "
+                             "ad-hoc run")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="perf-point scale with --perf (default 0.25)")
+    parser.add_argument("--litmus", default=None, metavar="TEST",
+                        help="trace one litmus cell instead of a run")
+    parser.add_argument("--crash-cycle", type=int, default=None,
+                        help="litmus crash cycle (default: probe, run to "
+                             "completion)")
+    add_log_flags(parser)
+    args = parser.parse_args(argv)
+    apply_log_flags(args)
+    if args.crash_cycle is not None and args.litmus is None:
+        parser.error("--crash-cycle requires --litmus")
+
+    tracer = Tracer()
+    if args.litmus is not None:
+        sampler, summary = _trace_litmus(args, tracer)
+    else:
+        sampler, summary = _trace_run(args, tracer)
+
+    if sampler is not None:
+        sampler.emit_counters(tracer)
+        if args.samples_out:
+            import json
+
+            with open(args.samples_out, "w", encoding="utf-8") as fh:
+                json.dump(sampler.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            log.info("sampler timeline written", path=args.samples_out,
+                     samples=len(sampler.samples))
+
+    events = tracer.write(args.out)
+    detail = " ".join(
+        f"{key}={value}" for key, value in summary.items()
+        if value is not None
+    )
+    print(f"trace written: {args.out} ({events} events) {detail}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Campaign-fabric telemetry: the supervisor's structured event log.
+
+Every :class:`~repro.harness.campaign.Campaign` owns a
+:class:`FabricTelemetry`.  The worker pool and the cache-resolution
+path emit one event per supervision decision — dispatch, reply, retry
+with backoff, watchdog kill, worker death, corrupt frame, respawn,
+quarantine, inline degradation, cache hit/miss/corrupt-evict — mirroring
+libnvwal's writer/flusher/syncer split where every stage of the
+producer/drainer pipeline is individually countable.
+
+Three consumers:
+
+* ``Campaign.metrics`` — the aggregate counts plus per-task wall
+  timing, embedded in every report artifact so a cold CI run and a
+  warm cached one are distinguishable after the fact.
+* An optional **JSONL stream** (``jsonl_path``): one event per line,
+  wall-clock stamped, written append-only as the campaign runs.
+* An optional ``--progress`` **status line** on stderr for long
+  campaigns, repainted in place and throttled to 10 Hz.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+#: In-memory event retention cap.  Counts are always exact; only the
+#: replayable event list is bounded (a huge cached sweep would
+#: otherwise hold one dict per cache hit).
+MAX_EVENTS = 10_000
+
+
+class FabricTelemetry:
+    """Counts + event log for one campaign's supervision lifecycle."""
+
+    def __init__(self, jsonl_path=None, progress: bool = False):
+        self.counts: dict[str, int] = {}
+        self.events: list[dict] = []
+        self.events_dropped = 0
+        self.jsonl_path = jsonl_path
+        self.progress = progress
+        self._jsonl_fh = None
+        # Per-task wall timing for the current batch: index -> start.
+        self._task_started: dict[int, float] = {}
+        self.task_walls: list[float] = []
+        self.attempts_total = 0
+        # Live batch state for the status line.
+        self._batch_total = 0
+        self._batch_done = 0
+        self._batch_kind = ""
+        self._last_paint = 0.0
+        self._painted = False
+
+    # -- event stream ---------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Record one supervision event (count + log + streams)."""
+        self.counts[event] = self.counts.get(event, 0) + 1
+        record = {"t": time.time(), "event": event, **fields}
+        if len(self.events) < MAX_EVENTS:
+            self.events.append(record)
+        else:
+            self.events_dropped += 1
+        if self.jsonl_path is not None:
+            self._stream(record)
+        if self.progress:
+            self._paint()
+
+    def _stream(self, record: dict) -> None:
+        if self._jsonl_fh is None:
+            try:
+                self._jsonl_fh = open(self.jsonl_path, "a",
+                                      encoding="utf-8")
+            except OSError:
+                self.jsonl_path = None  # telemetry must never kill a run
+                return
+        self._jsonl_fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._jsonl_fh.flush()
+
+    # -- per-task wall timing -------------------------------------------------
+
+    def task_dispatched(self, index: int, attempt: int, **fields) -> None:
+        self.attempts_total += 1
+        self._task_started.setdefault(index, time.time())
+        self.emit("dispatch", task=index, attempt=attempt, **fields)
+
+    def task_finished(self, index: int, event: str = "reply",
+                      **fields) -> None:
+        started = self._task_started.pop(index, None)
+        wall = None
+        if started is not None:
+            wall = time.time() - started
+            self.task_walls.append(wall)
+        self._batch_done += 1
+        self.emit(event, task=index,
+                  wall_s=round(wall, 6) if wall is not None else None,
+                  **fields)
+
+    # -- batch progress -------------------------------------------------------
+
+    def begin_batch(self, total: int, kind: str) -> None:
+        self._batch_total = total
+        self._batch_done = 0
+        self._batch_kind = kind
+        self._task_started.clear()
+        if self.progress:
+            self._paint(force=True)
+
+    def end_batch(self) -> None:
+        if self.progress and self._painted:
+            self._paint(force=True)
+            print(file=sys.stderr, flush=True)
+            self._painted = False
+
+    def note_cached(self, n: int = 1) -> None:
+        """Cache hits count toward batch completion for the status line."""
+        self._batch_done += n
+        if self.progress:
+            self._paint()
+
+    def _paint(self, force: bool = False) -> None:
+        now = time.time()
+        if not force and now - self._last_paint < 0.1:
+            return
+        self._last_paint = now
+        counts = self.counts
+        line = (f"\r[{self._batch_kind or 'campaign'}] "
+                f"{self._batch_done}/{self._batch_total} done"
+                f" | hits {counts.get('cache-hit', 0)}"
+                f" | retries {counts.get('retry', 0)}"
+                f" | quarantined {counts.get('quarantine', 0)}")
+        print(line.ljust(72), end="", file=sys.stderr, flush=True)
+        self._painted = True
+
+    # -- summary --------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Aggregate summary for embedding in report artifacts."""
+        walls = self.task_walls
+        summary: dict = {
+            "events": dict(sorted(self.counts.items())),
+            "events_dropped": self.events_dropped,
+            "attempts_total": self.attempts_total,
+            "tasks_timed": len(walls),
+        }
+        if walls:
+            summary["task_wall_s"] = {
+                "total": round(sum(walls), 6),
+                "mean": round(sum(walls) / len(walls), 6),
+                "max": round(max(walls), 6),
+            }
+        return summary
+
+    def close(self) -> None:
+        if self._jsonl_fh is not None:
+            self._jsonl_fh.close()
+            self._jsonl_fh = None

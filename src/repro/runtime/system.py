@@ -149,6 +149,11 @@ class System:
         #: failure (controller loss, torn log write, ADR truncation,
         #: log corruption).  Installed via FaultInjector.install().
         self.fault_injector = None
+        #: Optional lifecycle tracer (repro.obs.trace.Tracer): records
+        #: transaction spans and machine-level instants in simulated
+        #: cycles.  Installed via Tracer.install(); read-only — a
+        #: traced run is bit-identical to an untraced one.
+        self.tracer = None
         #: Crash windows the machine was inside at the cut (sampled at
         #: the top of crash(), before any state mutates).
         self.crash_windows: list[str] = []
@@ -330,6 +335,9 @@ class System:
         self.crash_windows = self.sample_crash_windows()
         self._crashed = True
         self.engine.stop()
+        trc = self.tracer
+        if trc is not None:
+            trc.power_failure(self.crash_windows, self.engine.now)
         inj = self.fault_injector
         # Complete any partially-broadcast commit truncations: the first
         # controller's clear made rollback impossible, so the remaining
@@ -360,6 +368,8 @@ class System:
                 )
                 if budget is not None and len(blob) > budget * CACHE_LINE_BYTES:
                     inj.note_adr_truncated(mc.mc_id)
+                if trc is not None:
+                    trc.adr_flush(mc.mc_id, len(blob), self.engine.now)
         if self.redo is not None:
             self.redo.crash()
         self.image.crash()

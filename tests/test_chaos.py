@@ -103,11 +103,21 @@ class TestWorkerDeath:
         err = capfd.readouterr().err
         assert "exited mid-batch" in err
         assert "index=2" in err and "workload=hash" in err
+        # Telemetry mirrors the injected plan: one death, one retry.
+        counts = campaign.telemetry.counts
+        assert counts.get("worker-death") == 1
+        assert counts.get("retry") == 1
+        assert counts.get("respawn") == 1
+        assert counts.get("quarantine", 0) == 0
+        assert counts["reply"] == len(SPECS)
 
     def test_corrupt_result_frame_discredits_the_worker(self, baseline):
         campaign = chaos_campaign(corrupt_frame_on(0))
         assert run_and_dict(campaign) == baseline
         assert campaign.quarantined == []
+        counts = campaign.telemetry.counts
+        assert counts.get("corrupt-frame") == 1
+        assert counts.get("retry") == 1
 
     def test_kill_plus_hang_in_one_batch_bit_identical(self, baseline):
         """Acceptance: one worker SIGKILLed and one hung mid-batch —
@@ -127,6 +137,9 @@ class TestWatchdog:
         assert run_and_dict(campaign) == baseline
         err = capfd.readouterr().err
         assert "hung" in err and "index=1" in err
+        counts = campaign.telemetry.counts
+        assert counts.get("watchdog-kill") == 1
+        assert counts.get("retry") == 1
 
     def test_per_kind_deadline_defaults(self):
         policy = RetryPolicy()
@@ -149,6 +162,13 @@ class TestPoisonQuarantine:
         assert [result_to_dict(r) for i, r in enumerate(results)
                 if i != 3] == [d for i, d in enumerate(baseline) if i != 3]
         assert campaign.quarantined == [poisoned]
+        counts = campaign.telemetry.counts
+        assert counts.get("quarantine") == 1
+        assert counts.get("retry") == 1  # max_retries=1: one retry
+        failed = [e for e in campaign.telemetry.events
+                  if e["event"] == "reply" and e.get("status") == "failed"]
+        assert len(failed) == 1 and failed[0]["task"] == 3
+        assert campaign.metrics["quarantined"] == 1
 
     def test_poison_crash_point_folds_into_crash_outcome(self):
         specs = [
@@ -198,6 +218,10 @@ class TestGracefulDegradation:
         campaign = chaos_campaign(kill_worker_on(1), respawn_budget=0)
         assert run_and_dict(campaign) == baseline
         assert "degrading to inline execution" in capfd.readouterr().err
+        counts = campaign.telemetry.counts
+        assert counts.get("degrade") == 1
+        assert counts.get("inline-exec", 0) > 0
+        assert counts.get("respawn", 0) == 0  # budget was zero
 
     def test_budget_scales_with_pool_size(self):
         assert RetryPolicy().budget_for(2) == 8
@@ -233,3 +257,40 @@ class TestTornCacheEntry:
         tear_cache_entry(cache, "ab" * 32, keep_bytes=10)
         assert cache.get("ab" * 32) is None
         assert not cache.path_for("ab" * 32).exists()
+        assert cache.corrupt_evictions == 1
+
+
+class TestCacheTelemetry:
+    def test_cold_and_warm_runs_are_distinguishable(self, tmp_path):
+        cold = Campaign(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        cold.run(SPECS[:2])
+        cold.close()
+        assert cold.telemetry.counts.get("cache-miss") == 2
+        assert cold.telemetry.counts.get("cache-hit", 0) == 0
+        assert cold.metrics["cache"] == {
+            "hits": 0, "misses": 2,
+            "corrupt_evictions": 0, "disabled": False,
+        }
+        warm = Campaign(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        warm.run(SPECS[:2])
+        warm.close()
+        assert warm.telemetry.counts.get("cache-hit") == 2
+        assert warm.telemetry.counts.get("dispatch", 0) == 0
+        assert warm.computed == 0
+        assert warm.metrics["cache"]["hits"] == 2
+
+    def test_torn_entry_is_counted_by_the_campaign(self, tmp_path):
+        from repro.harness.cache import spec_key
+
+        seed = Campaign(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        seed.run(SPECS[:1])
+        seed.close()
+        cache = ResultCache(tmp_path / "cache")
+        tear_cache_entry(cache, spec_key(SPECS[0], "run"), keep_bytes=10)
+        campaign = Campaign(jobs=1, cache=cache)
+        campaign.run(SPECS[:1])
+        campaign.close()
+        counts = campaign.telemetry.counts
+        assert counts.get("cache-corrupt-evict") == 1
+        assert counts.get("cache-miss") == 1
+        assert campaign.metrics["cache"]["corrupt_evictions"] == 1

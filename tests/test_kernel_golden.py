@@ -28,9 +28,20 @@ from repro.workloads import make_workload
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_kernel.json"
 
 
-def golden_run(design: Design):
-    """One pinned small run per design (fixed seed, fixed machine)."""
+def golden_run(design: Design, traced: bool = False):
+    """One pinned small run per design (fixed seed, fixed machine).
+
+    With ``traced=True`` the full observability layer (lifecycle tracer
+    + stat sampler) rides along — the goldens must stay bit-identical,
+    which is the tracer's non-perturbation contract.
+    """
     system = build_system(design=design, num_cores=4)
+    if traced:
+        from repro.obs.sample import StatSampler
+        from repro.obs.trace import Tracer
+
+        Tracer().install(system)
+        StatSampler(system, interval=500).install()
     workload = make_workload(
         "hash", system, entry_bytes=256, txns_per_thread=6,
         initial_items=12, seed=11, threads=4,
@@ -49,10 +60,12 @@ def golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
 
 
+@pytest.mark.parametrize("traced", [False, True],
+                         ids=["plain", "traced"])
 @pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
 class TestKernelGolden:
-    def test_run_matches_golden(self, design, golden):
-        measured = golden_run(design)
+    def test_run_matches_golden(self, design, traced, golden):
+        measured = golden_run(design, traced=traced)
         reference = golden[design.value]
         assert measured["cycles"] == reference["cycles"], (
             f"{design.value}: finish cycle drifted "
