@@ -119,8 +119,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="append campaign-fabric telemetry events "
                              "(dispatch/retry/quarantine/cache) as JSONL")
     parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="also trace the first fault point to "
-                             "Chrome-trace JSON")
+                        help="also trace one fault point (see "
+                             "--trace-point) to Chrome-trace JSON")
+    parser.add_argument("--trace-point", type=int, default=None,
+                        metavar="INDEX",
+                        help="matrix-point index to trace with --trace "
+                             "(default 0: the first point)")
     parser.add_argument("--list", action="store_true",
                         help="list fault models and exit")
     add_log_flags(parser)
@@ -191,6 +195,12 @@ def main(argv: list[str] | None = None) -> int:
     if not specs:
         parser.error("the requested (design x fault) combinations are all "
                      "inapplicable — nothing to run")
+    if args.trace_point is not None and args.trace is None:
+        parser.error("--trace-point requires --trace")
+    trace_index = args.trace_point or 0
+    if args.trace is not None and not 0 <= trace_index < len(specs):
+        parser.error(f"--trace-point {trace_index} out of range "
+                     f"(matrix has {len(specs)} points)")
 
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
@@ -211,13 +221,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.models import FaultInjector
         from repro.obs.cli import trace_crash_spec
 
-        first = specs[0]
+        chosen = specs[trace_index]
         events = trace_crash_spec(
-            first, args.trace,
-            injector=FaultInjector(fault_from_dict(first.fault)),
+            chosen, args.trace,
+            injector=FaultInjector(fault_from_dict(chosen.fault)),
         )
         print(f"trace written: {args.trace} ({events} events; "
-              f"first fault point)", file=sys.stderr)
+              f"fault point {trace_index})", file=sys.stderr)
     print(sweep.render())
     print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
           f"{cache.hits if cache is not None else 0} cached)")

@@ -304,9 +304,16 @@ class FaultSweepResult:
 
     def to_json(self) -> dict:
         """Verdict + recovery-cost artifact (the CLI's ``--out``)."""
+        from repro.obs.analyze import (recovery_figure,
+                                       recovery_records_from_outcomes)
+
         cells = self.cells
         return {
+            "kind": "faults",
             "points_total": len(self.outcomes),
+            "recovery_figure": recovery_figure(
+                recovery_records_from_outcomes(self.outcomes)
+            ),
             "summary": {
                 "cells": len(cells),
                 "failures": sum(1 for c in cells if c.status == "FAIL"),

@@ -7,6 +7,8 @@ Usage::
     python -m repro.harness litmus --jobs 2         # litmus catalog
     python -m repro.harness faults --jobs 2         # fault-injection matrix
     python -m repro.harness trace --out trace.json  # lifecycle trace
+    python -m repro.harness analyze --compare       # txn latency decomposition
+    python -m repro.harness dash *.json             # static HTML dashboard
     python -m repro.harness --experiment fig5a
     python -m repro.harness --all --scale 0.5
     python -m repro.harness --all --jobs 8          # parallel campaign
@@ -76,6 +78,9 @@ def render_listing() -> str:
     lines.append("  litmus  crash-consistency litmus catalog")
     lines.append("  faults  fault-injection matrix + recovery analytics")
     lines.append("  trace   transaction-lifecycle Chrome-trace export")
+    lines.append("  analyze per-transaction latency decomposition + "
+                 "cross-design differential")
+    lines.append("  dash    self-contained HTML dashboard over artifacts")
     # The litmus workload is deliberately absent here: it needs a
     # ``program`` and only runs through the litmus subcommand.
     lines.append("workloads (--workloads for --crash-sweep):")
@@ -126,6 +131,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Fold lifecycle traces into per-transaction latency
+        # decompositions with cross-design differentials.
+        from repro.obs.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
+    if argv and argv[0] == "dash":
+        # Aggregate harness artifacts into one self-contained HTML
+        # dashboard (no network references).
+        from repro.obs.dash import main as dash_main
+
+        return dash_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate ATOM (HPCA 2017) evaluation results.",
@@ -183,9 +200,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="append campaign-fabric telemetry events "
                              "(dispatch/retry/quarantine/cache) as JSONL")
     parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="with --crash-sweep: also trace the first "
-                             "sweep point to Chrome-trace JSON (for "
-                             "plain runs use the trace subcommand)")
+                        help="with --crash-sweep: also trace one sweep "
+                             "point (see --trace-point) to Chrome-trace "
+                             "JSON (for plain runs use the trace "
+                             "subcommand)")
+    parser.add_argument("--trace-point", type=int, default=None,
+                        metavar="INDEX",
+                        help="sweep-point index to trace with --trace "
+                             "(default 0: the first point)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="with --crash-sweep: write the verdict + "
+                             "recovery-figure JSON artifact")
     parser.add_argument("--list", action="store_true",
                         help="list experiments, workloads, designs and "
                              "litmus tests, then exit")
@@ -206,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace is not None and not args.crash_sweep:
         parser.error("--trace here requires --crash-sweep; trace a plain "
                      "run with the trace subcommand instead")
+    if args.trace_point is not None and args.trace is None:
+        parser.error("--trace-point requires --trace")
+    if args.out is not None and not args.crash_sweep:
+        parser.error("--out here requires --crash-sweep (experiments "
+                     "print tables; artifacts come from the sweep)")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.wipe_cache:
@@ -235,6 +265,10 @@ def main(argv: list[str] | None = None) -> int:
             crash_cycles=args.crash_grid,
             seeds=[int(s) for s in args.crash_seeds.split(",") if s],
         )
+        trace_index = args.trace_point or 0
+        if args.trace is not None and not 0 <= trace_index < len(specs):
+            parser.error(f"--trace-point {trace_index} out of range "
+                         f"(sweep has {len(specs)} points)")
         start = time.time()
         try:
             sweep = crash_sweep(campaign, specs)
@@ -243,12 +277,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace is not None and specs:
             from repro.obs.cli import trace_crash_spec
 
-            events = trace_crash_spec(specs[0], args.trace)
+            events = trace_crash_spec(specs[trace_index], args.trace)
             print(f"trace written: {args.trace} ({events} events; "
-                  f"first sweep point)", file=sys.stderr)
+                  f"sweep point {trace_index})", file=sys.stderr)
         print(sweep.render())
         print(f"({time.time() - start:.1f}s, {campaign.computed} computed, "
               f"{cache.hits if cache is not None else 0} cached)")
+        if args.out is not None:
+            from repro.harness.report import write_artifact
+
+            payload = sweep.to_json()
+            payload["campaign"] = campaign.metrics
+            write_artifact(args.out, payload)
+            print(f"wrote {args.out}")
         # Exit status: number of divergent points, capped so a large
         # failure count can never wrap to 0 through the 8-bit exit code.
         return min(len(sweep.failures), 255)

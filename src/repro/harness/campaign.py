@@ -1021,6 +1021,55 @@ class CrashSweepResult:
                     f"{bad.error}")
         return out
 
+    def to_json(self) -> dict:
+        """Verdict + recovery-figure artifact (``--crash-sweep --out``).
+
+        ``recovery_figure`` is the ROADMAP's mean-recovery-cycles vs.
+        crash-cycle curve per design, aggregated from the
+        ``RecoveryCost`` every outcome already carries.
+        """
+        from repro.obs.analyze import (recovery_figure,
+                                       recovery_records_from_outcomes)
+
+        cells: dict[tuple[str, str], list[CrashOutcome]] = {}
+        for o in self.outcomes:
+            cells.setdefault(
+                (o.spec.design.value, o.spec.workload), []
+            ).append(o)
+        return {
+            "kind": "crash-sweep",
+            "points_total": len(self.outcomes),
+            "summary": {
+                "cells": len(cells),
+                "failures": len(self.failures),
+            },
+            "recovery_figure": recovery_figure(
+                recovery_records_from_outcomes(self.outcomes)
+            ),
+            "cells": [
+                {
+                    "design": design,
+                    "workload": workload,
+                    "points": len(group),
+                    "points_ok": sum(o.ok for o in group),
+                    "commits": sum(o.commits for o in group),
+                    "rolled_back": sum(o.updates_rolled_back
+                                       for o in group),
+                }
+                for (design, workload), group in sorted(cells.items())
+            ],
+            "failures": [
+                {
+                    "design": bad.spec.design.value,
+                    "workload": bad.spec.workload,
+                    "crash_cycle": bad.spec.crash_cycle,
+                    "seed": bad.spec.seed,
+                    "error": bad.error,
+                }
+                for bad in self.failures
+            ],
+        }
+
 
 def crash_sweep(campaign: Campaign,
                 specs: Sequence[CrashSpec] | None = None) -> CrashSweepResult:

@@ -18,6 +18,15 @@ aggregate events/sec against the baseline's and exits non-zero when it
 regressed by more than ``--gate-pct`` (default 20%).  The gate compares
 aggregates, not points, so per-point jitter on loaded CI machines does
 not flap the build.
+
+Beside the fixed-threshold baseline gate sits the **history ledger**
+(``benchmarks/perf/history.jsonl``): ``--record`` appends one line per
+run, ``--trend`` gates the current run against the recent history using
+*measured* variance — the repeat-to-repeat ``mean_ci`` of this run's
+geomean combined with the run-to-run ``mean_ci`` of the history window
+— instead of a fixed percentage, so the gate tightens automatically on
+quiet machines and loosens on jittery ones (a small absolute floor
+keeps it from flagging sub-noise wiggles).
 """
 
 from __future__ import annotations
@@ -29,9 +38,11 @@ import platform
 import sys
 import time
 from collections import defaultdict
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.config import Design
+from repro.harness.report import mean_ci, write_artifact
 from repro.harness.runner import RunSpec, build_config
 from repro.runtime.system import System
 from repro.workloads import make_workload
@@ -166,6 +177,9 @@ class PerfPoint:
     txns: int
     wall_s: float
     events_per_sec: float
+    #: events/sec of every repeat (fastest kept above), in run order —
+    #: the raw material for the trend gate's repeat-variance estimate.
+    repeat_eps: list = field(default_factory=list)
 
 
 def perf_specs(scale: float = 1.0) -> list[RunSpec]:
@@ -199,6 +213,7 @@ def measure_point(spec: RunSpec, repeats: int = 1,
     so they never feed the measured numbers).
     """
     best: PerfPoint | None = None
+    repeat_eps: list[float] = []
     for _ in range(max(1, repeats)):
         system = System(build_config(spec))
         workload = make_workload(
@@ -225,6 +240,7 @@ def measure_point(spec: RunSpec, repeats: int = 1,
             wall_s=wall,
             events_per_sec=events / wall if wall > 0 else 0.0,
         )
+        repeat_eps.append(point.events_per_sec)
         if best is None or point.wall_s < best.wall_s:
             best = point
         # Recycle the image buffers between repeats: a fresh multi-MB
@@ -251,6 +267,7 @@ def measure_point(spec: RunSpec, repeats: int = 1,
             profiler.detach()
         profiler_out.update(profiler.report())
         system.image.recycle()
+    best.repeat_eps = repeat_eps
     return best
 
 
@@ -320,6 +337,16 @@ def run_perf(scale: float = 1.0, repeats: int = 1,
             progress(point)
     total_events = sum(p.events for p in points)
     total_wall = sum(p.wall_s for p in points)
+    # Repeat-variance estimate of the aggregate: geomean the r-th repeat
+    # of every point into one sample per repeat, then mean_ci over the
+    # samples.  With --repeats 1 this degenerates to (geomean, 0.0).
+    repeat_geomeans = [
+        geomean([p.repeat_eps[r] for p in points])
+        for r in range(min((len(p.repeat_eps) for p in points),
+                           default=0))
+    ]
+    geo_mean, geo_ci = mean_ci(repeat_geomeans) if repeat_geomeans \
+        else (0.0, 0.0)
     report = {
         "schema": 1,
         "benchmark": "kernel",
@@ -334,6 +361,8 @@ def run_perf(scale: float = 1.0, repeats: int = 1,
             "geomean_events_per_sec": geomean(
                 [p.events_per_sec for p in points]
             ),
+            "geomean_mean": geo_mean,
+            "geomean_ci": geo_ci,
             "total_events": total_events,
             "total_wall_s": total_wall,
             "overall_events_per_sec": (
@@ -388,6 +417,110 @@ def check_regression(report: dict, baseline: dict,
     return failures
 
 
+# -- history ledger & CI-aware trend gate -------------------------------------
+
+#: Default location of the ledger; one JSON object per line, appended
+#: by ``perf --record`` and read back by ``perf --trend``.
+HISTORY_PATH = "benchmarks/perf/history.jsonl"
+
+
+def history_entry(report: dict, *, timestamp: float | None = None) -> dict:
+    """One ledger line summarizing a BENCH_kernel report."""
+    agg = report["aggregate"]
+    return {
+        "schema": 1,
+        "t": round(timestamp if timestamp is not None else time.time(), 3),
+        "scale": report.get("scale"),
+        "repeats": report.get("repeats"),
+        "geomean": agg["geomean_events_per_sec"],
+        "geomean_mean": agg.get("geomean_mean",
+                                agg["geomean_events_per_sec"]),
+        "geomean_ci": agg.get("geomean_ci", 0.0),
+        "points": {f"{p['design']}/{p['workload']}": p["events_per_sec"]
+                   for p in report.get("points", [])},
+    }
+
+
+def append_history(path, entry: dict) -> None:
+    """Append one ledger line (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path) -> list[dict]:
+    """Read the ledger; missing file -> ``[]``, corrupt lines skipped.
+
+    The ledger is append-only across many CI runs, so a torn final
+    line (killed runner) must not poison every later ``--trend``.
+    """
+    entries: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries
+
+
+def check_trend(history: list[dict], report: dict, *,
+                window: int = 10, floor_pct: float = 2.0) -> list[str]:
+    """CI-aware trend gate: flag only statistically-resolvable drops.
+
+    Compares the current aggregate geomean against the mean of the last
+    ``window`` ledger entries.  The tolerated drop is the *combined*
+    confidence interval — run-to-run ``mean_ci`` of the history window
+    plus (in quadrature) the current run's repeat-to-repeat CI — with
+    an absolute floor of ``floor_pct`` percent so single-entry or
+    zero-variance histories do not flag measurement wiggle.  Empty
+    history passes trivially (nothing to trend against).
+    """
+    entries = [e for e in history[-window:]
+               if isinstance(e.get("geomean"), (int, float))
+               and e["geomean"] > 0]
+    if not entries:
+        return []
+    ref_mean, ref_ci = mean_ci([e["geomean"] for e in entries])
+    agg = report["aggregate"]
+    current = agg["geomean_events_per_sec"]
+    current_ci = agg.get("geomean_ci") or 0.0
+    noise = (ref_ci ** 2 + current_ci ** 2) ** 0.5
+    tolerance = max(noise, ref_mean * floor_pct / 100.0)
+    if current < ref_mean - tolerance:
+        return [
+            f"geomean events/sec below trend: {current:,.0f} < "
+            f"{ref_mean - tolerance:,.0f} (history mean {ref_mean:,.0f} "
+            f"over {len(entries)} run(s), tolerance {tolerance:,.0f})"
+        ]
+    return []
+
+
+def format_trend(history: list[dict], report: dict,
+                 window: int = 10) -> str:
+    """One line situating the current run inside the recent history."""
+    entries = [e for e in history[-window:]
+               if isinstance(e.get("geomean"), (int, float))
+               and e["geomean"] > 0]
+    current = report["aggregate"]["geomean_events_per_sec"]
+    if not entries:
+        return (f"trend: no history yet "
+                f"(current geomean {current:,.0f} events/sec)")
+    ref_mean, ref_ci = mean_ci([e["geomean"] for e in entries])
+    return (f"trend: current {current:,.0f} vs history "
+            f"{ref_mean:,.0f} ±{ref_ci:,.0f} events/sec "
+            f"({len(entries)} run(s))")
+
+
 def format_report(report: dict, baseline: dict | None = None) -> str:
     """Render the per-point table plus the aggregate line."""
     lines = ["design      workload   events      wall    events/sec"]
@@ -397,8 +530,11 @@ def format_report(report: dict, baseline: dict | None = None) -> str:
             f"  {p['wall_s']:>7.3f}s  {p['events_per_sec']:>12,.0f}"
         )
     agg = report["aggregate"]
+    ci = agg.get("geomean_ci") or 0.0
+    ci_note = f" (repeat CI ±{ci:,.0f})" if ci else ""
     lines.append(
-        f"geomean {agg['geomean_events_per_sec']:,.0f} events/sec, "
+        f"geomean {agg['geomean_events_per_sec']:,.0f} events/sec"
+        f"{ci_note}, "
         f"{agg['total_events']:,} events in {agg['total_wall_s']:.2f}s"
     )
     profile = report.get("profile")
@@ -447,11 +583,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach a per-point stat timeline sampled "
                              "every CYCLES cycles from extra instrumented "
                              "runs (default 0: off)")
+    parser.add_argument("--history", default=HISTORY_PATH,
+                        metavar="PATH",
+                        help="perf history ledger for --record/--trend "
+                             "(default %(default)s)")
+    parser.add_argument("--record", action="store_true",
+                        help="append this run's aggregate to the history "
+                             "ledger after the gates pass")
+    parser.add_argument("--trend", action="store_true",
+                        help="gate against the recent history using the "
+                             "combined measured CI instead of a fixed "
+                             "percentage")
+    parser.add_argument("--trend-window", type=int, default=10,
+                        help="history entries the trend gate considers "
+                             "(default 10)")
+    parser.add_argument("--trend-floor-pct", type=float, default=2.0,
+                        help="minimum tolerated drop in percent, so "
+                             "zero-variance histories do not flag noise "
+                             "(default 2.0)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
     if args.sample_interval < 0:
         parser.error("--sample-interval must be >= 0")
+    if args.trend_window < 1:
+        parser.error("--trend-window must be >= 1")
 
     # Load the baseline *before* the (expensive) benchmark run, and fail
     # with a readable one-liner: a missing or corrupt baseline is an
@@ -483,18 +639,33 @@ def main(argv: list[str] | None = None) -> int:
                       progress=progress, profile=args.profile,
                       sample_interval=args.sample_interval)
     print(format_report(report, baseline))
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_artifact(args.out, report)
     print(f"wrote {args.out}")
+    failures: list[str] = []
     if baseline is not None:
         failures = check_regression(report, baseline, args.gate_pct)
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("perf gate: ok")
-    return 0
+        if not failures:
+            print("perf gate: ok")
+    if args.trend:
+        history = load_history(args.history)
+        print(format_trend(history, report, args.trend_window))
+        trend_failures = check_trend(history, report,
+                                     window=args.trend_window,
+                                     floor_pct=args.trend_floor_pct)
+        for failure in trend_failures:
+            print(f"PERF TREND: {failure}", file=sys.stderr)
+        if not trend_failures:
+            print("trend gate: ok")
+        failures.extend(trend_failures)
+    if args.record:
+        # Record even a failing run: the ledger is the measurement
+        # record, and a recorded dip is what lets the *next* run's
+        # trend window see (and confirm or clear) it.
+        append_history(args.history, history_entry(report))
+        print(f"recorded to {args.history}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -295,6 +295,10 @@ class LitmusReport:
     points_total: int = 0
     #: Extra grid points contributed by --densify bisection rounds.
     densify_points: int = 0
+    #: Mean recovery cycles vs. crash cycle per design, aggregated from
+    #: every grid outcome's ``RecoveryCost``
+    #: (:func:`repro.obs.analyze.recovery_figure`).
+    recovery: dict = field(default_factory=dict)
 
     @property
     def failures(self) -> list[LitmusCell]:
@@ -375,9 +379,11 @@ class LitmusReport:
     def to_json(self) -> dict:
         """JSON artifact payload (the CLI writes this to ``--out``)."""
         return {
+            "kind": "litmus",
             "points_total": self.points_total,
             "densify_points": self.densify_points,
             "coverage": self.window_coverage,
+            "recovery_figure": self.recovery,
             "summary": {
                 "cells": len(self.cells),
                 "failures": len(self.failures),
@@ -527,10 +533,12 @@ def explore(
         key = cell_key(outcome.point)
         cells[key].absorb(outcome, *conditions[key[0]])
 
+    recovery_outcomes = list(grid_outcomes)
     densify_points = 0
     if densify > 0:
         densify_points = _densify(
             campaign, cells, conditions, cell_key, grid_outcomes, densify,
+            collect=recovery_outcomes,
         )
 
     ordered = [
@@ -540,10 +548,16 @@ def explore(
             ["power-loss"] + [m.kind for m in faults if m.applicable(d)]
         )
     ]
+    from repro.obs.analyze import (recovery_figure,
+                                   recovery_records_from_outcomes)
+
     return LitmusReport(
         cells=ordered,
         points_total=len(probe_points) + len(grid) + densify_points,
         densify_points=densify_points,
+        recovery=recovery_figure(
+            recovery_records_from_outcomes(recovery_outcomes)
+        ),
     )
 
 
@@ -564,14 +578,16 @@ def _outcome_class(outcome: LitmusOutcome) -> tuple:
 
 
 def _densify(campaign, cells, conditions, cell_key, seed_outcomes,
-             rounds: int) -> int:
+             rounds: int, collect: list | None = None) -> int:
     """Bisect the crash grid around outcome transitions.
 
     Per (test × design × seed × fault) trace, every pair of adjacent
     sampled cycles with differing outcome classes and a gap > 1 gets
     its midpoint probed; repeated up to ``rounds`` times (or until no
     interval splits).  New outcomes are absorbed into the cells like
-    uniform grid points.  Returns the number of points added.
+    uniform grid points (and appended to ``collect`` when given, so
+    the caller's recovery-cost aggregation sees bisection points too).
+    Returns the number of points added.
     """
     import json
 
@@ -613,4 +629,6 @@ def _densify(campaign, cells, conditions, cell_key, seed_outcomes,
             key = cell_key(outcome.point)
             cells[key].absorb(outcome, *conditions[key[0]])
             note(outcome)
+            if collect is not None:
+                collect.append(outcome)
     return total

@@ -14,6 +14,15 @@ Three layers, one package:
   the campaign supervisor's structured event log (dispatch, retry,
   watchdog kill, quarantine, cache hit/miss) and ``Campaign.metrics``.
 
+Two derived layers fold the raw streams into answers:
+
+* :mod:`repro.obs.analyze` — per-transaction latency decompositions
+  from Chrome traces (an exact partition of each txn's span), recovery
+  cost aggregation into the mean-cycles-vs-crash-cycle figure, and
+  cross-design differentials.
+* :mod:`repro.obs.dash` — a static, self-contained HTML dashboard over
+  every artifact kind the harness writes.
+
 The tracer and sampler are strictly opt-in: every hook in the
 simulator is a nullable attribute checked with one predictable branch
 (the same gate the fault injector pays), and an installed tracer only
@@ -21,6 +30,10 @@ simulator is a nullable attribute checked with one predictable branch
 tracing on and off.
 """
 
+from repro.obs.analyze import (
+    aggregate_breakdowns, decompose_trace, differential, recovery_figure,
+)
+from repro.obs.dash import build_dashboard, external_references
 from repro.obs.fabric import FabricTelemetry
 from repro.obs.sample import StatSampler
 from repro.obs.trace import Tracer, validate_chrome_trace
@@ -29,5 +42,11 @@ __all__ = [
     "FabricTelemetry",
     "StatSampler",
     "Tracer",
+    "aggregate_breakdowns",
+    "build_dashboard",
+    "decompose_trace",
+    "differential",
+    "external_references",
+    "recovery_figure",
     "validate_chrome_trace",
 ]

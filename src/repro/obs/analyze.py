@@ -1,0 +1,476 @@
+"""Derived analytics over the observability layer's raw outputs.
+
+Two analyses live here, both **read-only over data other layers
+already emit** — no new hot-path hooks, so the golden-digest
+non-perturbation net (``tests/test_kernel_golden.py``) is untouched:
+
+1. **Per-transaction latency decomposition** (:func:`decompose_trace`)
+   folds a Chrome-trace file (:mod:`repro.obs.trace`) into one
+   :class:`TxnBreakdown` per committed transaction.  The breakdown is
+   an exact *partition* of the transaction's async-span duration into
+   stages — ``commit_flush``, ``redo_commit``, ``log_persist``,
+   ``sq_residency``, and the ``execute`` remainder — computed by
+   interval arithmetic over the component spans clipped to the
+   transaction window, with overlap resolved by a fixed priority
+   order.  By construction ``sum(stages.values()) == end - begin`` for
+   every transaction (asserted in ``tests/test_analyze.py``).  Two
+   auxiliary metrics ride along without entering the partition: the
+   REDO commit→backend-apply lag and the count of ADR drains landing
+   inside the window.
+
+2. **Recovery-cost figure** (:func:`recovery_figure`) aggregates the
+   :class:`~repro.faults.analytics.RecoveryCost` attached to every
+   crash-sweep / litmus / fault outcome into the mean-recovery-cycles
+   vs. crash-cycle curve per design — the ROADMAP's open figure.
+   Quarantined outcomes (empty cost dicts) and probe points
+   (``crash_cycle is None``) are excluded from the means.
+
+``python -m repro.harness analyze`` exposes both a single-trace mode
+(``--trace LABEL=PATH``) and a cross-design differential mode
+(``--compare``) that runs the same workload/seed under several designs
+and reports per-stage deltas with ``mean_ci`` confidence intervals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.harness.report import format_table, mean_ci, write_artifact
+from repro.obs.trace import TID_LOGM_BASE, TID_REDO, TID_SQ_BASE
+
+# Partition priority, highest first: when component spans overlap
+# inside a transaction window, cycles go to the *most specific* stage.
+# commit-flush is the core visibly stalled draining its queues at
+# commit; redo-commit is the REDO backend persisting the commit
+# record; log-persist is undo/redo log records for this core becoming
+# durable; sq-residency is time the store queue held an entry; what no
+# component claims is execute.
+STAGES = ("commit_flush", "redo_commit", "log_persist", "sq_residency",
+          "execute")
+
+
+@dataclass
+class TxnBreakdown:
+    """One transaction's latency partition plus auxiliary metrics."""
+
+    txn: int
+    core: int
+    begin: int
+    end: int
+    stages: dict = field(default_factory=dict)
+    #: backend-apply completion minus txn end (REDO designs), else None
+    apply_lag: int | None = None
+    #: ADR drain instants landing inside [begin, end)
+    adr_drains: int = 0
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+
+# -- interval arithmetic ------------------------------------------------------
+#
+# Intervals are half-open [start, end) pairs; all helpers consume and
+# produce *disjoint, sorted* lists so subtraction stays linear.
+
+def _merge(intervals):
+    """Sorted disjoint union of arbitrary [s, e) pairs."""
+    out: list[list[int]] = []
+    for s, e in sorted((s, e) for s, e in intervals if e > s):
+        if out and s <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], e)
+        else:
+            out.append([s, e])
+    return [(s, e) for s, e in out]
+
+def _clip(intervals, lo, hi):
+    return [(max(s, lo), min(e, hi)) for s, e in intervals
+            if min(e, hi) > max(s, lo)]
+
+def _subtract(intervals, taken):
+    """``intervals`` minus ``taken``; both disjoint sorted lists."""
+    out = []
+    for s, e in intervals:
+        cursor = s
+        for ts, te in taken:
+            if te <= cursor:
+                continue
+            if ts >= e:
+                break
+            if ts > cursor:
+                out.append((cursor, ts))
+            cursor = max(cursor, te)
+            if cursor >= e:
+                break
+        if cursor < e:
+            out.append((cursor, e))
+    return out
+
+def _length(intervals) -> int:
+    return sum(e - s for s, e in intervals)
+
+
+# -- trace folding ------------------------------------------------------------
+
+def _events_of(trace) -> list[dict]:
+    """Accept a ``traceEvents`` wrapper or a bare event list."""
+    if isinstance(trace, dict):
+        return trace.get("traceEvents", [])
+    return list(trace)
+
+
+def decompose_trace(trace, *, include_cut: bool = False):
+    """Fold Chrome-trace events into per-transaction breakdowns.
+
+    Returns ``(breakdowns, cut_txns)``: one :class:`TxnBreakdown` per
+    completed transaction (sorted by begin time then txn id), and the
+    count of transactions severed by a power cut.  Cut transactions
+    are excluded from ``breakdowns`` unless ``include_cut`` is set —
+    their truncated windows would skew stage means.
+    """
+    begins: dict[int, tuple[int, int]] = {}      # txn -> (core, ts)
+    ends: dict[int, tuple[int, bool]] = {}       # txn -> (ts, cut)
+    sq_spans: dict[int, list] = {}               # core -> [(s, e)]
+    log_spans: dict[int, list] = {}              # core -> [(s, e)]
+    flush_spans: dict[int, list] = {}            # txn -> [(s, e)]
+    redo_spans: dict[int, list] = {}             # txn -> [(s, e)]
+    apply_end: dict[int, int] = {}               # txn -> ts
+    adr_ts: list[int] = []
+
+    for ev in _events_of(trace):
+        ph = ev.get("ph")
+        name = ev.get("name")
+        args = ev.get("args") or {}
+        if ph == "b" and name == "txn":
+            begins[ev["id"]] = (args.get("core", ev.get("tid", 0)),
+                                ev["ts"])
+        elif ph == "e" and name == "txn":
+            ends[ev["id"]] = (ev["ts"], bool(args.get("cut")))
+        elif ph == "X":
+            span = (ev["ts"], ev["ts"] + ev.get("dur", 0))
+            if name == "sq-entry":
+                core = ev.get("tid", TID_SQ_BASE) - TID_SQ_BASE
+                sq_spans.setdefault(core, []).append(span)
+            elif name == "log-record":
+                core = args.get("core")
+                if core is not None:
+                    log_spans.setdefault(core, []).append(span)
+            elif name == "commit-flush" and "txn" in args:
+                flush_spans.setdefault(args["txn"], []).append(span)
+            elif name == "redo-commit" and "txn" in args:
+                redo_spans.setdefault(args["txn"], []).append(span)
+            elif name == "backend-apply" and "txn" in args:
+                apply_end[args["txn"]] = max(
+                    apply_end.get(args["txn"], 0), span[1])
+        elif ph == "i" and name == "adr-flush":
+            adr_ts.append(ev["ts"])
+
+    adr_ts.sort()
+    sq_merged = {c: _merge(v) for c, v in sq_spans.items()}
+    log_merged = {c: _merge(v) for c, v in log_spans.items()}
+
+    breakdowns: list[TxnBreakdown] = []
+    cut_txns = 0
+    for txn, (core, b) in begins.items():
+        if txn not in ends:
+            continue
+        e, cut = ends[txn]
+        if cut:
+            cut_txns += 1
+            if not include_cut:
+                continue
+        bd = TxnBreakdown(txn=txn, core=core, begin=b, end=e)
+        remainder = [(b, e)] if e > b else []
+        claimed: list = []
+        for stage, spans in (
+            ("commit_flush", flush_spans.get(txn, [])),
+            ("redo_commit", redo_spans.get(txn, [])),
+            ("log_persist", log_merged.get(core, [])),
+            ("sq_residency", sq_merged.get(core, [])),
+        ):
+            mine = _subtract(_clip(_merge(spans), b, e), claimed)
+            bd.stages[stage] = _length(mine)
+            claimed = _merge(claimed + mine)
+            remainder = _subtract(remainder, mine)
+        bd.stages["execute"] = _length(remainder)
+        if txn in apply_end:
+            bd.apply_lag = apply_end[txn] - e
+        # adr_ts is sorted; a linear scan per txn is fine at trace scale.
+        bd.adr_drains = sum(1 for t in adr_ts if b <= t < e)
+        breakdowns.append(bd)
+
+    breakdowns.sort(key=lambda bd: (bd.begin, bd.txn))
+    return breakdowns, cut_txns
+
+
+def aggregate_breakdowns(breakdowns, cut_txns: int = 0) -> dict:
+    """Per-stage ``mean_ci`` aggregates over a set of breakdowns."""
+    out: dict = {"txns": len(breakdowns), "cut_txns": cut_txns,
+                 "stages": {}, "duration": None, "apply_lag": None,
+                 "adr": {"drains": 0, "txns_with_drain": 0,
+                         "share": 0.0}}
+    if not breakdowns:
+        return out
+    for stage in STAGES:
+        vals = [bd.stages.get(stage, 0) for bd in breakdowns]
+        mean, ci = mean_ci(vals)
+        out["stages"][stage] = {"mean": mean, "ci": ci,
+                                "total": sum(vals)}
+    durs = [bd.duration for bd in breakdowns]
+    mean, ci = mean_ci(durs)
+    out["duration"] = {"mean": mean, "ci": ci, "total": sum(durs)}
+    lags = [bd.apply_lag for bd in breakdowns if bd.apply_lag is not None]
+    if lags:
+        mean, ci = mean_ci(lags)
+        out["apply_lag"] = {"mean": mean, "ci": ci, "points": len(lags)}
+    drains = sum(bd.adr_drains for bd in breakdowns)
+    with_drain = sum(1 for bd in breakdowns if bd.adr_drains)
+    out["adr"] = {"drains": drains, "txns_with_drain": with_drain,
+                  "share": with_drain / len(breakdowns)}
+    return out
+
+
+def differential(labeled: dict) -> dict:
+    """Per-stage deltas of each labeled aggregate vs. the first label.
+
+    ``labeled`` maps label -> :func:`aggregate_breakdowns` output (an
+    insertion-ordered dict; the first entry is the reference).  Each
+    delta carries a combined interval ``sqrt(ci_ref² + ci_other²)`` so
+    a reader can tell signal from run-to-run noise.
+    """
+    labels = list(labeled)
+    if not labels:
+        return {"reference": None, "deltas": {}}
+    ref = labeled[labels[0]]
+    deltas: dict = {}
+    for label in labels[1:]:
+        agg = labeled[label]
+        row: dict = {}
+        for stage in STAGES + ("duration",):
+            a = (ref["stages"].get(stage) if stage in ref["stages"]
+                 else ref.get("duration"))
+            b = (agg["stages"].get(stage) if stage in agg["stages"]
+                 else agg.get("duration"))
+            if not a or not b:
+                continue
+            row[stage] = {
+                "delta": b["mean"] - a["mean"],
+                "ci": (a["ci"] ** 2 + b["ci"] ** 2) ** 0.5,
+            }
+        deltas[label] = row
+    return {"reference": labels[0], "deltas": deltas}
+
+
+# -- recovery-cost figure -----------------------------------------------------
+
+def recovery_figure(records) -> dict:
+    """Mean recovery cycles vs. crash cycle, per design.
+
+    ``records`` is an iterable of ``(design, crash_cycle, cost, ok)``
+    tuples where ``cost`` is a ``RecoveryCost.to_dict()`` payload (or
+    an empty dict for quarantined outcomes).  Excluded from the means:
+    probe points (``crash_cycle is None``), failed outcomes, and
+    quarantined outcomes whose cost dict is empty.  Returns ``{}``
+    for an empty record set.
+    """
+    by_design: dict = {}
+    for design, crash_cycle, cost, ok in records:
+        if crash_cycle is None or not ok or not cost:
+            continue
+        cycles = cost.get("cycles")
+        if cycles is None:
+            continue
+        by_design.setdefault(design, {}).setdefault(
+            crash_cycle, []).append(cycles)
+    figure: dict = {}
+    for design in sorted(by_design):
+        series = []
+        everything = []
+        for crash_cycle in sorted(by_design[design]):
+            vals = by_design[design][crash_cycle]
+            everything.extend(vals)
+            mean, ci = mean_ci(vals)
+            series.append({"crash_cycle": crash_cycle,
+                           "mean_cycles": mean, "ci": ci,
+                           "points": len(vals)})
+        mean, ci = mean_ci(everything)
+        figure[design] = {"series": series, "mean_cycles": mean,
+                          "ci": ci, "points": len(everything)}
+    return figure
+
+
+def recovery_records_from_outcomes(outcomes):
+    """Adapter: crash/fault/litmus outcomes -> recovery_figure records.
+
+    Works on any outcome shape that carries ``recovery_cost`` plus a
+    spec/point with ``design`` and ``crash_cycle`` attributes, and an
+    ``ok``-like verdict (``ok`` for crash/fault sweeps; litmus outcomes
+    count when they executed without error — the postcondition verdict
+    lives on the cell, not the point, and a reachable-but-forbidden
+    state still paid a real recovery).
+    """
+    records = []
+    for o in outcomes:
+        spec = getattr(o, "spec", None) or getattr(o, "point", None)
+        if spec is None:
+            continue
+        design = getattr(spec, "design", None)
+        design = getattr(design, "value", design)
+        crash_cycle = getattr(spec, "crash_cycle", None)
+        if hasattr(o, "ok"):
+            ok = bool(o.ok)
+        else:
+            ok = not getattr(o, "error", "")
+        records.append((design, crash_cycle,
+                        getattr(o, "recovery_cost", None) or {}, ok))
+    return records
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _analysis_payload(labeled_aggregates: dict, *, workload=None,
+                      seed=None) -> dict:
+    return {
+        "schema": 1,
+        "kind": "txn-analysis",
+        "workload": workload,
+        "seed": seed,
+        "designs": labeled_aggregates,
+        "differential": (differential(labeled_aggregates)
+                         if len(labeled_aggregates) > 1 else None),
+    }
+
+
+def render_analysis(payload: dict) -> str:
+    """Human-readable stage table (+ differential when present)."""
+    labels = list(payload["designs"])
+    header = ["stage"] + labels
+    rows = []
+    for stage in STAGES + ("duration",):
+        row = [stage]
+        for label in labels:
+            agg = payload["designs"][label]
+            cell = (agg["stages"].get(stage) if stage in agg["stages"]
+                    else agg.get("duration"))
+            row.append("-" if not cell
+                       else f"{cell['mean']:.1f} ±{cell['ci']:.1f}")
+        rows.append(row)
+    rows.append(["txns"] + [str(payload["designs"][l]["txns"])
+                            for l in labels])
+    rows.append(["adr drains"] + [str(payload["designs"][l]["adr"]["drains"])
+                                  for l in labels])
+    lag_row = ["apply lag"]
+    for label in labels:
+        lag = payload["designs"][label].get("apply_lag")
+        lag_row.append("-" if not lag
+                       else f"{lag['mean']:.1f} ±{lag['ci']:.1f}")
+    rows.append(lag_row)
+    out = [format_table(header, rows)]
+    diff = payload.get("differential")
+    if diff and diff["deltas"]:
+        out.append(f"\nper-stage delta vs {diff['reference']} "
+                   "(cycles; ± is the combined CI):")
+        dheader = ["stage"] + list(diff["deltas"])
+        drows = []
+        for stage in STAGES + ("duration",):
+            row = [stage]
+            for label in diff["deltas"]:
+                cell = diff["deltas"][label].get(stage)
+                row.append("-" if cell is None
+                           else f"{cell['delta']:+.1f} ±{cell['ci']:.1f}")
+            drows.append(row)
+        out.append(format_table(dheader, drows))
+    return "\n".join(out)
+
+
+def _traced_aggregate(spec) -> dict:
+    """Run ``spec`` with a tracer installed and aggregate its trace."""
+    from repro.harness.runner import run_spec
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    run_spec(spec, instrument=tracer.install)
+    breakdowns, cut = decompose_trace(tracer.to_chrome_trace())
+    return aggregate_breakdowns(breakdowns, cut)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness analyze",
+        description="Fold lifecycle traces into per-transaction "
+                    "latency decompositions.",
+    )
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="LABEL=PATH",
+                        help="analyze an existing Chrome-trace file "
+                             "(repeatable; LABEL names the column)")
+    parser.add_argument("--compare", action="store_true",
+                        help="run the same workload/seed under each "
+                             "--designs entry and report per-stage "
+                             "deltas")
+    parser.add_argument("--designs", default="base,atom-opt,redo",
+                        help="comma-separated designs for --compare "
+                             "(default: %(default)s; first is the "
+                             "delta reference)")
+    parser.add_argument("--workload", default="hash")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--txns", type=int, default=24,
+                        help="transactions per thread for --compare")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--entry-bytes", type=int, default=256)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the analysis artifact as JSON")
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.compare:
+        parser.error("nothing to analyze: pass --trace LABEL=PATH "
+                     "and/or --compare")
+
+    labeled: dict = {}
+    for item in args.trace:
+        label, sep, path = item.partition("=")
+        if not sep or not label or not path:
+            parser.error(f"--trace expects LABEL=PATH, got {item!r}")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                trace = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace {path!r}: {exc}")
+            return 2
+        breakdowns, cut = decompose_trace(trace)
+        labeled[label] = aggregate_breakdowns(breakdowns, cut)
+
+    workload = seed = None
+    if args.compare:
+        from repro.config import Design
+        from repro.harness.runner import RunSpec
+
+        workload, seed = args.workload, args.seed
+        for name in args.designs.split(","):
+            name = name.strip()
+            try:
+                design = Design(name)
+            except ValueError:
+                parser.error(f"unknown design {name!r}")
+            spec = RunSpec(design, workload,
+                           entry_bytes=args.entry_bytes,
+                           num_cores=args.cores,
+                           txns_per_thread=args.txns,
+                           warmup_per_thread=0,
+                           initial_items=4 * args.txns,
+                           seed=seed)
+            labeled[name] = _traced_aggregate(spec)
+
+    payload = _analysis_payload(labeled, workload=workload, seed=seed)
+    print(render_analysis(payload))
+    if args.out:
+        write_artifact(args.out, payload)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

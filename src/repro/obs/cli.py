@@ -175,11 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     if sampler is not None:
         sampler.emit_counters(tracer)
         if args.samples_out:
-            import json
+            from repro.harness.report import write_artifact
 
-            with open(args.samples_out, "w", encoding="utf-8") as fh:
-                json.dump(sampler.to_dict(), fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            write_artifact(args.samples_out, sampler.to_dict())
             log.info("sampler timeline written", path=args.samples_out,
                      samples=len(sampler.samples))
 

@@ -1,0 +1,394 @@
+"""Analytics-layer net: decompositions, recovery figure, trend gate.
+
+The load-bearing invariant is the *partition*: for every committed
+transaction the stage cycles sum exactly to the async-span duration —
+on hand-built events where the answer is checkable by eye, and on real
+traced runs of every design.  The recovery-cost aggregation is checked
+against its exclusion rules (probe points, failures, quarantined
+points), ``RecoveryCost.merge`` against associativity, and the perf
+trend gate against both an injected regression (must flag) and
+within-CI wiggle (must stay quiet).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import Design
+from repro.faults.analytics import RecoveryCost
+from repro.harness.campaign import Campaign, CrashSweepResult, crash_grid, crash_sweep
+from repro.harness.perf import (
+    append_history, check_trend, format_trend, history_entry, load_history,
+)
+from repro.harness.runner import RunSpec, run_spec
+from repro.obs.analyze import (
+    STAGES, _clip, _merge, _subtract, aggregate_breakdowns, decompose_trace,
+    differential, recovery_figure, recovery_records_from_outcomes,
+)
+from repro.obs.trace import TID_REDO, TID_SQ_BASE, Tracer
+
+TINY = RunSpec(
+    design=Design.ATOM_OPT, workload="hash", entry_bytes=256,
+    num_cores=4, txns_per_thread=4, warmup_per_thread=0,
+    initial_items=12, seed=11,
+)
+
+
+def traced_breakdowns(spec: RunSpec):
+    tracer = Tracer()
+    result = run_spec(spec, instrument=tracer.install)
+    breakdowns, cut = decompose_trace(tracer.to_chrome_trace())
+    return result, breakdowns, cut
+
+
+# -- the partition invariant on real traces -----------------------------------
+
+@pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+class TestPartitionOnRealTraces:
+    def test_stages_sum_exactly_to_duration(self, design):
+        spec = dataclasses.replace(TINY, design=design)
+        result, breakdowns, cut = traced_breakdowns(spec)
+        assert cut == 0
+        assert len(breakdowns) >= result.txns
+        for bd in breakdowns:
+            assert set(bd.stages) == set(STAGES)
+            assert all(v >= 0 for v in bd.stages.values())
+            assert sum(bd.stages.values()) == bd.duration
+
+    def test_design_specific_stages_appear_where_expected(self, design):
+        spec = dataclasses.replace(TINY, design=design)
+        _result, breakdowns, _cut = traced_breakdowns(spec)
+        agg = aggregate_breakdowns(breakdowns)
+        redo_cycles = agg["stages"]["redo_commit"]["total"]
+        if design is Design.REDO:
+            assert redo_cycles > 0
+            assert agg["apply_lag"] is not None
+            assert agg["stages"]["log_persist"]["total"] == 0
+        else:
+            assert redo_cycles == 0
+            assert agg["apply_lag"] is None
+        if design is Design.NON_ATOMIC:
+            assert agg["stages"]["log_persist"]["total"] == 0
+
+
+# -- the partition on hand-built events ---------------------------------------
+
+def synthetic_trace():
+    """One txn [100, 200) on core 0 with every component represented.
+
+    Priority resolution: commit-flush [180, 200) wins 20; log-record
+    [110, 150) wins 40; sq-entry [90, 120) clips to [100, 120) but only
+    [100, 110) survives the log claim -> 10; execute keeps [150, 180)
+    -> 30.  Sum: 20+40+10+30 = 100 = duration.
+    """
+    return [
+        {"ph": "b", "name": "txn", "cat": "txn", "id": 1, "pid": 1,
+         "tid": 0, "ts": 100, "args": {"txn": 1, "core": 0}},
+        {"ph": "X", "name": "sq-entry", "pid": 1, "tid": TID_SQ_BASE,
+         "ts": 90, "dur": 30},
+        {"ph": "X", "name": "log-record", "pid": 1, "tid": 2000,
+         "ts": 110, "dur": 40, "args": {"entries": 1, "core": 0}},
+        {"ph": "X", "name": "commit-flush", "pid": 1, "tid": 0,
+         "ts": 180, "dur": 20, "args": {"txn": 1}},
+        {"ph": "i", "name": "adr-flush", "pid": 1, "tid": 2000,
+         "ts": 150, "args": {"mc": 0, "bytes": 64}},
+        {"ph": "i", "name": "adr-flush", "pid": 1, "tid": 2000,
+         "ts": 200, "args": {"mc": 0, "bytes": 64}},
+        {"ph": "e", "name": "txn", "cat": "txn", "id": 1, "pid": 1,
+         "tid": 0, "ts": 200, "args": {"txn": 1}},
+    ]
+
+
+class TestSyntheticDecomposition:
+    def test_priority_resolution_is_exact(self):
+        breakdowns, cut = decompose_trace(synthetic_trace())
+        assert cut == 0
+        (bd,) = breakdowns
+        assert bd.duration == 100
+        assert bd.stages == {"commit_flush": 20, "log_persist": 40,
+                             "sq_residency": 10, "redo_commit": 0,
+                             "execute": 30}
+        assert sum(bd.stages.values()) == bd.duration
+
+    def test_adr_drain_window_is_half_open(self):
+        (bd,), _ = decompose_trace(synthetic_trace())
+        # ts=150 lands inside [100, 200); ts=200 does not.
+        assert bd.adr_drains == 1
+
+    def test_apply_lag_is_max_apply_end_minus_txn_end(self):
+        events = synthetic_trace() + [
+            {"ph": "X", "name": "backend-apply", "pid": 1, "tid": TID_REDO,
+             "ts": 210, "dur": 50, "args": {"txn": 1, "lines": 3}},
+            {"ph": "X", "name": "backend-apply", "pid": 1, "tid": TID_REDO,
+             "ts": 220, "dur": 10, "args": {"txn": 1, "lines": 1}},
+        ]
+        (bd,), _ = decompose_trace(events)
+        assert bd.apply_lag == 260 - 200
+
+    def test_cut_txns_excluded_by_default_included_on_request(self):
+        events = synthetic_trace()
+        events[-1] = {**events[-1], "args": {"txn": 1, "cut": True}}
+        breakdowns, cut = decompose_trace(events)
+        assert (breakdowns, cut) == ([], 1)
+        breakdowns, cut = decompose_trace(events, include_cut=True)
+        assert cut == 1 and len(breakdowns) == 1
+
+    def test_accepts_wrapper_and_bare_list(self):
+        bare, _ = decompose_trace(synthetic_trace())
+        wrapped, _ = decompose_trace({"traceEvents": synthetic_trace()})
+        assert [b.stages for b in bare] == [b.stages for b in wrapped]
+
+
+class TestIntervalArithmetic:
+    def test_merge_sorts_and_coalesces(self):
+        assert _merge([(5, 9), (1, 3), (2, 4), (9, 9)]) == [(1, 4), (5, 9)]
+
+    def test_clip_drops_empty_results(self):
+        assert _clip([(0, 10), (20, 30)], 5, 22) == [(5, 10), (20, 22)]
+        assert _clip([(0, 4)], 4, 9) == []
+
+    def test_subtract_splits_and_consumes(self):
+        assert _subtract([(0, 10)], [(2, 4), (6, 8)]) == [(0, 2), (4, 6),
+                                                          (8, 10)]
+        assert _subtract([(0, 10)], [(0, 10)]) == []
+        assert _subtract([], [(0, 10)]) == []
+
+
+# -- aggregates and the differential ------------------------------------------
+
+class TestAggregates:
+    def test_empty_set_is_well_formed(self):
+        agg = aggregate_breakdowns([])
+        assert agg["txns"] == 0
+        assert agg["stages"] == {}
+        assert agg["duration"] is None
+
+    def test_single_breakdown_has_zero_ci(self):
+        (bd,), _ = decompose_trace(synthetic_trace())
+        agg = aggregate_breakdowns([bd])
+        for stage in STAGES:
+            assert agg["stages"][stage]["ci"] == 0.0
+        assert agg["duration"] == {"mean": 100.0, "ci": 0.0, "total": 100}
+        assert agg["adr"] == {"drains": 1, "txns_with_drain": 1,
+                              "share": 1.0}
+
+    def test_differential_deltas_against_first_label(self):
+        (bd,), _ = decompose_trace(synthetic_trace())
+        ref = aggregate_breakdowns([bd])
+        other = aggregate_breakdowns([bd, bd])
+        diff = differential({"base": ref, "atom-opt": other})
+        assert diff["reference"] == "base"
+        assert diff["deltas"]["atom-opt"]["duration"]["delta"] == 0.0
+        assert differential({}) == {"reference": None, "deltas": {}}
+
+
+# -- recovery-cost figure ------------------------------------------------------
+
+def cost(cycles: int) -> dict:
+    return RecoveryCost(cycles=cycles, lines_scanned=cycles // 10).to_dict()
+
+
+class TestRecoveryFigure:
+    def test_empty_records_give_empty_figure(self):
+        assert recovery_figure([]) == {}
+
+    def test_exclusion_rules(self):
+        records = [
+            ("atom", 1000, cost(500), True),       # kept
+            ("atom", None, cost(500), True),       # probe point: excluded
+            ("atom", 1000, {}, True),              # quarantined: excluded
+            ("atom", 1000, cost(9_999), False),    # failed: excluded
+        ]
+        figure = recovery_figure(records)
+        assert figure["atom"]["points"] == 1
+        assert figure["atom"]["series"] == [
+            {"crash_cycle": 1000, "mean_cycles": 500.0, "ci": 0.0,
+             "points": 1}
+        ]
+
+    def test_single_sample_series_has_zero_ci(self):
+        figure = recovery_figure([("redo", 2000, cost(100), True)])
+        assert figure["redo"]["ci"] == 0.0
+        assert figure["redo"]["series"][0]["ci"] == 0.0
+
+    def test_means_group_by_design_and_crash_cycle(self):
+        records = [("atom", 1000, cost(100), True),
+                   ("atom", 1000, cost(300), True),
+                   ("atom", 3000, cost(500), True),
+                   ("redo", 1000, cost(800), True)]
+        figure = recovery_figure(records)
+        assert sorted(figure) == ["atom", "redo"]
+        atom = figure["atom"]
+        assert [s["crash_cycle"] for s in atom["series"]] == [1000, 3000]
+        assert atom["series"][0]["mean_cycles"] == 200.0
+        assert atom["series"][0]["points"] == 2
+        assert atom["points"] == 3
+
+    def test_adapter_reads_spec_and_point_shapes(self):
+        class FakeSpec:
+            design = Design.ATOM
+            crash_cycle = 1200
+
+        class FaultLike:
+            spec = FakeSpec()
+            ok = True
+            recovery_cost = cost(42)
+
+        class LitmusLike:
+            point = FakeSpec()
+            error = ""
+            recovery_cost = cost(7)
+
+        class LitmusErrored:
+            point = FakeSpec()
+            error = "boom"
+            recovery_cost = cost(9)
+
+        records = recovery_records_from_outcomes(
+            [FaultLike(), LitmusLike(), LitmusErrored()])
+        assert records[0] == ("atom", 1200, cost(42), True)
+        assert records[1] == ("atom", 1200, cost(7), True)
+        assert records[2][3] is False
+
+
+class TestRecoveryCostMerge:
+    def merged(self, *costs: RecoveryCost) -> RecoveryCost:
+        acc = RecoveryCost()
+        for c in costs:
+            acc.merge(RecoveryCost.from_dict(c.to_dict()))
+        return acc
+
+    def test_merge_is_associative(self):
+        a = RecoveryCost(cycles=100, records_undone=2, lines_scanned=30,
+                         checksum_rejected=1)
+        b = RecoveryCost(cycles=900, records_applied=4, lines_scanned=7)
+        c = RecoveryCost(cycles=400, entries_undone=5, adr_invalid=2)
+        ab_c = self.merged(self.merged(a, b), c)
+        a_bc = self.merged(a, self.merged(b, c))
+        assert ab_c.to_dict() == a_bc.to_dict()
+        # Counters sum; the modeled wall-clock keeps the max.
+        assert ab_c.cycles == 900
+        assert ab_c.lines_scanned == 37
+        assert ab_c.detections == 3
+
+    def test_merge_with_identity_is_identity(self):
+        a = RecoveryCost(cycles=5, records_undone=1)
+        assert self.merged(a, RecoveryCost()).to_dict() == a.to_dict()
+
+
+class TestCrashSweepFigure:
+    def test_real_sweep_emits_figure_per_design(self):
+        campaign = Campaign(jobs=1, cache=None)
+        specs = crash_grid(designs=[Design.ATOM_OPT, Design.REDO],
+                           workloads=["hash"],
+                           crash_cycles=[6_000, 14_000])
+        try:
+            sweep = crash_sweep(campaign, specs)
+        finally:
+            campaign.close()
+        payload = sweep.to_json()
+        assert payload["kind"] == "crash-sweep"
+        figure = payload["recovery_figure"]
+        assert sorted(figure) == ["atom-opt", "redo"]
+        for design in figure:
+            series = figure[design]["series"]
+            assert [s["crash_cycle"] for s in series] == [6_000, 14_000]
+            # A point may legitimately cost 0 (REDO crashing before any
+            # commit replays nothing), but a whole design never does.
+            assert all(s["mean_cycles"] >= 0 for s in series)
+            assert figure[design]["mean_cycles"] > 0
+
+    def test_quarantined_outcomes_do_not_dilute_the_figure(self):
+        from repro.harness.campaign import CrashOutcome, CrashSpec
+
+        good = CrashOutcome(
+            spec=CrashSpec(design=Design.ATOM, workload="hash",
+                           crash_cycle=4_000),
+            ok=True, recovery_cost=cost(250))
+        quarantined = CrashOutcome(
+            spec=CrashSpec(design=Design.ATOM, workload="hash",
+                           crash_cycle=4_000),
+            ok=False, error="quarantined: worker died", recovery_cost={})
+        figure = CrashSweepResult(
+            outcomes=[good, quarantined]).to_json()["recovery_figure"]
+        assert figure["atom"]["points"] == 1
+        assert figure["atom"]["mean_cycles"] == 250.0
+
+
+# -- perf history + trend gate -------------------------------------------------
+
+def report(geomean: float, ci: float = 0.0) -> dict:
+    return {"scale": 1.0, "repeats": 2, "points": [],
+            "aggregate": {"geomean_events_per_sec": geomean,
+                          "geomean_mean": geomean, "geomean_ci": ci,
+                          "total_events": 0, "total_wall_s": 0.0}}
+
+
+def history(*geomeans: float) -> list[dict]:
+    return [history_entry(report(g), timestamp=float(i))
+            for i, g in enumerate(geomeans)]
+
+
+class TestTrendGate:
+    def test_empty_history_passes_trivially(self):
+        assert check_trend([], report(100.0)) == []
+        assert "no history yet" in format_trend([], report(100.0))
+
+    def test_injected_regression_is_flagged(self):
+        past = history(100_000, 101_000, 99_500, 100_500)
+        failures = check_trend(past, report(80_000.0, ci=500.0))
+        assert failures and "below trend" in failures[0]
+
+    def test_within_ci_noise_stays_quiet(self):
+        # History wobbles ±2k around 100k; a 1.5k dip is not a signal.
+        past = history(98_000, 102_000, 100_000, 99_000, 101_000)
+        assert check_trend(past, report(98_500.0, ci=1_000.0)) == []
+
+    def test_floor_pct_absorbs_wiggle_on_flat_history(self):
+        past = history(100_000, 100_000, 100_000)
+        assert check_trend(past, report(99_000.0)) == []          # -1%
+        assert check_trend(past, report(95_000.0))                # -5%
+
+    def test_window_limits_the_reference(self):
+        past = history(*([50_000] * 10 + [100_000] * 3))
+        assert check_trend(past, report(95_000.0), window=3)
+        assert check_trend(past, report(95_000.0), window=13) == []
+
+    def test_garbage_entries_are_ignored(self):
+        past = history(100_000) + [{"geomean": "fast"}, {"geomean": -1},
+                                   {"note": "no geomean"}]
+        assert check_trend(past, report(100_000.0)) == []
+        assert "1 run(s)" in format_trend(past, report(100_000.0))
+
+
+class TestHistoryLedger:
+    def test_roundtrip_appends_and_loads(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        append_history(path, history_entry(report(123.0), timestamp=1.0))
+        append_history(path, history_entry(report(456.0), timestamp=2.0))
+        entries = load_history(path)
+        assert [e["geomean"] for e in entries] == [123.0, 456.0]
+        assert entries[0]["t"] == 1.0
+
+    def test_corrupt_and_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, history_entry(report(123.0), timestamp=1.0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n{torn line")     # killed-runner torn tail
+            fh.write("\n[1, 2, 3]\n")    # valid JSON, wrong shape
+        entries = load_history(path)
+        assert [e["geomean"] for e in entries] == [123.0]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_entry_summarizes_points(self):
+        rep = report(500.0, ci=10.0)
+        rep["points"] = [{"design": "atom", "workload": "hash",
+                          "events_per_sec": 500.0}]
+        entry = history_entry(rep, timestamp=3.0)
+        assert entry["points"] == {"atom/hash": 500.0}
+        assert entry["geomean_ci"] == 10.0
+        assert entry["schema"] == 1

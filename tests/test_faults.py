@@ -507,6 +507,60 @@ class TestCli:
         assert payload["summary"]["failures"] == 0
         assert payload["cells"][0]["fault"] == "controller-loss"
 
+    def test_faults_artifact_carries_recovery_figure(self, tmp_path):
+        from repro.faults.cli import main
+
+        out_path = tmp_path / "verdicts.json"
+        rc = main([
+            "--designs", "atom-opt", "--workloads", "hash",
+            "--crash-grid", "6000:10000:4000",
+            "--only", "controller",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "faults"
+        figure = payload["recovery_figure"]
+        assert list(figure) == ["atom-opt"]
+        assert [s["crash_cycle"] for s in figure["atom-opt"]["series"]] \
+            == [6000, 10000]
+
+    def test_trace_point_selects_a_matrix_point(self, tmp_path, capsys):
+        from repro.faults.cli import main
+        from repro.obs.trace import validate_chrome_trace
+
+        trace_path = tmp_path / "fault_trace.json"
+        rc = main([
+            "--designs", "atom-opt", "--workloads", "hash",
+            "--crash-grid", "6000:10000:4000",
+            "--only", "controller", "--no-cache",
+            "--out", str(tmp_path / "verdicts.json"),
+            "--trace", str(trace_path), "--trace-point", "1",
+        ])
+        assert rc == 0
+        assert "fault point 1" in capsys.readouterr().err
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload["traceEvents"]) == []
+
+    def test_trace_point_requires_trace(self):
+        from repro.faults.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--trace-point", "1",
+                  "--designs", "atom-opt", "--workloads", "hash",
+                  "--only", "controller", "--no-cache"])
+
+    def test_trace_point_out_of_range_errors(self, tmp_path):
+        from repro.faults.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--designs", "atom-opt", "--workloads", "hash",
+                  "--crash-grid", "6000:10000:4000",
+                  "--only", "controller", "--no-cache",
+                  "--trace", str(tmp_path / "t.json"),
+                  "--trace-point", "99"])
+
     def test_faults_unknown_model_errors(self):
         from repro.faults.cli import main
 

@@ -136,3 +136,59 @@ class TestWorkloadAliases:
         message = str(err.value)
         assert "hash" in message and "hashtable" in message
         assert "btree" in message and "bplustree" in message
+
+
+class TestCrashSweepCli:
+    """``--crash-sweep`` flags added for the analytics layer."""
+
+    ARGS = ["--crash-sweep", "--workloads", "hash",
+            "--designs", "atom-opt", "--crash-grid", "6000:14000:4000",
+            "--no-cache"]
+
+    def test_out_writes_artifact_with_recovery_figure(self, tmp_path,
+                                                      capsys):
+        import json
+
+        from repro.harness.__main__ import main
+
+        out = tmp_path / "crash.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "crash-sweep"
+        assert payload["summary"]["failures"] == 0
+        assert "campaign" in payload
+        series = payload["recovery_figure"]["atom-opt"]["series"]
+        assert [s["crash_cycle"] for s in series] == [6000, 10000, 14000]
+
+    def test_trace_point_selects_a_sweep_point(self, tmp_path, capsys):
+        import json
+
+        from repro.harness.__main__ import main
+        from repro.obs.trace import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        rc = main(self.ARGS + ["--trace", str(trace),
+                               "--trace-point", "2"])
+        assert rc == 0
+        assert "sweep point 2" in capsys.readouterr().err
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload["traceEvents"]) == []
+
+    def test_trace_point_requires_trace(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--trace-point", "1"])
+
+    def test_trace_point_out_of_range_errors(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--trace", str(tmp_path / "t.json"),
+                              "--trace-point", "99"])
+
+    def test_out_requires_crash_sweep(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--out", str(tmp_path / "x.json")])
