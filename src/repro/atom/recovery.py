@@ -80,6 +80,14 @@ class RecoveryReport:
     records: list[UndoneRecord] = field(default_factory=list)
     #: ADR blocks that failed validation (per controller, at most one).
     adr_invalid: int = 0
+    #: Line addresses recovery *flagged* as corrupt: scrub mismatches,
+    #: checksum-rejected headers, skipped undo entries, and the lines of
+    #: invalid ADR blocks.  The fault sweep diffs this against the
+    #: injector's damage ground truth to count *silent* corruption.
+    corrupt_lines: list[int] = field(default_factory=list)
+    #: The pass ran out of its write budget (crash-storm mode) before
+    #: finishing; counters describe the partial work done.
+    interrupted: bool = False
     #: Recovery-time analytics for the pass.
     cost: RecoveryCost = field(default_factory=RecoveryCost)
 
@@ -90,12 +98,55 @@ class RecoveryReport:
         self.controllers_with_state += other.controllers_with_state
         self.records.extend(other.records)
         self.adr_invalid += other.adr_invalid
+        self.corrupt_lines.extend(other.corrupt_lines)
+        self.interrupted = self.interrupted or other.interrupted
         self.cost.merge(other.cost)
+
+
+class _RecoveryInterrupted(Exception):
+    """Internal: the pass's write budget hit zero (crash-storm mode)."""
+
+
+def _budget_persist(image: MemoryImage, budget: dict | None,
+                    addr: int, data: bytes) -> None:
+    """Persist one line, charging (and enforcing) the write budget.
+
+    ``budget`` is ``None`` on a normal pass — the common case pays one
+    comparison.  In crash-storm mode it is a mutable ``{"left": n}``
+    cell shared by the whole pass: the n+1-th durable write raises
+    :class:`_RecoveryInterrupted`, modelling power dying *mid-recovery*
+    after exactly n line writes reached the cells.
+    """
+    if budget is not None:
+        if budget["left"] <= 0:
+            raise _RecoveryInterrupted
+        budget["left"] -= 1
+    image.persist(addr, data)
+
+
+def scrub_media(image: MemoryImage) -> tuple[int, list[int]]:
+    """Verify every touched durable line against the checksum plane.
+
+    Returns ``(lines_scrubbed, mismatched_line_addrs)``.  Runs *before*
+    any undo/replay traffic so damage is observed pre-healing — an undo
+    write over a rotten line would refresh its checksum and turn a
+    detectable fault into a silent one.  No-op without the plane.
+    """
+    if not image.line_checksums:
+        return 0, []
+    bad: list[int] = []
+    lines = 0
+    for base in image.touched_durable_lines():
+        lines += 1
+        if not image.verify_line(base):
+            bad.append(base)
+    return lines, bad
 
 
 def recover(image: MemoryImage, layout: AddressLayout,
             cfg: LogConfig, *, clear_adr: bool = True,
-            mem: MemoryConfig | None = None) -> RecoveryReport:
+            mem: MemoryConfig | None = None,
+            write_budget: int | None = None) -> RecoveryReport:
     """Run the full recovery routine over every controller's log.
 
     ``clear_adr=False`` stops before step 4 (clearing the ADR block) —
@@ -106,16 +157,67 @@ def recover(image: MemoryImage, layout: AddressLayout,
 
     ``mem`` supplies the NVM timing parameters for the modeled recovery
     cycles (defaults to the paper's Table-I device).
+
+    ``write_budget`` caps the pass's durable line writes (crash-storm
+    mode: power dies again mid-recovery).  A budget-interrupted pass
+    returns with ``report.interrupted`` set and partial counters; undo
+    writes are idempotent and the ADR clear happens strictly after a
+    controller's undo work, so re-running ``recover`` converges to the
+    same durable image an uninterrupted pass produces.
     """
     if mem is None:
         mem = MemoryConfig()
+    budget = None if write_budget is None else {"left": int(write_budget)}
     report = RecoveryReport()
+    # Media scrub first (step 0): with the checksum plane enabled, every
+    # touched durable line is verified before any undo write can heal —
+    # and thereby hide — damage.  Mismatches are grouped per controller
+    # so the read traffic lands on the right ControllerCost.
+    scrub_counts: dict[int, int] = {}
+    scrub_bad: dict[int, list[int]] = {}
+    if image.line_checksums:
+        for base in image.touched_durable_lines():
+            mc_id = layout.controller_of(base)
+            scrub_counts[mc_id] = scrub_counts.get(mc_id, 0) + 1
+            if not image.verify_line(base):
+                scrub_bad.setdefault(mc_id, []).append(base)
     for controller in range(layout.num_controllers):
-        report.merge(
-            _recover_controller(image, layout, cfg, controller, mem,
-                                clear_adr=clear_adr)
-        )
+        try:
+            report.merge(
+                _recover_controller(
+                    image, layout, cfg, controller, mem,
+                    clear_adr=clear_adr, budget=budget,
+                    scrub_lines=scrub_counts.get(controller, 0),
+                    scrub_bad=scrub_bad.get(controller, []),
+                )
+            )
+        except _RecoveryInterrupted:
+            # The budget died mid-controller: this pass's remaining work
+            # (including this controller's partial counters) is lost,
+            # exactly as a real power cut would lose it.
+            report.interrupted = True
+            break
     return report
+
+
+def _clear_adr_block(image: MemoryImage, layout: AddressLayout,
+                     base: int, budget: dict | None) -> None:
+    """Zero one controller's ADR block, line by line under a budget.
+
+    The unbudgeted path keeps the original single whole-block persist;
+    with a budget active the clear goes line-wise so an interruption
+    tears it at line granularity — the next pass then sees a block that
+    fails validation (partial magic/checksum), reports ``adr_invalid``,
+    and re-clears, which converges to the same zeroed block.
+    """
+    if budget is None:
+        image.persist(base, bytes(layout.adr_block_bytes))
+        return
+    total = layout.adr_block_bytes
+    zeros = bytes(CACHE_LINE_BYTES)
+    for off in range(0, total, CACHE_LINE_BYTES):
+        chunk = min(CACHE_LINE_BYTES, total - off)
+        _budget_persist(image, budget, base + off, zeros[:chunk])
 
 
 def _recover_controller(
@@ -126,12 +228,19 @@ def _recover_controller(
     mem: MemoryConfig,
     *,
     clear_adr: bool = True,
+    budget: dict | None = None,
+    scrub_lines: int = 0,
+    scrub_bad: list[int] | None = None,
 ) -> RecoveryReport:
     report = RecoveryReport()
     ctl = ControllerCost(
         controller=controller,
         adr_lines=adr_block_lines(layout.adr_block_bytes),
+        scrub_lines=scrub_lines,
     )
+    if scrub_bad:
+        ctl.line_checksum_rejected += len(scrub_bad)
+        report.corrupt_lines.extend(scrub_bad)
     base = layout.adr_base(controller)
     blob = image.durable_read(base, layout.adr_block_bytes)
     try:
@@ -144,38 +253,58 @@ def _recover_controller(
         report.adr_invalid = 1
         report.controllers_with_state = 1
         ctl.adr_invalid = 1
+        report.corrupt_lines.extend(
+            range(base, base + layout.adr_block_bytes, CACHE_LINE_BYTES)
+        )
         if clear_adr:
-            image.persist(base, bytes(layout.adr_block_bytes))
+            _clear_adr_block(image, layout, base, budget)
             ctl.clear_writes = ctl.adr_lines
         report.cost.absorb(ctl.finalize(mem))
         return report
     if not images:
+        if clear_adr and any(blob):
+            # A budget-interrupted clear zeroes the magic line first and
+            # can die before the tail: the block then parses as "never
+            # flushed" while stale tail lines survive.  Finish the
+            # clear, so a crash-storm converges to the same all-zero
+            # block an uninterrupted pass leaves behind.
+            _clear_adr_block(image, layout, base, budget)
+            ctl.clear_writes = ctl.adr_lines
         report.cost.absorb(ctl.finalize(mem))
         return report
     report.controllers_with_state = 1
     for aus in images:
         if not aus.active():
             continue
-        records = _collect_records(image, layout, controller, aus, ctl)
-        if not records:
-            continue
-        report.updates_rolled_back += 1
-        # Undo newest-first: descending sequence order.
-        for rec_addr, header in sorted(records, key=lambda r: -r[1].seq):
-            _undo_record(image, layout, rec_addr, header, ctl)
-            report.records_undone += 1
-            report.entries_undone += header.count
-            report.records.append(
-                UndoneRecord(
-                    controller=controller,
-                    slot=aus.slot,
-                    seq=header.seq,
-                    addresses=list(header.addresses),
+        checksum_before = ctl.checksum_rejected
+        records = _collect_records(image, layout, controller, aus, ctl,
+                                   report)
+        # Damage containment: a checksum rejection (torn/rotten header
+        # or entry) cuts off *this AUS's* walk, never the whole scan —
+        # count each AUS whose damage was fenced in this way.
+        contained = ctl.checksum_rejected > checksum_before
+        if records:
+            report.updates_rolled_back += 1
+            # Undo newest-first: descending sequence order.
+            for rec_addr, header in sorted(records, key=lambda r: -r[1].seq):
+                if _undo_record(image, layout, rec_addr, header, ctl,
+                                report, budget):
+                    contained = True
+                report.records_undone += 1
+                report.entries_undone += header.count
+                report.records.append(
+                    UndoneRecord(
+                        controller=controller,
+                        slot=aus.slot,
+                        seq=header.seq,
+                        addresses=list(header.addresses),
+                    )
                 )
-            )
+        if contained:
+            ctl.aus_contained += 1
     if clear_adr:
         # Recovery complete: clear the ADR block (second recovery = no-op).
-        image.persist(base, bytes(layout.adr_block_bytes))
+        _clear_adr_block(image, layout, base, budget)
         ctl.clear_writes = ctl.adr_lines
     ctl.records_undone = report.records_undone
     report.cost.absorb(ctl.finalize(mem))
@@ -188,6 +317,7 @@ def _collect_records(
     controller: int,
     aus: adr.AdrAusImage,
     ctl: ControllerCost,
+    report: RecoveryReport,
 ) -> list[tuple[RecordAddress, RecordHeader]]:
     """Gather the valid records of one incomplete update, in write order."""
     cfg = layout.log
@@ -203,6 +333,9 @@ def _collect_records(
         header = _read_header(image, layout, controller, bucket, 0, ctl)
         if header.valid and not header.checksum_ok:
             ctl.checksum_rejected += 1
+            report.corrupt_lines.append(
+                layout.record_header_addr(RecordAddress(controller, bucket, 0))
+            )
             continue
         if (
             header.trustworthy
@@ -231,6 +364,11 @@ def _collect_records(
                 # writes were gated on this very header — so stopping
                 # the prefix here is safe; the point is that we *know*.
                 ctl.checksum_rejected += 1
+                report.corrupt_lines.append(
+                    layout.record_header_addr(
+                        RecordAddress(controller, bucket, index)
+                    )
+                )
                 return accepted
             if header.owner != aus.slot or header.seq <= last_seq:
                 # Stale header: left in a reallocated bucket by an
@@ -266,18 +404,36 @@ def _undo_record(
     rec_addr: RecordAddress,
     header: RecordHeader,
     ctl: ControllerCost,
-) -> None:
+    report: RecoveryReport,
+    budget: dict | None = None,
+) -> bool:
     """Write each entry's old value back over its data line.
 
     Entries within one record are undone in reverse order too, so a line
     collated twice into the same record still converges to the older
     value.
+
+    With the checksum plane enabled each entry's payload line is
+    verified before it is restored: undoing from a rotten entry would
+    spray garbage over a data line *and* refresh its checksum, turning
+    detected damage silent.  A failing entry is skipped (the damage
+    stays contained to its AUS) and flagged; returns True iff any entry
+    was skipped this way.
     """
+    skipped = False
     for slot in range(header.count - 1, -1, -1):
         data_addr = header.addresses[slot]
-        payload = image.durable_read(
-            layout.record_entry_addr(rec_addr, slot), CACHE_LINE_BYTES
-        )
+        entry_addr = layout.record_entry_addr(rec_addr, slot)
+        payload = image.durable_read(entry_addr, CACHE_LINE_BYTES)
         ctl.entries_read += 1
+        if image.line_checksums and not image.verify_line(entry_addr):
+            # The scrub pass normally flagged this line already; only a
+            # direct (scrub-less) call counts it here.
+            if entry_addr not in report.corrupt_lines:
+                ctl.line_checksum_rejected += 1
+                report.corrupt_lines.append(entry_addr)
+            skipped = True
+            continue
         ctl.undo_writes += 1
-        image.persist(data_addr, payload)
+        _budget_persist(image, budget, data_addr, payload)
+    return skipped

@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 
 from repro.common.stats import Stats
 from repro.common.units import CACHE_LINE_BYTES, line_of
-from repro.faults.analytics import RecoveryCost, redo_replay_cost
+from repro.faults.analytics import (
+    RecoveryCost, line_read_cycles, redo_replay_cost,
+)
 
 CTRL_BYTES = 8
 _ENTRY = struct.Struct("<QQ")
@@ -147,6 +149,10 @@ class RedoManager:
         ) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
         #: Analytics of the last :meth:`recover` call (replay traffic).
         self.last_recovery_cost = RecoveryCost()
+        #: Lines the last recover's media scrub flagged as corrupt.
+        self.last_corrupt_lines: list[int] = []
+        #: The last recover ran out of its write budget (crash-storm).
+        self.last_recovery_interrupted = False
         #: Lifecycle tracer (repro.obs.trace.Tracer) or None — checked
         #: at commit/apply events only (the injector-gate pattern).
         self.tracer = None
@@ -448,7 +454,7 @@ class RedoManager:
             if mc.victim_cache is not None:
                 mc.victim_cache.drop_all()
 
-    def recover(self) -> int:
+    def recover(self, write_budget: int | None = None) -> int:
         """Redo-apply the committed log beyond the truncated prefix.
 
         Backend applies complete in log-read order, not commit order, so
@@ -460,30 +466,66 @@ class RedoManager:
         transaction restores any of its words an earlier replay just
         overwrote.  Returns the number of transactions replayed.
 
+        ``write_budget`` caps the durable word writes (crash-storm mode:
+        power dies again mid-replay).  An interrupted replay marks *no*
+        transaction applied — partially replayed words are harmless
+        because the next pass replays the same full suffix from the same
+        prefix (marking a replayed txn early would let the prefix skip
+        past it and leave its words clobbered by an *earlier* txn's
+        replay).  :attr:`last_recovery_interrupted` records the cut.
+
         The replay's modeled traffic lands in :attr:`last_recovery_cost`:
         the backend re-reads each replayed transaction's combined log
         lines plus its commit record, then writes each reconstructed
-        data line in place.
+        data line in place.  With the checksum plane enabled a media
+        scrub precedes the replay; its flagged lines land in
+        :attr:`last_corrupt_lines` and its traffic in the cost.
         """
+        image = self.image
+        scrub_lines = 0
+        self.last_corrupt_lines = []
+        self.last_recovery_interrupted = False
+        if image.line_checksums:
+            from repro.atom.recovery import scrub_media
+
+            scrub_lines, bad = scrub_media(image)
+            self.last_corrupt_lines = bad
         prefix = 0
         while (prefix < len(self._commit_order)
                and self._commit_order[prefix] in self._applied):
             prefix += 1
+        budget = write_budget
         replayed = 0
         entries = 0
         log_lines = 0
+        to_mark: list[int] = []
         data_lines: set[int] = set()
         for txn_id in self._commit_order[prefix:]:
             words = self._durable_commits[txn_id]
             for addr, value in words:
-                self.image.persist(addr, value)
+                if budget is not None:
+                    if budget <= 0:
+                        self.last_recovery_interrupted = True
+                        break
+                    budget -= 1
+                image.persist(addr, value)
                 data_lines.add(line_of(addr))
+            if self.last_recovery_interrupted:
+                break
             entries += len(words)
             log_lines += -(-len(words) // self.entries_per_line) + 1
-            self._applied.add(txn_id)
+            to_mark.append(txn_id)
             replayed += 1
-        self.last_recovery_cost = redo_replay_cost(
+        if not self.last_recovery_interrupted:
+            self._applied.update(to_mark)
+        cost = redo_replay_cost(
             self.system.config.memory, replayed=replayed, entries=entries,
             log_lines_read=log_lines, data_lines_written=len(data_lines),
         )
+        if scrub_lines:
+            mem = self.system.config.memory
+            cost.lines_scanned += scrub_lines
+            cost.line_checksum_rejected = len(self.last_corrupt_lines)
+            cost.cycles += scrub_lines * line_read_cycles(mem)
+        self.last_recovery_cost = cost
         return replayed

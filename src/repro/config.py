@@ -151,6 +151,12 @@ class MemoryConfig:
     #: Cycles to match a data write address against the record header
     #: (paper section V: "address match latency of 1 cycle").
     header_match_cycles: int = 1
+    #: Maintain a per-data-line checksum plane on the durable image
+    #: (modeled ECC metadata).  Off by default: it adds a branch to the
+    #: persist hot path and exists for the fault subsystem, whose media
+    #: models (torn data writes, bit-rot) are only *detectable* when
+    #: recovery can scrub lines against it.
+    line_checksums: bool = False
 
     @property
     def read_cycles(self) -> int:
@@ -292,6 +298,7 @@ class SystemConfig:
         num_cores: int = 4,
         data_bytes: int = 4 * MB,
         seed: int = 42,
+        line_checksums: bool = False,
     ) -> "SystemConfig":
         """A small machine with the same ratios, for fast tests.
 
@@ -309,7 +316,8 @@ class SystemConfig:
                 mshrs=16,
             ),
             noc=NocConfig(rows=rows),
-            memory=MemoryConfig(num_controllers=min(2, num_cores)),
+            memory=MemoryConfig(num_controllers=min(2, num_cores),
+                                line_checksums=line_checksums),
             log=LogConfig(
                 buckets_per_controller=64,
                 records_per_bucket=8,

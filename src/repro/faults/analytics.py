@@ -66,13 +66,23 @@ class ControllerCost:
     checksum_rejected: int = 0
     #: ADR blocks failing checksum/truncation validation.
     adr_invalid: int = 0
+    #: Touched durable lines re-read by the media scrub (step 0; only
+    #: with the per-line checksum plane enabled).
+    scrub_lines: int = 0
+    #: Lines failing the per-line checksum plane: scrub mismatches plus
+    #: rotten undo-entry payloads skipped during undo.
+    line_checksum_rejected: int = 0
+    #: AUSes whose damage was contained (walk cut at a rejected header,
+    #: or rotten entries skipped) instead of aborting the whole scan.
+    aus_contained: int = 0
     #: ADR-block lines written to clear the block (step 4).
     clear_writes: int = 0
     cycles: int = 0
 
     @property
     def lines_scanned(self) -> int:
-        return self.adr_lines + self.headers_scanned + self.entries_read
+        return (self.adr_lines + self.headers_scanned + self.entries_read
+                + self.scrub_lines)
 
     def finalize(self, mem: MemoryConfig) -> "ControllerCost":
         """Fill in the modeled cycle cost from the traffic counters."""
@@ -92,6 +102,9 @@ class ControllerCost:
             "stale_rejected": self.stale_rejected,
             "checksum_rejected": self.checksum_rejected,
             "adr_invalid": self.adr_invalid,
+            "scrub_lines": self.scrub_lines,
+            "line_checksum_rejected": self.line_checksum_rejected,
+            "aus_contained": self.aus_contained,
             "clear_writes": self.clear_writes,
             "lines_scanned": self.lines_scanned,
             "cycles": self.cycles,
@@ -121,6 +134,16 @@ class RecoveryCost:
     checksum_rejected: int = 0
     #: ADR blocks failing validation (truncated/corrupt ADR flush).
     adr_invalid: int = 0
+    #: Lines failing the per-line checksum plane (media scrub + rotten
+    #: undo entries) — zero when the plane is disabled.
+    line_checksum_rejected: int = 0
+    #: AUSes whose damage was contained instead of aborting the scan.
+    aus_contained: int = 0
+    #: Damaged durable lines recovery neither healed nor flagged — the
+    #: fault sweep fills this from the injector's damage ground truth.
+    #: Non-zero means corruption survived *undetected*: the failure
+    #: mode the checksum plane exists to close.
+    silent_corruption: int = 0
     #: Modeled recovery cycles (max over controllers; see class doc).
     cycles: int = 0
     per_controller: list[dict] = field(default_factory=list)
@@ -128,7 +151,8 @@ class RecoveryCost:
     @property
     def detections(self) -> int:
         """Validation hits: corruption recovery *noticed* (vs. absorbed)."""
-        return self.checksum_rejected + self.adr_invalid
+        return (self.checksum_rejected + self.adr_invalid
+                + self.line_checksum_rejected)
 
     def absorb(self, ctl: ControllerCost) -> None:
         """Fold one controller's finalized cost into the aggregate."""
@@ -138,6 +162,8 @@ class RecoveryCost:
         self.stale_rejected += ctl.stale_rejected
         self.checksum_rejected += ctl.checksum_rejected
         self.adr_invalid += ctl.adr_invalid
+        self.line_checksum_rejected += ctl.line_checksum_rejected
+        self.aus_contained += ctl.aus_contained
         if ctl.cycles > self.cycles:
             self.cycles = ctl.cycles
         self.per_controller.append(ctl.to_dict())
@@ -151,6 +177,9 @@ class RecoveryCost:
         self.stale_rejected += other.stale_rejected
         self.checksum_rejected += other.checksum_rejected
         self.adr_invalid += other.adr_invalid
+        self.line_checksum_rejected += other.line_checksum_rejected
+        self.aus_contained += other.aus_contained
+        self.silent_corruption += other.silent_corruption
         if other.cycles > self.cycles:
             self.cycles = other.cycles
         self.per_controller.extend(other.per_controller)
@@ -165,6 +194,9 @@ class RecoveryCost:
             "stale_rejected": self.stale_rejected,
             "checksum_rejected": self.checksum_rejected,
             "adr_invalid": self.adr_invalid,
+            "line_checksum_rejected": self.line_checksum_rejected,
+            "aus_contained": self.aus_contained,
+            "silent_corruption": self.silent_corruption,
             "cycles": self.cycles,
             "per_controller": list(self.per_controller),
         }
@@ -180,6 +212,9 @@ class RecoveryCost:
             stale_rejected=payload.get("stale_rejected", 0),
             checksum_rejected=payload.get("checksum_rejected", 0),
             adr_invalid=payload.get("adr_invalid", 0),
+            line_checksum_rejected=payload.get("line_checksum_rejected", 0),
+            aus_contained=payload.get("aus_contained", 0),
+            silent_corruption=payload.get("silent_corruption", 0),
             cycles=payload.get("cycles", 0),
             per_controller=list(payload.get("per_controller", [])),
         )

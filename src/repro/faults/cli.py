@@ -13,6 +13,7 @@ but do not fail the run.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -20,7 +21,8 @@ from repro.common.errors import ConfigError
 from repro.common.log import add_log_flags, apply_log_flags, get_logger
 from repro.config import Design
 from repro.faults.models import (
-    FAULT_MODELS, MultiFault, TornLogWrite, fault_from_dict,
+    FAULT_MODELS, MultiFault, TornDataWrite, TornLogWrite, fault_from_dict,
+    resolve_inapplicable,
 )
 from repro.faults.sweep import (
     FAULT_DESIGNS, FAULT_WORKLOADS, fault_grid, fault_sweep,
@@ -36,17 +38,46 @@ log = get_logger("faults")
 def apply_torn_seed(model, seed: int):
     """Rebuild ``model`` with seed-derived torn-prefix lengths.
 
-    Replaces every :class:`TornLogWrite` (including members of a
-    composite) with one whose prefix is derived from ``seed``; other
-    models pass through unchanged.
+    Replaces every :class:`TornLogWrite` and :class:`TornDataWrite`
+    (including members of a composite) with one whose prefix is derived
+    from ``seed``; other models pass through unchanged.
     """
     if isinstance(model, TornLogWrite):
         return TornLogWrite(controller=model.controller, prefix_seed=seed)
+    if isinstance(model, TornDataWrite):
+        return TornDataWrite(controller=model.controller, prefix_seed=seed)
     if isinstance(model, MultiFault):
         members = [apply_torn_seed(m, seed) for m in model.models]
         if any(m is not old for m, old in zip(members, model.models)):
             return MultiFault(models=members)
     return model
+
+
+def add_fault_policy_flags(parser) -> None:
+    """The shared ``--strict-faults``/``--drop-inapplicable`` pair.
+
+    Both the faults and litmus front-ends register this pair so an
+    inapplicable (model, design) selection is handled identically:
+    the default (``None``) keeps each front-end's historical policy,
+    either flag overrides it the same way for both.
+    """
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--strict-faults", dest="strict_faults",
+                       action="store_true", default=None,
+                       help="error out when a selected fault model "
+                            "applies to none of the selected designs")
+    group.add_argument("--drop-inapplicable", dest="strict_faults",
+                       action="store_false",
+                       help="drop such models with a warning instead of "
+                            "erroring")
+
+
+def _field_default(f: dataclasses.Field) -> str:
+    if f.default is not dataclasses.MISSING:
+        return repr(f.default)
+    if f.default_factory is not dataclasses.MISSING:
+        return repr(f.default_factory())
+    return "<required>"
 
 
 def render_model_listing() -> str:
@@ -56,9 +87,18 @@ def render_model_listing() -> str:
         doc = (cls.__doc__ or "").strip().splitlines()[0]
         contract = ("consistency" if cls.preserves_consistency
                     else "detection")
+        if cls.detection_needs_checksums:
+            contract += "*"
         lines.append(f"{kind.ljust(width)}  [{contract}] {doc}")
+        params = ", ".join(f"{f.name}={_field_default(f)}"
+                           for f in dataclasses.fields(cls))
+        if params:
+            lines.append(f"{''.ljust(width)}  params: {params}")
     lines.append("compose with '+' (e.g. controller-loss+torn-log-write): "
                  "every member strikes in the same power failure")
+    lines.append("[detection*]: the contract binds only with the per-line "
+                 "checksum plane enabled (--checksums); without it the "
+                 "damage is accounted as silent corruption")
     return "\n".join(lines)
 
 
@@ -69,9 +109,10 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness faults",
-        description="Inject partial failures (controller loss, torn log "
-                    "writes, ADR truncation, log corruption) and check "
-                    "recovery behaviour across the designs.",
+        description="Inject partial failures (controller loss, torn log/"
+                    "data writes, ADR truncation, log corruption, bit "
+                    "rot, correlated power loss) and check recovery "
+                    "behaviour across the designs.",
     )
     parser.add_argument("--faults", default=None,
                         help="fault models to inject (comma-separated; "
@@ -92,9 +133,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="seeds (comma-separated; default 7)")
     parser.add_argument("--torn-seed", type=int, default=None,
                         metavar="SEED",
-                        help="derive torn-log-write prefix lengths from "
-                             "this seed instead of the fixed 60-byte "
+                        help="derive torn-log/data-write prefix lengths "
+                             "from this seed instead of the fixed 60-byte "
                              "split (keys the cache)")
+    parser.add_argument("--checksums", action="store_true",
+                        help="enable the per-data-line checksum plane: "
+                             "media faults (torn data, bit rot) become "
+                             "detectable and silent corruption fails "
+                             "the cell")
+    parser.add_argument("--storm", type=int, default=None, metavar="SEED",
+                        help="recover through a seeded crash storm "
+                             "(recovery repeatedly interrupted mid-pass "
+                             "until it converges to a fixpoint)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
     parser.add_argument("--max-retries", type=int, default=2,
@@ -126,7 +176,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="matrix-point index to trace with --trace "
                              "(default 0: the first point)")
     parser.add_argument("--list", action="store_true",
-                        help="list fault models and exit")
+                        help="list fault models (with parameters) and exit")
+    add_fault_policy_flags(parser)
     add_log_flags(parser)
     args = parser.parse_args(argv)
     apply_log_flags(args)
@@ -155,8 +206,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.torn_seed is not None:
         seeded = [apply_torn_seed(m, args.torn_seed) for m in models]
         if all(m is old for m, old in zip(seeded, models)):
-            parser.error("--torn-seed requires a torn-log-write model in "
-                         "the selected set")
+            parser.error("--torn-seed requires a torn-log-write or "
+                         "torn-data-write model in the selected set")
         models = seeded
 
     try:
@@ -164,21 +215,21 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError:
         parser.error(f"--designs must be drawn from "
                      f"{','.join(d.value for d in Design)}")
-    dropped = [m.kind for m in models
-               if not any(m.applicable(d) for d in designs)]
-    if dropped:
-        msg = (f"fault model(s) {', '.join(dropped)} apply to none of "
-               f"the selected designs "
-               f"({','.join(d.value for d in designs)})")
-        if explicit:
-            parser.error(f"{msg} — they would silently vanish from the "
-                         f"verdict table; drop the model or add a design "
-                         f"it applies to")
-        log.warning(f"{msg}; dropping from the default model set")
-        models = [m for m in models if m.kind not in dropped]
-        if not models:
-            parser.error("no applicable fault models remain for the "
-                         "selected designs")
+    # Historical default: an explicit request must not be silently
+    # narrowed (strict), the implicit default set sheds inapplicable
+    # models with a warning.  The shared policy flags override both.
+    strict = args.strict_faults if args.strict_faults is not None \
+        else explicit
+    try:
+        models, dropped = resolve_inapplicable(models, designs,
+                                               strict=strict)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    for reason in dropped:
+        log.warning(f"{reason}; dropping from the model set")
+    if not models:
+        parser.error("no applicable fault models remain for the "
+                     "selected designs")
     workloads = [w for w in args.workloads.split(",") if w]
     if not workloads:
         parser.error("--workloads must name at least one workload")
@@ -191,7 +242,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seeds must name at least one seed")
 
     specs = fault_grid(designs=designs, workloads=workloads, models=models,
-                       crash_cycles=args.crash_grid, seeds=seeds)
+                       crash_cycles=args.crash_grid, seeds=seeds,
+                       checksums=args.checksums, storm=args.storm)
     if not specs:
         parser.error("the requested (design x fault) combinations are all "
                      "inapplicable — nothing to run")

@@ -26,6 +26,22 @@ campaign cache and cross process boundaries to pool workers.
                        record header flip after the crash.  Recovery
                        must detect the corrupt header (checksum), never
                        undo from it, and stay idempotent.
+``torn-data-write``    the in-flight *data*-line write persists only a
+                       prefix.  Data lines carry no format checksum, so
+                       detection needs the per-line checksum plane
+                       (``MemoryConfig.line_checksums``); without it
+                       the mixed-epoch line is silent corruption.
+``bit-rot``            seeded media decay: after the crash, touched
+                       durable lines flip one bit each at a
+                       configurable rate (restrictable to the data,
+                       log, or ADR region).  Same detection story as
+                       torn data: sound only with the checksum plane.
+``correlated-loss``    k-of-n correlated power loss: several memory
+                       controllers lose their queued writes in one
+                       event while the survivors drain cleanly —
+                       the multi-controller generalization of
+                       ``controller-loss``, consistency-preserving for
+                       the same reason.
 ``a+b`` (composite)    :class:`MultiFault` — several models strike in
                        the *same* power failure (e.g.
                        ``controller-loss+torn-log-write``: one
@@ -45,8 +61,14 @@ Two axes classify every model and drive the sweep's verdicts:
   information recovery *needs* — there the contract is detection.
 * ``expects_detection`` — whenever the fault actually applied, the
   recovery pass must report at least one validation hit
-  (``checksum_rejected`` or ``adr_invalid`` in the
-  :class:`~repro.faults.analytics.RecoveryCost`).
+  (``checksum_rejected``, ``adr_invalid``, or ``line_checksum_rejected``
+  in the :class:`~repro.faults.analytics.RecoveryCost`).
+
+A third axis, ``detection_needs_checksums``, marks the media models
+(``torn-data-write``, ``bit-rot``) whose damage lands outside any
+checksummed *format* structure: the detection contract only binds when
+the per-line checksum plane is enabled — without it the sweep counts
+the unflagged damage in the silent-corruption bucket instead.
 
 The :class:`FaultInjector` is the bridge into the machine: it taps log
 writes at the memory controllers (issue/persist, so it always knows the
@@ -59,7 +81,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.atom import adr
 from repro.atom.record import RecordHeader
@@ -77,6 +99,9 @@ class FaultModel:
     preserves_consistency = True
     #: Whenever the fault applies, recovery must report a detection.
     expects_detection = False
+    #: The detection contract binds only when the per-data-line checksum
+    #: plane is enabled (media models whose damage has no format CRC).
+    detection_needs_checksums = False
 
     def applicable(self, design: Design) -> bool:
         raise NotImplementedError
@@ -203,6 +228,131 @@ class LogCorruption(FaultModel):
 
 
 @dataclass
+class TornDataWrite(FaultModel):
+    """The in-flight data-line write persists only a prefix of its bytes.
+
+    The data-path analogue of ``torn-log-write``: the oldest submitted
+    (post-gate) data write of a failed controller lands as a
+    mixed-epoch line.  Unlike log lines, data lines carry no format
+    checksum, so the detection contract binds only with the per-line
+    checksum plane (``detection_needs_checksums``); without it the tear
+    is silent corruption the sweep must account, never report ``ok``.
+    """
+
+    kind = "torn-data-write"
+    preserves_consistency = False  # a torn committed line is garbage
+    expects_detection = True
+    detection_needs_checksums = True
+
+    #: Controller whose in-flight data write tears; ``None`` picks the
+    #: first controller (by id) with a data write on the wires.
+    controller: int | None = None
+    #: Bytes of the line that reach the cells before power dies.
+    prefix_bytes: int = 60
+    #: When set, ``prefix_bytes`` is derived from this seed
+    #: (:func:`torn_prefix_from_seed`), exactly like torn-log-write.
+    prefix_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.prefix_seed is not None:
+            self.prefix_bytes = torn_prefix_from_seed(self.prefix_seed)
+        if not 1 <= self.prefix_bytes < CACHE_LINE_BYTES:
+            raise ConfigError(
+                f"torn-data-write prefix_bytes must be in "
+                f"[1, {CACHE_LINE_BYTES - 1}], got {self.prefix_bytes}"
+            )
+
+    def applicable(self, design: Design) -> bool:
+        return True  # every design persists data lines
+
+
+#: Valid ``regions`` values for :class:`BitRot`.
+BIT_ROT_REGIONS = ("all", "data", "log", "adr")
+
+
+@dataclass
+class BitRot(FaultModel):
+    """Seeded media decay: post-crash bit flips across durable lines.
+
+    Every *touched* durable line in the selected region independently
+    rots with probability ``rate``; a rotting line has one seed-derived
+    bit flipped.  Decisions are SHA-256-derived from ``(seed, addr)`` —
+    deterministic per seed across interpreters and pool workers, so the
+    model keys the campaign cache.  Detection is sound only with the
+    per-line checksum plane; format CRCs (record headers, ADR blocks)
+    catch the subset of flips that land on them.
+    """
+
+    kind = "bit-rot"
+    preserves_consistency = False
+    expects_detection = True
+    detection_needs_checksums = True
+
+    seed: int = 0
+    #: Per-line decay probability in (0, 1].
+    rate: float = 0.02
+    #: Restrict decay to one region: all | data | log | adr.
+    regions: str = "all"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigError(
+                f"bit-rot rate must be in (0, 1], got {self.rate}"
+            )
+        if self.regions not in BIT_ROT_REGIONS:
+            raise ConfigError(
+                f"bit-rot regions must be one of "
+                f"{', '.join(BIT_ROT_REGIONS)}, got {self.regions!r}"
+            )
+
+    def applicable(self, design: Design) -> bool:
+        if self.regions in ("log", "adr"):
+            return _uses_undo_log(design)
+        return True
+
+
+@dataclass
+class CorrelatedControllerLoss(FaultModel):
+    """k-of-n correlated power loss: several controllers die together.
+
+    One failure event (a shared power rail, a PSU domain) takes out
+    ``controllers`` at once — their queued writes vanish — while every
+    survivor drains cleanly.  Consistency must still hold by the same
+    argument as single ``controller-loss``: the lost queues only remove
+    state a whole-machine cut could also have removed, and Invariant 2
+    holds per controller.
+    """
+
+    kind = "correlated-loss"
+    preserves_consistency = True
+    expects_detection = False
+
+    #: Controllers that lose their queues in the one event (>= 2; a
+    #: single id is plain ``controller-loss``).
+    controllers: list = field(default_factory=lambda: [0, 1])
+
+    def __post_init__(self) -> None:
+        try:
+            ids = sorted({int(c) for c in self.controllers})
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"correlated-loss controllers must be a list of ints, "
+                f"got {self.controllers!r}"
+            ) from None
+        if len(ids) < 2:
+            raise ConfigError(
+                "correlated-loss needs at least two distinct controllers "
+                "(use controller-loss for a single one)"
+            )
+        if ids[0] < 0:
+            raise ConfigError("correlated-loss controller ids must be >= 0")
+        self.controllers = ids
+
+    def applicable(self, design: Design) -> bool:
+        return True  # every design has per-controller write queues
+
+
+@dataclass
 class MultiFault(FaultModel):
     """Composite: several member models strike in one power failure.
 
@@ -250,6 +400,16 @@ class MultiFault(FaultModel):
     def expects_detection(self) -> bool:  # type: ignore[override]
         return any(m.expects_detection for m in self.models)
 
+    @property
+    def detection_needs_checksums(self) -> bool:  # type: ignore[override]
+        # The composite's detection contract is checksum-gated only when
+        # *every* detection-expecting member needs the plane: one format
+        # CRC hit (e.g. adr-truncation) satisfies the contract alone.
+        needing = [m for m in self.models if m.expects_detection]
+        return bool(needing) and all(
+            m.detection_needs_checksums for m in needing
+        )
+
     def applicable(self, design: Design) -> bool:
         return all(m.applicable(design) for m in self.models)
 
@@ -263,7 +423,8 @@ class MultiFault(FaultModel):
 #: by :func:`fault_from_dict`, not listed here.
 FAULT_MODELS: dict[str, type[FaultModel]] = {
     cls.kind: cls
-    for cls in (ControllerLoss, TornLogWrite, AdrTruncation, LogCorruption)
+    for cls in (ControllerLoss, TornLogWrite, AdrTruncation, LogCorruption,
+                TornDataWrite, BitRot, CorrelatedControllerLoss)
 }
 
 
@@ -304,6 +465,46 @@ def default_fault_models() -> list[FaultModel]:
     return [cls() for cls in FAULT_MODELS.values()]
 
 
+def partition_applicable(
+    models: list[FaultModel], designs: list[Design],
+) -> tuple[list[FaultModel], list[tuple[FaultModel, str]]]:
+    """Split ``models`` into (usable, dropped-with-reason) for ``designs``.
+
+    A model is usable when it applies to at least one selected design.
+    Each dropped model pairs with the reason string the front-ends show;
+    this is the single source of the inapplicability policy the faults
+    and litmus CLIs share (see :func:`resolve_inapplicable`).
+    """
+    usable: list[FaultModel] = []
+    dropped: list[tuple[FaultModel, str]] = []
+    names = ", ".join(getattr(d, "value", str(d)) for d in designs)
+    for model in models:
+        if any(model.applicable(d) for d in designs):
+            usable.append(model)
+        else:
+            dropped.append((model, f"fault model '{model.kind}' applies to "
+                                   f"none of the selected designs ({names})"))
+    return usable, dropped
+
+
+def resolve_inapplicable(
+    models: list[FaultModel], designs: list[Design], *, strict: bool,
+) -> tuple[list[FaultModel], list[str]]:
+    """Apply the shared strict/drop policy to an inapplicable selection.
+
+    ``strict=True`` raises :class:`ConfigError` on the first model that
+    applies to no selected design; otherwise the model is dropped and
+    its reason returned for the caller to print as a warning.
+    """
+    usable, dropped = partition_applicable(models, designs)
+    if dropped and strict:
+        raise ConfigError(
+            f"{dropped[0][1]} (pass --drop-inapplicable to skip such "
+            f"models instead)"
+        )
+    return usable, [reason for _, reason in dropped]
+
+
 class FaultInjector:
     """Applies one :class:`FaultModel` during a power failure.
 
@@ -325,12 +526,27 @@ class FaultInjector:
             else [model]
         self._loss = next(
             (m for m in members if isinstance(m, ControllerLoss)), None)
+        self._corr_loss = next(
+            (m for m in members
+             if isinstance(m, CorrelatedControllerLoss)), None)
         self._torn = next(
             (m for m in members if isinstance(m, TornLogWrite)), None)
+        self._torn_data = next(
+            (m for m in members if isinstance(m, TornDataWrite)), None)
         self._adr = next(
             (m for m in members if isinstance(m, AdrTruncation)), None)
         self._corrupt = next(
             (m for m in members if isinstance(m, LogCorruption)), None)
+        self._bit_rot = next(
+            (m for m in members if isinstance(m, BitRot)), None)
+        # Union of every loss member's controllers: the set that loses
+        # its queues in the one power event.
+        lost: set[int] = set()
+        if self._loss is not None:
+            lost.add(self._loss.controller)
+        if self._corr_loss is not None:
+            lost.update(self._corr_loss.controllers)
+        self._lost_ids = frozenset(lost)
         #: The fault actually changed something (a vacuity marker: a
         #: torn-write point with no log write in flight applies nothing).
         #: For composites: *any* member changed something.
@@ -342,11 +558,28 @@ class FaultInjector:
         self.tore_header = False
         #: Writes completed by surviving controllers' clean drains.
         self.drained_writes = 0
-        #: The controller-loss member already wrote its detail clause.
+        #: The loss member(s) already wrote their detail clause.
         self._loss_marked = False
         self.system = None
         #: mc_id -> OrderedDict[addr, payload] of in-flight log writes.
         self._inflight: dict[int, OrderedDict[int, bytes]] = {}
+        #: mc_id -> OrderedDict[addr, payload] of in-flight data writes
+        #: (tracked only when a torn-data member is present).
+        self._inflight_data: dict[int, OrderedDict[int, bytes]] = {}
+        #: Controllers that took the clean quiet-drain path: their log
+        #: FIFO taps are stale (drained persists fire no callbacks), so
+        #: the torn-log tear must skip them.
+        self._drained_ids: set[int] = set()
+        #: Media-damage ground truth: line base -> the post-damage line
+        #: bytes this injector planted.  The sweep diffs it against the
+        #: recovered image and the flagged ``corrupt_lines`` to count
+        #: *silent* corruption (damage neither healed nor detected).
+        self.damage: dict[int, bytes] = {}
+
+    @property
+    def taps_data_writes(self) -> bool:
+        """The controllers' data path should report issue/persist."""
+        return self._torn_data is not None
 
     def _mark(self, detail: str) -> None:
         self.applied = True
@@ -357,7 +590,7 @@ class FaultInjector:
     def install(self, system) -> "FaultInjector":
         self.system = system
         system.fault_injector = self
-        track = self._loss is not None
+        track = bool(self._lost_ids)
         for mc in system.controllers:
             mc.fault_injector = self
             if track:
@@ -378,31 +611,43 @@ class FaultInjector:
         if queue is not None:
             queue.pop(addr, None)
 
+    def note_data_write(self, mc_id: int, addr: int, payload: bytes) -> None:
+        self._inflight_data.setdefault(mc_id, OrderedDict())[addr] = payload
+
+    def note_data_persisted(self, mc_id: int, addr: int) -> None:
+        queue = self._inflight_data.get(mc_id)
+        if queue is not None:
+            queue.pop(addr, None)
+
     # -- crash-sequence hook points -------------------------------------------
 
     def controller_survives(self, mc_id: int) -> bool:
-        """False for the controller that loses its queued writes."""
-        if self._loss is not None:
-            return mc_id != self._loss.controller
+        """False for every controller that loses its queued writes."""
+        if self._lost_ids:
+            return mc_id not in self._lost_ids
         return True
 
     def wants_drain(self) -> bool:
-        """Surviving controllers drain cleanly (controller-loss only)."""
-        return self._loss is not None
+        """Surviving controllers drain cleanly (loss models only)."""
+        return bool(self._lost_ids)
 
     def note_drained(self, mc_id: int, writes: int) -> None:
+        self._drained_ids.add(mc_id)
         self.drained_writes += writes
-        if writes and self._loss is not None and not self._loss_marked:
+        if writes and self._lost_ids and not self._loss_marked:
             self._loss_marked = True
+            lost = "+".join(str(c) for c in sorted(self._lost_ids))
+            queues = "its queue" if len(self._lost_ids) == 1 \
+                else "their queues"
             self._mark(
-                f"controller {self._loss.controller} lost its queue; "
+                f"controller {lost} lost {queues}; "
                 f"survivors drained {writes}+ writes"
             )
 
     def note_controller_dropped(self, mc_id: int, dropped: int) -> None:
-        if self._loss is not None and not self._loss_marked:
+        if self._lost_ids and not self._loss_marked:
             # Even with empty survivor queues the loss itself applied if
-            # the failed controller actually dropped work.
+            # a failed controller actually dropped work.
             if dropped:
                 self._loss_marked = True
                 self._mark(
@@ -425,18 +670,27 @@ class FaultInjector:
         """Apply image-level damage that happens *at* the cut.
 
         Called after the channel queues are dropped and before the ADR
-        flush: the torn-write model persists a prefix of the line that
-        was on the wires (the oldest in-flight log write — everything
-        behind it in the FIFO is dropped wholesale, everything before it
-        already persisted).
+        flush: the torn-write models persist a prefix of the line that
+        was on the wires (the oldest in-flight write of the region —
+        everything behind it in the FIFO is dropped wholesale,
+        everything before it already persisted).  Controllers that took
+        the quiet-drain path are skipped: their FIFO taps are stale
+        (drained persists fire no callbacks) and every queued line is
+        already fully on the cells — there is nothing left to tear.
         """
-        if self._torn is None:
-            return
+        if self._torn is not None:
+            self._tear_inflight_log(system)
+        if self._torn_data is not None:
+            self._tear_inflight_data(system)
+
+    def _tear_inflight_log(self, system) -> None:
         targets = (
             [self._torn.controller] if self._torn.controller is not None
             else sorted(self._inflight)
         )
         for mc_id in targets:
+            if mc_id in self._drained_ids:
+                continue
             queue = self._inflight.get(mc_id)
             if not queue:
                 continue
@@ -450,10 +704,42 @@ class FaultInjector:
             )
             return  # exactly one line is on the wires
 
+    def _tear_inflight_data(self, system) -> None:
+        targets = (
+            [self._torn_data.controller]
+            if self._torn_data.controller is not None
+            else sorted(self._inflight_data)
+        )
+        for mc_id in targets:
+            if mc_id in self._drained_ids:
+                continue
+            queue = self._inflight_data.get(mc_id)
+            if not queue:
+                continue
+            addr, payload = next(iter(queue.items()))
+            changed = system.image.persist_torn(
+                addr, payload, self._torn_data.prefix_bytes
+            )
+            if not changed:
+                # The torn prefix matched the old cell contents byte for
+                # byte — no mixed-epoch line exists, the point is
+                # vacuous for this member.
+                continue
+            self.note_damage(system.image, addr)
+            self._mark(
+                f"tore data line {addr:#x} on mc{mc_id} at "
+                f"{self._torn_data.prefix_bytes}/{CACHE_LINE_BYTES} bytes"
+            )
+            return  # exactly one line is on the wires
+
     def after_crash(self, system) -> None:
-        """Apply post-crash media damage (log-corruption model)."""
-        if self._corrupt is None:
-            return
+        """Apply post-crash media damage (log-corruption, bit-rot)."""
+        if self._corrupt is not None:
+            self._corrupt_newest_header(system)
+        if self._bit_rot is not None:
+            self._apply_bit_rot(system)
+
+    def _corrupt_newest_header(self, system) -> None:
         target = self._newest_durable_header(system)
         if target is None:
             return
@@ -462,11 +748,54 @@ class FaultInjector:
         flip = self._corrupt.flip_bytes
         for i in range(flip):
             line[i] ^= 0xFF
-        system.image.persist(addr, bytes(line))
+        if system.image.damage(addr, bytes(line)):
+            self.note_damage(system.image, addr)
         self._mark(
             f"flipped {flip} bytes of header seq={seq} at {addr:#x} "
             f"on mc{mc_id}"
         )
+
+    def _apply_bit_rot(self, system) -> None:
+        model = self._bit_rot
+        image = system.image
+        layout = system.layout
+        threshold = int(model.rate * float(2 ** 32))
+        flipped = 0
+        for base in image.touched_durable_lines():
+            if not self._rot_region_ok(layout, base, model.regions):
+                continue
+            digest = hashlib.sha256(
+                f"bit-rot:{model.seed}:{base}".encode()
+            ).digest()
+            if int.from_bytes(digest[:4], "big") >= threshold:
+                continue
+            line = bytearray(image.durable_read(base, CACHE_LINE_BYTES))
+            line[digest[4] % CACHE_LINE_BYTES] ^= 1 << (digest[5] % 8)
+            image.damage(base, bytes(line))
+            self.note_damage(image, base)
+            flipped += 1
+        if flipped:
+            self._mark(
+                f"bit-rot flipped 1 bit in {flipped} durable line(s) "
+                f"(rate={model.rate}, regions={model.regions})"
+            )
+
+    @staticmethod
+    def _rot_region_ok(layout, addr: int, regions: str) -> bool:
+        if regions == "all":
+            return True
+        if regions == "data":
+            return not layout.is_log(addr)
+        if not layout.is_log(addr):
+            return False
+        offset = addr - layout.log_region_base(layout.controller_of(addr))
+        in_adr = 0 <= offset < layout.adr_block_bytes
+        return in_adr if regions == "adr" else not in_adr
+
+    def note_damage(self, image, addr: int) -> None:
+        """Snapshot a just-damaged line as silent-corruption ground truth."""
+        base = addr - (addr % CACHE_LINE_BYTES)
+        self.damage[base] = bytes(image.durable_read(base, CACHE_LINE_BYTES))
 
     # -- target discovery ------------------------------------------------------
 

@@ -18,14 +18,28 @@ contract:
 * **detection** models (``adr-truncation``, ``log-corruption``) destroy
   information recovery needs, so the durable structure is *expected* to
   be unrecoverable — the contract is that recovery **notices**
-  (``checksum_rejected``/``adr_invalid`` in the
-  :class:`~repro.faults.analytics.RecoveryCost`) instead of silently
-  acting on garbage, and that a second recovery pass is a no-op.
+  (``checksum_rejected``/``adr_invalid``/``line_checksum_rejected`` in
+  the :class:`~repro.faults.analytics.RecoveryCost`) instead of silently
+  acting on garbage, and that a second recovery pass is a no-op;
+* **media** models (``torn-data-write``, ``bit-rot``) damage lines with
+  no format CRC, so their detection contract binds only when the spec
+  enables the per-data-line checksum plane (``checksums=True``).
+  Either way the sweep diffs the injector's damage ground truth against
+  the recovered image and the flagged ``corrupt_lines``: damage that
+  recovery neither healed nor flagged is **silent corruption** — a
+  hard failure with the plane enabled, an accounted ``silent`` verdict
+  without it (never ``ok``).
+
+A spec with ``storm`` set replaces the single recovery pass with a
+seeded crash storm (:mod:`repro.faults.storm`): recovery is interrupted
+mid-pass repeatedly and must still converge to a fixpoint.
 
 Verdicts aggregate per (design, workload, fault) cell: ``ok``,
-``detected`` (ok with validation hits observed), ``vacuous`` (the fault
-never actually applied at any injection point — e.g. no log write was
-ever in flight at the chosen cycles), or ``FAIL``.
+``detected`` (ok with validation hits observed), ``contained`` (ok and
+recovery confined damage to the affected AUSes), ``silent`` (unflagged
+damage survived, checksum plane off), ``vacuous`` (the fault never
+actually applied at any injection point — e.g. no log write was ever in
+flight at the chosen cycles), or ``FAIL``.
 """
 
 from __future__ import annotations
@@ -67,6 +81,11 @@ class FaultSpec:
     initial_items: int = 12
     num_cores: int = 4
     workload_kw: dict = field(default_factory=dict)
+    #: Enable the per-data-line checksum plane (media-fault detection).
+    checksums: bool = False
+    #: When set, recover through a seeded crash storm instead of a
+    #: single pass (see :mod:`repro.faults.storm`).
+    storm: int | None = None
 
 
 @dataclass
@@ -84,6 +103,16 @@ class FaultOutcome:
     recovery_cost: dict = field(default_factory=dict)
     #: Second recovery pass left the durable image byte-identical.
     idempotent: bool = True
+    #: Damaged lines recovery neither healed nor flagged (ground truth
+    #: diff against the injector's planted damage).
+    silent: int = 0
+    #: AUSes whose damage recovery contained instead of aborting.
+    contained: int = 0
+    #: Crash-storm bookkeeping (zero when the spec ran a single pass).
+    storm_attempts: int = 0
+    storm_interrupted: int = 0
+    #: Storm converged to a recovery fixpoint (vacuously True without).
+    storm_fixpoint: bool = True
     #: Injector's description of what was injected.
     detail: str = ""
     error: str = ""
@@ -107,6 +136,11 @@ def _outcome_from_dict(payload: dict) -> FaultOutcome:
         rolled_back=payload.get("rolled_back", 0),
         recovery_cost=payload.get("recovery_cost", {}),
         idempotent=payload.get("idempotent", True),
+        silent=payload.get("silent", 0),
+        contained=payload.get("contained", 0),
+        storm_attempts=payload.get("storm_attempts", 0),
+        storm_interrupted=payload.get("storm_interrupted", 0),
+        storm_fixpoint=payload.get("storm_fixpoint", True),
         detail=payload.get("detail", ""),
         error=payload.get("error", ""),
     )
@@ -143,19 +177,41 @@ def execute_fault_point(spec: FaultSpec) -> FaultOutcome:
             entry_bytes=spec.entry_bytes, threads=spec.threads,
             txns_per_thread=spec.txns_per_thread,
             initial_items=spec.initial_items, num_cores=spec.num_cores,
-            injector=injector, verify=False, **spec.workload_kw,
+            injector=injector, verify=False, line_checksums=spec.checksums,
+            storm_seed=spec.storm, **spec.workload_kw,
         )
     except (WorkloadError, SimulationError) as exc:
         return FaultOutcome(spec=spec, ok=False, applied=injector.applied,
                             detail=injector.detail,
                             error=f"{type(exc).__name__}: {exc}")
     cost: RecoveryCost = report.cost
+    storm = getattr(report, "storm", None)
     # Double-crash path: a second recovery (the state a crash during the
     # first one leads to) must leave the durable image byte-identical —
     # in particular, a rejected torn/corrupt record must stay rejected.
     first = system.image.durable_digest()
     system.recover()
     idempotent = system.image.durable_digest() == first
+
+    # Silent-corruption accounting: every line the injector damaged must
+    # end up healed (recovery overwrote it) or flagged (in the report's
+    # corrupt_lines).  What is neither survived *undetected*.
+    flagged = set(report.corrupt_lines)
+    silent = 0
+    for addr, damaged in injector.damage.items():
+        if addr in flagged:
+            continue
+        if bytes(system.image.durable_read(addr, len(damaged))) != damaged:
+            continue  # healed: undo/replay wrote over the damage
+        silent += 1
+    cost.silent_corruption = silent
+
+    # The detection contract binds only when the model's damage is
+    # checksummable with the current spec (media models need the plane).
+    expects_detection = model.expects_detection and (
+        spec.checksums or not getattr(model, "detection_needs_checksums",
+                                      False)
+    )
 
     ok = True
     error = ""
@@ -165,22 +221,38 @@ def execute_fault_point(spec: FaultSpec) -> FaultOutcome:
         except WorkloadError as exc:
             ok = False
             error = f"{type(exc).__name__}: {exc}"
-    if model.expects_detection and injector.applied and cost.detections == 0:
+    if expects_detection and injector.applied and cost.detections == 0:
         ok = False
         error = (error + "; " if error else "") + (
             "fault applied but recovery validated nothing "
             f"({injector.detail})"
+        )
+    if spec.checksums and silent:
+        ok = False
+        error = (error + "; " if error else "") + (
+            f"{silent} damaged line(s) survived undetected despite the "
+            f"checksum plane ({injector.detail})"
         )
     if not idempotent:
         ok = False
         error = (error + "; " if error else "") + (
             "second recovery changed the durable image"
         )
+    if storm is not None and not storm.fixpoint:
+        ok = False
+        error = (error + "; " if error else "") + (
+            f"crash storm (seed={storm.seed}) did not converge to a "
+            f"recovery fixpoint after {storm.attempts} attempts"
+        )
     outcome = FaultOutcome(
         spec=spec, ok=ok, applied=injector.applied,
         detections=cost.detections, commits=workload.commits,
         rolled_back=report.updates_rolled_back,
         recovery_cost=cost.to_dict(), idempotent=idempotent,
+        silent=silent, contained=cost.aus_contained,
+        storm_attempts=storm.attempts if storm else 0,
+        storm_interrupted=storm.interrupted_attempts if storm else 0,
+        storm_fixpoint=storm.fixpoint if storm else True,
         detail=injector.detail, error=error,
     )
     # The system was private to this point and everything the caller
@@ -195,13 +267,15 @@ def fault_grid(
     models: Sequence | None = None,
     crash_cycles: Iterable[int] = FAULT_CYCLES,
     seeds: Iterable[int] = (7,),
+    checksums: bool = False,
+    storm: int | None = None,
 ) -> list[FaultSpec]:
     """Enumerate the matrix, dropping inapplicable (design, model) cells."""
     if models is None:
         models = default_fault_models()
     return [
         FaultSpec(design=d, workload=w, fault=m.to_dict(), crash_cycle=c,
-                  seed=s)
+                  seed=s, checksums=checksums, storm=storm)
         for d, w, m, c, s in itertools.product(
             designs, workloads, models, crash_cycles, seeds
         )
@@ -219,6 +293,10 @@ class FaultCell:
     points: int = 0
     applied_points: int = 0
     detections: int = 0
+    #: Damaged lines that survived undetected, summed over the points.
+    silent: int = 0
+    #: AUSes whose damage recovery contained, summed over the points.
+    contained: int = 0
     failures: list[FaultOutcome] = field(default_factory=list)
     #: Summed recovery analytics over the cell's points.
     cost: RecoveryCost = field(default_factory=RecoveryCost)
@@ -233,6 +311,12 @@ class FaultCell:
             return "FAIL"
         if self.applied_points == 0:
             return "vacuous"
+        if self.silent:
+            # Unflagged damage survived (checksum plane off): the cell
+            # is accounted, never "ok".
+            return "silent"
+        if self.contained:
+            return "contained"
         if self.detections:
             return "detected"
         return "ok"
@@ -242,6 +326,8 @@ class FaultCell:
         if outcome.applied:
             self.applied_points += 1
         self.detections += outcome.detections
+        self.silent += outcome.silent
+        self.contained += outcome.contained
         if not outcome.ok:
             self.failures.append(outcome)
         if not outcome.recovery_cost:
@@ -281,15 +367,16 @@ class FaultSweepResult:
         cells = self.cells
         rows = [
             [c.design, c.workload, c.fault, c.points, c.applied_points,
-             c.detections, c.cost.records_undone + c.cost.records_applied,
+             c.detections, c.silent,
+             c.cost.records_undone + c.cost.records_applied,
              f"{c.mean_cycles:,.0f}", c.status]
             for c in cells
         ]
         failures = [c for c in cells if c.status == "FAIL"]
         out = format_table(
             ["design", "workload", "fault", "points", "applied",
-             "detections", "records recovered", "mean rec. cycles",
-             "verdict"],
+             "detections", "silent", "records recovered",
+             "mean rec. cycles", "verdict"],
             rows,
             title=(f"== Faults: {len(cells)} cells, "
                    f"{len(self.outcomes)} points, "
@@ -318,6 +405,10 @@ class FaultSweepResult:
                 "cells": len(cells),
                 "failures": sum(1 for c in cells if c.status == "FAIL"),
                 "detected": sum(1 for c in cells if c.status == "detected"),
+                "contained": sum(1 for c in cells
+                                 if c.status == "contained"),
+                "silent": sum(1 for c in cells if c.status == "silent"),
+                "silent_lines": sum(c.silent for c in cells),
                 "vacuous": sum(1 for c in cells if c.status == "vacuous"),
             },
             "cells": [
@@ -329,6 +420,8 @@ class FaultSweepResult:
                     "points": c.points,
                     "applied_points": c.applied_points,
                     "detections": c.detections,
+                    "silent": c.silent,
+                    "contained": c.contained,
                     "mean_recovery_cycles": c.mean_cycles,
                     "recovery_cost": c.cost.to_dict(),
                     "failures": [

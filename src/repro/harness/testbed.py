@@ -74,7 +74,9 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
               entry_bytes: int = 512, seed: int = 7, threads: int = 4,
               txns_per_thread: int = 8, initial_items: int = 12,
               num_cores: int = 4, max_cycles: int = 30_000_000,
-              injector=None, verify: bool = True, instrument=None, **kw):
+              injector=None, verify: bool = True, instrument=None,
+              line_checksums: bool = False, storm_seed: int | None = None,
+              **kw):
     """Run a workload, crash it, recover, and differential-check.
 
     Builds a scaled-down machine, runs ``threads`` worker threads, cuts
@@ -91,11 +93,19 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
     ``instrument`` (an observability hook, e.g. ``Tracer.install``) is
     called with the built system before the workload starts.
 
+    ``line_checksums`` enables the per-data-line checksum plane on the
+    memory image (media-fault detection).  ``storm_seed`` replaces the
+    single recovery pass with a seeded crash storm
+    (:func:`repro.faults.storm.storm_recover`); the merged report is
+    returned with the :class:`~repro.faults.storm.StormReport` attached
+    as ``report.storm``.
+
     Returns ``(system, workload, recovery_report)``.
     """
     from repro.workloads import make_workload
 
-    system = build_system(design=design, num_cores=num_cores)
+    system = build_system(design=design, num_cores=num_cores,
+                          line_checksums=line_checksums)
     if instrument is not None:
         instrument(system)
     if injector is not None:
@@ -114,7 +124,15 @@ def crash_run(name: str, design: Design, crash_cycle: int | None, *,
         # Either no crash was requested, or every thread finished before
         # the scheduled cycle: cut power now (nothing rolls back).
         system.crash()
-    report = system.recover()
+    if storm_seed is not None:
+        from repro.faults.storm import storm_recover
+
+        storm = storm_recover(system, seed=storm_seed)
+        report = storm.report
+        report.storm = storm
+    else:
+        report = system.recover()
+        report.storm = None
     if verify:
         workload.verify_durable()
     return system, workload, report

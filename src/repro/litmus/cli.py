@@ -20,7 +20,7 @@ import argparse
 import sys
 import time
 
-from repro.common.log import add_log_flags, apply_log_flags
+from repro.common.log import add_log_flags, apply_log_flags, get_logger
 from repro.config import Design
 from repro.harness.cache import ResultCache
 from repro.harness.campaign import Campaign
@@ -28,6 +28,8 @@ from repro.harness.report import select_only, write_artifact
 from repro.harness.supervise import RetryPolicy
 from repro.litmus.catalog import catalog_by_name
 from repro.litmus.explorer import LITMUS_DESIGNS, explore
+
+log = get_logger("litmus")
 
 
 def _add_obs_flags(parser) -> None:
@@ -77,11 +79,13 @@ def _retry_policy(parser, args) -> RetryPolicy:
                        task_timeout=args.task_timeout)
 
 
-def _parse_faults(parser, raw: str, designs) -> list:
+def _parse_faults(parser, raw: str, designs, *, strict: bool = True) -> list:
     """Parse ``--faults`` kinds (incl. ``a+b`` composites) and reject
-    detection-only models and models no selected design can host."""
+    detection-only models; inapplicable models follow the shared
+    strict/drop policy (:func:`repro.faults.models.resolve_inapplicable`
+    — the same code path the faults subcommand runs)."""
     from repro.common.errors import ConfigError
-    from repro.faults.models import fault_from_dict
+    from repro.faults.models import fault_from_dict, resolve_inapplicable
 
     faults = []
     for kind in (k for k in raw.split(",") if k):
@@ -89,19 +93,24 @@ def _parse_faults(parser, raw: str, designs) -> list:
             faults.append(fault_from_dict({"kind": kind}))
         except ConfigError as exc:
             parser.error(str(exc))
+    # The consistency contract is non-negotiable regardless of policy:
+    # litmus postconditions judge the recovered state, which a
+    # detection-only model destroys by design.
     bad = [m.kind for m in faults if not m.preserves_consistency]
     if bad:
         parser.error(f"litmus postconditions need consistency-"
                      f"preserving fault models; {','.join(bad)} "
                      f"is detection-only (use the faults subcommand)")
-    for model in faults:
-        if not any(model.applicable(d) for d in designs):
-            parser.error(
-                f"fault model {model.kind!r} applies to none of the "
-                f"selected designs "
-                f"({','.join(d.value for d in designs)}) — it would "
-                f"silently vanish from the verdict table"
-            )
+    try:
+        faults, dropped = resolve_inapplicable(faults, designs,
+                                               strict=strict)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    for reason in dropped:
+        log.warning(f"{reason}; dropping from the fault axis")
+    if not faults:
+        parser.error("no applicable fault models remain for the "
+                     "selected designs")
     return faults
 
 
@@ -147,6 +156,10 @@ def main(argv: list[str] | None = None) -> int:
                              "ROUNDS rounds (default 0: off)")
     parser.add_argument("--seeds", default="7",
                         help="seeds (comma-separated; default 7)")
+    parser.add_argument("--storm", type=int, default=None, metavar="SEED",
+                        help="recover every grid point through a seeded "
+                             "crash storm (recovery repeatedly "
+                             "interrupted mid-pass until it converges)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
     _add_supervision_flags(parser)
@@ -159,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default litmus_verdicts.json)")
     parser.add_argument("--list", action="store_true",
                         help="list catalog tests and exit")
+    from repro.faults.cli import add_fault_policy_flags
+    add_fault_policy_flags(parser)
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
     apply_log_flags(args)
@@ -185,7 +200,10 @@ def main(argv: list[str] | None = None) -> int:
                          f"(see --list)")
         tests = [t for t in tests if t.name in selected]
     designs = _parse_designs(parser, args.designs)
-    faults = _parse_faults(parser, args.faults, designs) \
+    # Historical litmus default: strict.  The shared policy flags
+    # override it exactly as they do for the faults subcommand.
+    strict = args.strict_faults if args.strict_faults is not None else True
+    faults = _parse_faults(parser, args.faults, designs, strict=strict) \
         if args.faults else []
     if args.points < 1:
         parser.error("--points must be >= 1")
@@ -209,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         report = explore(campaign, tests=tests, designs=designs,
                          seeds=seeds, points=args.points, faults=faults,
-                         densify=args.densify)
+                         densify=args.densify, storm=args.storm)
     finally:
         campaign.close()
     if args.trace is not None:
@@ -255,6 +273,10 @@ def gen_main(argv: list[str]) -> int:
                              "(default 0: off)")
     parser.add_argument("--seeds", default="7",
                         help="simulator seeds (comma-separated; default 7)")
+    parser.add_argument("--storm", type=int, default=None, metavar="SEED",
+                        help="recover every grid point through a seeded "
+                             "crash storm (recovery repeatedly "
+                             "interrupted mid-pass until it converges)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
     _add_supervision_flags(parser)
@@ -270,6 +292,8 @@ def gen_main(argv: list[str]) -> int:
                              "zero hits across the whole batch")
     parser.add_argument("--list", action="store_true",
                         help="print the generated programs and exit")
+    from repro.faults.cli import add_fault_policy_flags
+    add_fault_policy_flags(parser)
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
     apply_log_flags(args)
@@ -281,7 +305,8 @@ def gen_main(argv: list[str]) -> int:
     if args.densify < 0:
         parser.error("--densify must be >= 0")
     designs = _parse_designs(parser, args.designs)
-    faults = _parse_faults(parser, args.faults, designs) \
+    strict = args.strict_faults if args.strict_faults is not None else True
+    faults = _parse_faults(parser, args.faults, designs, strict=strict) \
         if args.faults else []
     try:
         seeds = [int(s) for s in args.seeds.split(",") if s]
@@ -308,7 +333,7 @@ def gen_main(argv: list[str]) -> int:
     try:
         report = explore(campaign, tests=tests, designs=designs,
                          seeds=seeds, points=args.points, faults=faults,
-                         densify=args.densify)
+                         densify=args.densify, storm=args.storm)
     finally:
         campaign.close()
     if args.trace is not None:

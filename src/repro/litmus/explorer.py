@@ -63,6 +63,10 @@ class LitmusPoint:
     #: Fault model applied at the cut (``FaultModel.to_dict``); ``None``
     #: is the plain whole-machine power loss.  Part of the cache key.
     fault: dict | None = None
+    #: Crash-storm seed: recover through repeated seeded mid-recovery
+    #: crashes (:mod:`repro.faults.storm`) instead of one pass.  Part
+    #: of the cache key; ``None`` is the plain single recovery.
+    storm: int | None = None
 
 
 @dataclass
@@ -158,13 +162,24 @@ def execute_litmus_point(point: LitmusPoint, *,
             # Probe, or the program finished before the scheduled cycle:
             # cut power now (nothing should roll back).
             system.crash()
-        report = system.recover()
+        if point.storm is not None:
+            from repro.faults.storm import storm_recover
+
+            storm = storm_recover(system, seed=point.storm)
+            report = storm.report
+        else:
+            storm = None
+            report = system.recover()
         # Recovery idempotence: a second crash immediately after (or
         # during — nothing volatile matters any more) recovery must
         # leave the durable image byte-identical.
         first = system.image.durable_digest()
         system.recover()
         idempotent = system.image.durable_digest() == first
+        if storm is not None:
+            # The storm's convergence verdict folds into the same axis:
+            # a non-fixpoint storm is an idempotence failure.
+            idempotent = idempotent and storm.fixpoint
         cost = getattr(report, "cost", None)
         outcome = LitmusOutcome(
             point=point,
@@ -424,6 +439,7 @@ def explore(
     crash_start: int = DEFAULT_CRASH_START,
     faults: Sequence | None = None,
     densify: int = 0,
+    storm: int | None = None,
 ) -> LitmusReport:
     """Explore every (test × design × fault × seed) cell.
 
@@ -446,6 +462,11 @@ def explore(
     in on verdict/window transitions with O(log span) extra points
     instead of a uniformly denser grid.  All bisection midpoints are
     deterministic, so re-runs hit the result cache.
+
+    ``storm`` makes every grid point recover through a seeded crash
+    storm (:mod:`repro.faults.storm`) instead of a single pass; a storm
+    that fails to converge counts as an idempotence failure.  Probe
+    points stay plain (they only measure the finish cycle).
     """
     from repro.common.errors import ConfigError
 
@@ -525,6 +546,7 @@ def explore(
                     test=probe.point.test, design=probe.point.design,
                     crash_cycle=cycle, seed=probe.point.seed,
                     fault=model.to_dict() if model is not None else None,
+                    storm=storm,
                 )
                 for cycle in cycles
             )

@@ -84,6 +84,12 @@ class _DataWrite:
 
     def release(self) -> None:
         mc = self.mc
+        inj = mc.fault_injector
+        if inj is not None and inj.taps_data_writes:
+            # Post-gate tap: only a write the hardware actually issued
+            # can tear — one still held by the LogM gate never reached
+            # the wires (tearing it would sidestep Invariant 2).
+            inj.note_data_write(mc.mc_id, self.addr, self.payload)
         mc._submit_write(
             mc.data_channel, AccessKind.DATA_WRITE, self.addr,
             len(self.payload), self,
@@ -94,6 +100,12 @@ class _DataWrite:
             self.addr, self.payload, self.on_persist,
             check=True, backend_apply=self.backend_apply,
         )
+        inj = self.mc.fault_injector
+        if inj is not None and inj.taps_data_writes:
+            # After _persist, so the tap also fires for quiet-drain
+            # persists (which skip on_persist): a drained line is on the
+            # cells and must leave the in-flight FIFO.
+            inj.note_data_persisted(self.mc.mc_id, self.addr)
 
 
 class _LogRead:

@@ -30,12 +30,27 @@ the touched set instead of the full array.  This is what makes
 campaign-sized points (litmus grids, fault matrices: thousands of small
 machines per run) cheap: the per-point fixed cost is proportional to
 the state actually used, not to the configured memory size.
+
+Per-line checksum plane
+-----------------------
+With ``line_checksums=True`` the image keeps a CRC-32 per durable line,
+updated by every *legitimate* persist path (:meth:`persist`,
+:meth:`sync_all`) and deliberately **not** by the media-damage paths
+(:meth:`persist_torn`, :meth:`damage`).  The plane models per-line ECC
+metadata a controller would maintain on its write path: a torn write or
+post-crash bit-rot leaves the stored checksum describing the old line,
+so :meth:`verify_line` fails exactly on damaged lines.  Recovery's
+scrub pass walks the touched durable lines through ``verify_line`` and
+classifies mismatches as *detected* corruption; without the plane the
+same damage is silent.  The plane is metadata, not memory contents:
+``durable_digest`` never hashes it.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
+import zlib
 
 from repro.common.errors import MemoryError_
 from repro.common.units import CACHE_LINE_BYTES
@@ -57,13 +72,18 @@ _POOL_DEPTH = 2
 class MemoryImage:
     """Byte-addressable volatile + durable images of physical memory."""
 
-    def __init__(self, size_bytes: int):
+    def __init__(self, size_bytes: int, line_checksums: bool = False):
         if size_bytes <= 0 or size_bytes % CACHE_LINE_BYTES:
             raise MemoryError_(
                 f"image size must be a positive multiple of "
                 f"{CACHE_LINE_BYTES}, got {size_bytes}"
             )
         self.size_bytes = size_bytes
+        #: Per-data-line checksum plane (see module docstring).
+        self.line_checksums = line_checksums
+        #: line base -> CRC-32 of the durable line as of its last
+        #: *write-path* persist.  Damage paths bypass this on purpose.
+        self._line_crc: dict[int, int] = {}
         pooled = _BUFFER_POOL.get(size_bytes)
         if pooled:
             self._volatile, self._durable = pooled.pop()
@@ -175,21 +195,89 @@ class MemoryImage:
         last = (addr + size - 1) & _LINE_MASK
         if first == last:
             self._dur_touched.add(first)
+            if self.line_checksums:
+                self._line_crc[first] = zlib.crc32(
+                    self._dur_view[first : first + CACHE_LINE_BYTES]
+                )
         else:
             self._dur_touched.update(
                 range(first, last + 1, CACHE_LINE_BYTES)
             )
+            if self.line_checksums:
+                crc = zlib.crc32
+                dur = self._dur_view
+                crc_map = self._line_crc
+                for base in range(first, last + 1, CACHE_LINE_BYTES):
+                    crc_map[base] = crc(dur[base : base + CACHE_LINE_BYTES])
 
-    def persist_torn(self, addr: int, data: bytes, prefix_bytes: int) -> None:
+    def persist_torn(self, addr: int, data: bytes, prefix_bytes: int) -> bool:
         """A write interrupted by power failure: only a prefix lands.
 
-        Models a torn line write (the fault subsystem's torn-log-write
-        model): the first ``prefix_bytes`` of ``data`` reach the cells,
-        the rest of the range keeps its old durable contents — the
-        mixed-epoch line that header checksums exist to catch.
+        Models a torn line write (the fault subsystem's torn-log-write /
+        torn-data-write models): the first ``prefix_bytes`` of ``data``
+        reach the cells, the rest of the range keeps its old durable
+        contents — the mixed-epoch line that header checksums exist to
+        catch.  Like :meth:`damage`, the tear bypasses the line-checksum
+        plane (the write never completed, so the metadata still
+        describes the pre-tear line) and returns whether any durable
+        byte actually changed.
         """
-        if prefix_bytes > 0:
-            self.persist(addr, data[:prefix_bytes])
+        if prefix_bytes <= 0:
+            return False
+        return self.damage(addr, data[:prefix_bytes])
+
+    def damage(self, addr: int, data: bytes) -> bool:
+        """Media damage: bytes change in the cells with no write event.
+
+        The raw-mutation sibling of :meth:`persist` for the fault
+        subsystem's media models (torn writes, bit-rot): the durable
+        bytes and touched-set bookkeeping update exactly as a persist
+        would, but the line-checksum plane is deliberately left stale —
+        that staleness is what recovery's scrub pass detects.  Returns
+        True iff the durable contents actually changed (the injectors'
+        vacuity marker: damage that reproduces the existing bytes is
+        physically indistinguishable from no damage).
+        """
+        size = len(data)
+        if addr < 0 or addr + size > self.size_bytes:
+            self._check(addr, size)
+        changed = self._dur_view[addr : addr + size] != data
+        self._durable[addr : addr + size] = data
+        first = addr & _LINE_MASK
+        last = (addr + size - 1) & _LINE_MASK
+        if first == last:
+            self._dur_touched.add(first)
+        else:
+            self._dur_touched.update(
+                range(first, last + 1, CACHE_LINE_BYTES)
+            )
+        return changed
+
+    def verify_line(self, addr: int) -> bool:
+        """Check the line containing ``addr`` against its stored checksum.
+
+        Only meaningful with ``line_checksums`` enabled.  A touched line
+        *without* a recorded checksum fails verification: every
+        legitimate persist path records one, so its absence means only a
+        damage path ever wrote the line.
+        """
+        base = addr & _LINE_MASK
+        if base < 0 or base + CACHE_LINE_BYTES > self.size_bytes:
+            self._check(base, CACHE_LINE_BYTES)
+        stored = self._line_crc.get(base)
+        if stored is None:
+            return False
+        return stored == zlib.crc32(
+            self._dur_view[base : base + CACHE_LINE_BYTES]
+        )
+
+    def touched_durable_lines(self) -> list[int]:
+        """Sorted base addresses of every durable line ever written.
+
+        The scrub pass's work list: damage paths register their lines
+        here too, so a scrub over this set sees all durable state.
+        """
+        return sorted(self._dur_touched)
 
     def persist_equals_volatile(self, addr: int, size: int) -> bool:
         """True if durable and volatile agree over the range (test aid)."""
@@ -260,6 +348,11 @@ class MemoryImage:
         for base in self._vol_touched | self._dur_touched:
             dur[base : base + line] = vol[base : base + line]
         self._dur_touched |= self._vol_touched
+        if self.line_checksums:
+            crc = zlib.crc32
+            crc_map = self._line_crc
+            for base in self._dur_touched:
+                crc_map[base] = crc(dur[base : base + line])
 
     def crash(self) -> None:
         """Power failure: all volatile state is lost.
@@ -297,6 +390,7 @@ class MemoryImage:
             dur[base : base + line] = _ZERO_LINE
         self._vol_touched = set()
         self._dur_touched = set()
+        self._line_crc = {}
         pooled.append((self._volatile, self._durable))
 
     def __repr__(self) -> str:

@@ -50,6 +50,7 @@ _SEQ_RAMP = ["#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec",
              "#184f95", "#104281", "#0d366b"]
 
 _STATUS = {"ok": "var(--good)", "detected": "var(--series-1)",
+           "contained": "var(--series-2)", "silent": "var(--warning)",
            "vacuous": "var(--warning)", "FAIL": "var(--critical)"}
 
 _CSS = """
@@ -492,6 +493,10 @@ def _faults_section(name: str, payload: dict) -> str:
                    ("cells", _num(summary.get("cells"))),
                    ("failures", _num(summary.get("failures"))),
                    ("detected", _num(summary.get("detected"))),
+                   ("contained", _num(summary.get("contained")) or None),
+                   ("silent", _num(summary.get("silent")) or None),
+                   ("silent lines",
+                    _num(summary.get("silent_lines")) or None),
                    ("vacuous", _num(summary.get("vacuous")))])]
     if cells:
         out.append("<h3>Fault matrix</h3>"
@@ -499,6 +504,7 @@ def _faults_section(name: str, payload: dict) -> str:
                    "<th>fault</th><th class=\"num\">points</th>"
                    "<th class=\"num\">applied</th>"
                    "<th class=\"num\">detections</th>"
+                   "<th class=\"num\">silent</th>"
                    "<th class=\"num\">mean rec. cycles</th>"
                    "<th>verdict</th></tr>")
         for c in cells:
@@ -509,6 +515,7 @@ def _faults_section(name: str, payload: dict) -> str:
                 f"<td class=\"num\">{_num(c.get('points'))}</td>"
                 f"<td class=\"num\">{_num(c.get('applied_points'))}</td>"
                 f"<td class=\"num\">{_num(c.get('detections'))}</td>"
+                f"<td class=\"num\">{_num(c.get('silent'))}</td>"
                 f"<td class=\"num\">"
                 f"{_num(c.get('mean_recovery_cycles'))}</td>"
                 f"<td>{_chip(c.get('status', '?'))}</td></tr>"

@@ -86,7 +86,8 @@ class System:
         self.engine = Engine()
         self.stats = Stats()
         self.layout = AddressLayout(config.data_bytes, config.memory, config.log)
-        self.image = MemoryImage(self.layout.total_bytes)
+        self.image = MemoryImage(self.layout.total_bytes,
+                                 line_checksums=config.memory.line_checksums)
         self.topology = Topology(
             config.cores.num_cores, config.memory.num_controllers, config.noc
         )
@@ -385,22 +386,33 @@ class System:
         """True once :meth:`crash` has run (power was cut)."""
         return self._crashed
 
-    def recover(self) -> recovery_mod.RecoveryReport:
+    def recover(self, *,
+                write_budget: int | None = None,
+                ) -> recovery_mod.RecoveryReport:
         """Run the post-crash recovery routine on the durable image.
 
         The returned report carries the recovery-time analytics
         (``report.cost``): log lines scanned, records undone/applied,
         validation rejections, and the modeled recovery cycles under
         this machine's NVM timing parameters.
+
+        ``write_budget`` caps the pass's durable writes — the crash-storm
+        harness (:mod:`repro.faults.storm`) uses it to model power dying
+        again *during* recovery; ``report.interrupted`` records the cut.
         """
         if self.config.design is Design.REDO:
             report = recovery_mod.RecoveryReport()
             if self.redo is not None:
-                report.updates_rolled_back = self.redo.recover()
+                report.updates_rolled_back = self.redo.recover(
+                    write_budget=write_budget
+                )
                 report.cost = self.redo.last_recovery_cost
+                report.corrupt_lines = list(self.redo.last_corrupt_lines)
+                report.interrupted = self.redo.last_recovery_interrupted
             return report
         return recovery_mod.recover(self.image, self.layout, self.config.log,
-                                    mem=self.config.memory)
+                                    mem=self.config.memory,
+                                    write_budget=write_budget)
 
     # -- results --------------------------------------------------------------------------
 
